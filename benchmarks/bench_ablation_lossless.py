@@ -1,0 +1,65 @@
+"""Ablation: SZ lossless backend stage and Huffman decode chunking.
+
+SZ's final dictionary-coder stage (zstd in the original; LZSS here)
+mostly matters on highly redundant symbol streams; the Huffman chunk
+size trades decode parallelism (smaller chunks -> more independent
+decode units, as in cuSZ's GPU decoder) against offset-table overhead.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.compressors.sz import SZCompressor
+from repro.foresight.visualization import format_table
+from repro.lossless.huffman import HuffmanCodec
+
+
+def test_ablation_lossless_stage(benchmark, nyx):
+    field = nyx.fields["dark_matter_density"]
+    eb = float(field.std()) * 1e-1  # loose bound -> redundant symbols
+
+    def sweep():
+        rows = []
+        for stages, label in ((None, "huffman only"), (["lzss"], "huffman + lzss")):
+            sz = SZCompressor(lossless=stages)
+            buf = sz.compress(field, error_bound=eb)
+            rows.append({"backend": label, "compression_ratio": buf.compression_ratio})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_lossless",
+        "== ablation: SZ lossless backend ==\n" + format_table(rows),
+    )
+    assert rows[1]["compression_ratio"] >= 0.9 * rows[0]["compression_ratio"]
+
+
+def test_ablation_huffman_chunk_overhead(benchmark):
+    rng = np.random.default_rng(0)
+    symbols = rng.poisson(2.0, 100_000).clip(0, 1023)
+
+    def sweep():
+        rows = []
+        for chunk in (256, 1024, 4096, 16384):
+            codec = HuffmanCodec(chunk_size=chunk)
+            enc = codec.encode(symbols, 1024)
+            rows.append({"chunk_size": chunk, "bytes": len(enc.payload)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_huffman_chunk",
+        "== ablation: Huffman decode-chunk size (offset-table overhead) ==\n"
+        + format_table(rows),
+    )
+    sizes = [r["bytes"] for r in rows]
+    assert sizes == sorted(sizes, reverse=True)  # bigger chunks, less overhead
+
+
+def test_ablation_huffman_decode_chunked(benchmark):
+    rng = np.random.default_rng(1)
+    symbols = rng.poisson(2.0, 200_000).clip(0, 1023)
+    codec = HuffmanCodec(chunk_size=2048)
+    enc = codec.encode(symbols, 1024)
+    out = benchmark(codec.decode, enc)
+    assert np.array_equal(out, symbols)

@@ -1,0 +1,68 @@
+"""Ablation: SZ predictor choice (Lorenzo vs regression vs adaptive).
+
+The paper credits GPU-SZ's Nyx advantage to "the adaptive predictor
+(Lorenzo or regression-based predictor)".  This ablation forces each
+predictor and verifies the adaptive choice dominates both."""
+
+import numpy as np
+
+from conftest import write_result
+from repro.compressors.sz import SZCompressor
+from repro.foresight.visualization import format_table
+
+PREDICTORS = ("lorenzo", "regression", "adaptive")
+
+
+def test_ablation_predictor(benchmark, nyx):
+    rows = []
+
+    def sweep():
+        out = []
+        for field_name in ("dark_matter_density", "temperature", "velocity_x"):
+            field = nyx.fields[field_name]
+            eb = float(field.std()) * 1e-2
+            for predictor in PREDICTORS:
+                sz = SZCompressor(predictor=predictor)
+                buf = sz.compress(field, error_bound=eb)
+                out.append(
+                    {
+                        "field": field_name,
+                        "predictor": predictor,
+                        "compression_ratio": buf.compression_ratio,
+                        "bitrate": buf.bitrate,
+                    }
+                )
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "ablation_predictor",
+        "== ablation: SZ predictor (fixed eb = 0.01 sigma per field) ==\n"
+        + format_table(rows, ["field", "predictor", "compression_ratio", "bitrate"]),
+    )
+    # Adaptive must never lose badly to either pure strategy.
+    for field_name in ("dark_matter_density", "temperature", "velocity_x"):
+        by = {
+            r["predictor"]: r["compression_ratio"]
+            for r in rows
+            if r["field"] == field_name
+        }
+        assert by["adaptive"] >= 0.95 * max(by["lorenzo"], by["regression"])
+
+
+def test_ablation_predictor_roundtrip_all(benchmark, nyx):
+    """Forced predictors still honor the error bound."""
+    field = nyx.fields["temperature"]
+    eb = float(field.std()) * 1e-2
+
+    def roundtrip_both():
+        errs = []
+        for predictor in ("lorenzo", "regression"):
+            sz = SZCompressor(predictor=predictor)
+            recon = sz.decompress(sz.compress(field, error_bound=eb))
+            errs.append(np.abs(recon.astype(np.float64) - field).max())
+        return errs
+
+    errs = benchmark.pedantic(roundtrip_both, rounds=1, iterations=1)
+    tol = float(np.spacing(np.abs(field).max()))
+    assert all(e <= eb + tol for e in errs)

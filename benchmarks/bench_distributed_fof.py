@@ -1,0 +1,53 @@
+"""Distributed FoF: correctness vs serial plus the communication bill."""
+
+import collections
+
+import numpy as np
+
+from conftest import write_result
+from repro.cosmo.fof import friends_of_friends
+from repro.foresight.visualization import format_table
+from repro.parallel import distributed_fof
+
+
+def _signature(labels):
+    groups = collections.defaultdict(list)
+    for i, l in enumerate(labels):
+        groups[int(l)].append(i)
+    return sorted(tuple(v) for v in groups.values())
+
+
+def test_distributed_fof_scaling(benchmark, hacc):
+    n_side = round(hacc.n_particles ** (1 / 3))
+    ll = 0.2 * hacc.box_size / n_side
+    serial = friends_of_friends(hacc.positions, hacc.box_size, ll)
+
+    def sweep():
+        rows = []
+        for dims in ((1, 1, 2), (2, 2, 2), (2, 2, 4)):
+            result, stats = distributed_fof(hacc.positions, hacc.box_size, ll, dims=dims)
+            rows.append(
+                {
+                    "ranks": int(np.prod(dims)),
+                    "groups": result.n_groups,
+                    "matches_serial": _signature(result.labels) == _signature(serial.labels),
+                    "ghost_kb": stats["ghost_bytes"] / 1e3,
+                    "max_owned": max(stats["owned_per_rank"]),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_result(
+        "distributed_fof",
+        "== distributed FoF vs serial (partition identity + comm volume) ==\n"
+        + format_table(rows),
+    )
+    assert all(r["matches_serial"] for r in rows)
+
+
+def test_distributed_fof_kernel(benchmark, hacc):
+    n_side = round(hacc.n_particles ** (1 / 3))
+    ll = 0.2 * hacc.box_size / n_side
+    result, _ = benchmark(distributed_fof, hacc.positions, hacc.box_size, ll)
+    assert result.n_groups > 0

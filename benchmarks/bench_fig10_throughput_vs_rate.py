@@ -1,0 +1,32 @@
+"""Fig. 10: throughput vs bitrate (kernel / overall / baseline)."""
+
+from conftest import RESULTS_DIR, write_result
+from repro.analysis.throughput import throughput_vs_rate_study
+from repro.experiments import fig10
+from repro.foresight.visualization import render_ascii_plot, save_series_csv
+
+
+def test_fig10_rows(benchmark, profile):
+    result = benchmark.pedantic(fig10.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig10", result.render())
+    rates = [r["bitrate"] for r in result.rows]
+    series = {
+        name: [r[name] for r in result.rows]
+        for name in (
+            "compress_kernel_gbps",
+            "compress_overall_gbps",
+            "decompress_kernel_gbps",
+            "decompress_overall_gbps",
+            "baseline_gbps",
+        )
+    }
+    save_series_csv(RESULTS_DIR / "fig10_throughput.csv", rates, series, x_name="bitrate")
+    plot = render_ascii_plot(rates, series, title="Fig 10: throughput vs bitrate (GB/s)")
+    (RESULTS_DIR / "fig10_plot.txt").write_text(plot + "\n")
+    overall = series["compress_overall_gbps"]
+    assert overall == sorted(overall, reverse=True)
+
+
+def test_fig10_study_kernel(benchmark):
+    rows = benchmark(throughput_vs_rate_study, 512**3, [1, 2, 4, 8, 16])
+    assert len(rows) == 5

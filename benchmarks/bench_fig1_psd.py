@@ -1,0 +1,74 @@
+"""Fig. 1: PSD of original vs PW_REL-reconstructed Nyx baryon density.
+
+Benchmarks the GPU-SZ PW_REL path (log transform + ABS compression) on
+the showcase field; writes the deviation table and PSD series.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.compressors.sz import GPUSZ
+from repro.experiments import fig1
+from repro.foresight.visualization import save_series_csv
+
+
+def test_fig1_rows(benchmark, profile):
+    result = benchmark.pedantic(fig1.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig1", result.render())
+    save_series_csv(
+        "benchmarks/results/fig1_psd.csv",
+        result.series["k"],
+        {k: v for k, v in result.series.items() if k != "k"},
+        x_name="k",
+    )
+    dev = {r["pw_rel"]: r["max_pk_deviation"] for r in result.rows}
+    assert dev[0.25] > dev[0.1] > dev[0.01]
+
+
+def test_fig1_visualizations(benchmark, nyx):
+    """The visual half of Fig. 1: grayscale density-slice renders of the
+    original and both reconstructions (open the PGMs in any viewer)."""
+    from conftest import RESULTS_DIR
+    from repro.foresight.imaging import render_slice, write_pgm
+
+    sz = GPUSZ()
+    field = nyx.fields["baryon_density"]
+
+    def render_all():
+        vmin, vmax = float(field[field > 0].min()), float(field.max())
+        paths = [
+            write_pgm(RESULTS_DIR / "fig1_original.pgm",
+                      render_slice(field, vmin=vmin, vmax=vmax))
+        ]
+        for pwrel in (0.1, 0.25):
+            recon = sz.decompress(sz.compress_pwrel_via_log(field, pwrel))
+            paths.append(
+                write_pgm(
+                    RESULTS_DIR / f"fig1_pwrel_{pwrel}.pgm",
+                    render_slice(recon, vmin=vmin, vmax=vmax),
+                )
+            )
+        return paths
+
+    paths = benchmark.pedantic(render_all, rounds=1, iterations=1)
+    assert all(p.exists() for p in paths)
+
+
+def test_fig1_pwrel_compression(benchmark, nyx):
+    sz = GPUSZ()
+    field = nyx.fields["baryon_density"]
+    buf = benchmark(sz.compress_pwrel_via_log, field, 0.1)
+    assert buf.compression_ratio > 1
+
+
+def test_fig1_pwrel_decompression(benchmark, nyx):
+    sz = GPUSZ()
+    buf = sz.compress_pwrel_via_log(nyx.fields["baryon_density"], 0.1)
+    recon = benchmark(sz.decompress, buf)
+    assert recon.shape == nyx.fields["baryon_density"].shape
+    nz = nyx.fields["baryon_density"] != 0
+    rel = np.abs(
+        (recon[nz] - nyx.fields["baryon_density"][nz])
+        / nyx.fields["baryon_density"][nz]
+    )
+    assert rel.max() <= 0.1 * (1 + 1e-4)

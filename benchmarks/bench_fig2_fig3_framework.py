@@ -1,0 +1,20 @@
+"""Figs. 2-3: Foresight components and the study dependency graph."""
+
+from conftest import write_result
+from repro.experiments import fig2_fig3
+from repro.foresight.pat import SlurmSimulator
+
+
+def test_fig2_fig3_rows(benchmark, profile):
+    result = benchmark.pedantic(fig2_fig3.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig2_fig3", result.render(
+        ["topological_position", "job", "depends_on", "nodes"]
+    ))
+    assert len(result.rows) == 5
+
+
+def test_fig3_dag_execution(benchmark):
+    """Execute the canonical DAG on the simulator (command-only jobs)."""
+    wf = fig2_fig3.canonical_workflow()
+    records = benchmark(SlurmSimulator(nodes=4).run, wf)
+    assert all(r.state.name == "COMPLETED" for r in records.values())

@@ -1,0 +1,49 @@
+"""Fig. 4: rate-distortion curves; benchmarks both codecs' round trips."""
+
+import csv
+
+from conftest import RESULTS_DIR, write_result
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.experiments import fig4
+
+
+def test_fig4_curves(benchmark, profile):
+    result = benchmark.pedantic(fig4.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig4", result.render(
+        ["dataset", "field", "compressor", "parameter", "bitrate", "psnr"]
+    ))
+    with open(RESULTS_DIR / "fig4_rate_distortion.csv", "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(result.rows[0]))
+        writer.writeheader()
+        writer.writerows(result.rows)
+    assert len(result.rows) > 100
+
+
+def test_fig4_sz_compress(benchmark, nyx):
+    sz = SZCompressor()
+    field = nyx.fields["dark_matter_density"]
+    eb = float(field.std()) * 1e-2
+    buf = benchmark(sz.compress, field, error_bound=eb)
+    assert buf.compression_ratio > 1
+
+
+def test_fig4_sz_decompress(benchmark, nyx):
+    sz = SZCompressor()
+    field = nyx.fields["dark_matter_density"]
+    buf = sz.compress(field, error_bound=float(field.std()) * 1e-2)
+    recon = benchmark(sz.decompress, buf)
+    assert recon.shape == field.shape
+
+
+def test_fig4_zfp_compress(benchmark, nyx):
+    zfp = ZFPCompressor()
+    buf = benchmark(zfp.compress, nyx.fields["dark_matter_density"], rate=4.0)
+    assert abs(buf.bitrate - 4.0) < 0.5
+
+
+def test_fig4_zfp_decompress(benchmark, nyx):
+    zfp = ZFPCompressor()
+    buf = zfp.compress(nyx.fields["dark_matter_density"], rate=4.0)
+    recon = benchmark(zfp.decompress, buf)
+    assert recon.shape == nyx.fields["dark_matter_density"].shape

@@ -1,0 +1,31 @@
+"""Fig. 5: Nyx pk-ratio panels; benchmarks the P(k) estimator."""
+
+import numpy as np
+
+from conftest import write_result
+from repro.cosmo.power_spectrum import power_spectrum
+from repro.experiments import fig5
+from repro.foresight.visualization import save_series_csv
+
+
+def test_fig5_panels(benchmark, profile):
+    result = benchmark.pedantic(fig5.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig5", result.render(
+        ["compressor", "parameter", "panel", "max_pk_deviation", "acceptable"]
+    ))
+    ratio_series = {
+        k: v for k, v in result.series.items() if k != "k"
+    }
+    save_series_csv(
+        "benchmarks/results/fig5_pk_ratios.csv",
+        result.series["k"],
+        ratio_series,
+        x_name="k",
+    )
+    assert any("best-fit" in n for n in result.notes)
+
+
+def test_fig5_power_spectrum_kernel(benchmark, nyx):
+    field = nyx.fields["dark_matter_density"].astype(np.float64)
+    spec = benchmark(power_spectrum, field, nyx.box_size, 12)
+    assert np.all(np.isfinite(spec.pk))

@@ -1,0 +1,32 @@
+"""Fig. 6: halo-finder comparison; benchmarks the FoF kernel."""
+
+from conftest import write_result
+from repro.cosmo.fof import friends_of_friends
+from repro.cosmo.halos import build_halo_catalog
+from repro.experiments import fig6
+
+
+def test_fig6_rows(benchmark, profile):
+    result = benchmark.pedantic(fig6.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig6", result.render(
+        ["compressor", "parameter", "bitrate", "compression_ratio",
+         "max_ratio_deviation", "halos_original", "halos_reconstructed"]
+    ))
+    assert any("4.25x" in n for n in result.notes)
+
+
+def test_fig6_fof_kernel(benchmark, hacc):
+    n_side = round(hacc.n_particles ** (1 / 3))
+    ll = 0.2 * hacc.box_size / n_side
+    res = benchmark(friends_of_friends, hacc.positions, hacc.box_size, ll)
+    assert res.n_groups > 0
+
+
+def test_fig6_catalog_reduction(benchmark, hacc):
+    n_side = round(hacc.n_particles ** (1 / 3))
+    ll = 0.2 * hacc.box_size / n_side
+    fof = friends_of_friends(hacc.positions, hacc.box_size, ll)
+    cat = benchmark(
+        build_halo_catalog, hacc.positions, fof, hacc.box_size, 1.0, 10
+    )
+    assert cat.n_halos > 0

@@ -1,0 +1,36 @@
+"""Fig. 7: cuZFP time breakdown on Nyx (modeled); benchmarks the runtime
+simulation itself and couples it to a real compressed bitrate."""
+
+from conftest import write_result
+from repro.compressors.zfp import ZFPCompressor
+from repro.experiments import fig7
+from repro.gpu.runtime import simulate_compression
+
+
+def test_fig7_rows(benchmark, profile):
+    result = benchmark.pedantic(fig7.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig7", result.render(
+        ["direction", "bitrate", "init_ms", "kernel_ms", "memcpy_ms",
+         "free_ms", "total_ms", "baseline_ms"]
+    ))
+    comp = [r for r in result.rows if r["direction"] == "compress"]
+    assert all(r["total_ms"] < r["baseline_ms"] for r in comp)
+
+
+def test_fig7_simulation_kernel(benchmark):
+    run = benchmark(simulate_compression, 512**3, 4.0)
+    assert run.total_seconds > 0
+
+
+def test_fig7_model_uses_real_bitrate(benchmark, nyx):
+    """Couple the model to an actual compression of the Nyx field."""
+    zfp = ZFPCompressor()
+
+    def compress_then_model():
+        buf = zfp.compress(nyx.fields["temperature"], rate=4.0)
+        return simulate_compression(
+            buf.original_nbytes // 4, buf.bitrate
+        )
+
+    run = benchmark(compress_then_model)
+    assert run.compressed_bytes > 0

@@ -1,0 +1,41 @@
+"""Fig. 8: CPU vs GPU throughput; also measures this Python codec's own
+wall-clock throughput for context (labelled, not a GPU claim)."""
+
+import numpy as np
+
+from conftest import write_result
+from repro.compressors.sz import SZCompressor
+from repro.experiments import fig8
+
+
+def test_fig8_rows(benchmark, profile):
+    result = benchmark.pedantic(fig8.run, args=(profile,), rounds=1, iterations=1)
+    # Append the cuSZ projection the paper anticipates ("expected to be
+    # significantly improved after the memory-layout optimization") as an
+    # explicitly labelled extra section.
+    from repro.gpu.runtime import simulate_compression, simulate_decompression
+
+    n = 512**3
+    proj_c = simulate_compression(n, 3.0, codec="cusz")
+    proj_d = simulate_decompression(n, 3.0, codec="cusz")
+    projection = (
+        f"\nprojected cuSZ (not in the paper's Fig. 8; §IV-B-1 projection): "
+        f"kernel {proj_c.kernel_throughput / 1e9:.0f} / "
+        f"{proj_d.kernel_throughput / 1e9:.0f} GB/s (comp/decomp)"
+    )
+    write_result(
+        "fig8",
+        result.render(["platform", "compress_gbps", "decompress_gbps"]) + projection,
+    )
+    na = [r for r in result.rows if r.get("decompress_gbps") is None]
+    assert len(na) == 1  # the ZFP-OpenMP N/A cell
+
+
+def test_fig8_python_sz_throughput(benchmark, nyx):
+    """Wall-clock of this numpy SZ implementation (reference point only)."""
+    sz = SZCompressor()
+    field = nyx.fields["velocity_x"]
+    eb = float(np.std(field)) * 1e-2
+    buf = benchmark(sz.compress, field, error_bound=eb)
+    # report as extra info: MB/s of this pure-Python codec
+    assert buf.original_nbytes > 0

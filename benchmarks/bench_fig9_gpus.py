@@ -1,0 +1,22 @@
+"""Fig. 9: cuZFP kernel throughput across Table I GPUs."""
+
+from conftest import write_result
+from repro.analysis.throughput import gpu_comparison_study
+from repro.experiments import fig9
+
+
+def test_fig9_rows(benchmark, profile):
+    result = benchmark.pedantic(fig9.run, args=(profile,), rounds=1, iterations=1)
+    write_result("fig9", result.render(
+        ["gpu", "architecture", "compress_kernel_gbps", "decompress_kernel_gbps"]
+    ))
+    rows = {r["gpu"]: r for r in result.rows}
+    assert (
+        rows["Nvidia Tesla V100"]["compress_kernel_gbps"]
+        > rows["Nvidia Tesla K80"]["compress_kernel_gbps"]
+    )
+
+
+def test_fig9_study_kernel(benchmark):
+    rows = benchmark(gpu_comparison_study, 512**3, 4.0)
+    assert len(rows) == 7

@@ -1,0 +1,14 @@
+"""Section V-D guideline end to end (see repro.experiments.guideline)."""
+
+from conftest import write_result
+from repro.experiments import guideline
+
+
+def test_guideline_end_to_end(benchmark, profile):
+    result = benchmark.pedantic(guideline.run, args=(profile,), rounds=1, iterations=1)
+    write_result("guideline", result.render(
+        ["dataset", "field", "error_bound", "compression_ratio",
+         "bitrate", "acceptable"]
+    ))
+    assert any("best fit" in n for n in result.notes)
+    assert any("holds" in n for n in result.notes)

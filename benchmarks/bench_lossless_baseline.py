@@ -1,0 +1,54 @@
+"""Lossless baseline (Section II-A): FPC on cosmology fields.
+
+"Lossless compressors such as FPZIP and FPC can provide only compression
+ratios typically lower than 2:1 for dense scientific data because of the
+significant randomness of the ending mantissa bits."
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.compressors import SZCompressor
+from repro.foresight.visualization import format_table
+from repro.lossless.fpc import fpc_compress
+
+
+def test_lossless_vs_lossy(benchmark, nyx, hacc):
+    fields = {
+        "nyx.dark_matter_density": nyx.fields["dark_matter_density"],
+        "nyx.temperature": nyx.fields["temperature"],
+        "hacc.vx": hacc.fields["vx"],
+    }
+
+    def study():
+        sz = SZCompressor()
+        rows = []
+        for name, field in fields.items():
+            lossless = field.nbytes / len(fpc_compress(field))
+            eb = float(np.std(field)) * 1e-2
+            lossy = sz.compress(field, error_bound=eb).compression_ratio
+            rows.append(
+                {
+                    "field": name,
+                    "fpc_lossless_CR": lossless,
+                    "sz_lossy_CR_at_1pct_sigma": lossy,
+                    "lossy_advantage": lossy / lossless,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(study, rounds=1, iterations=1)
+    write_result(
+        "lossless_baseline",
+        "== lossless (FPC) vs lossy (SZ) compression ratios ==\n"
+        + format_table(rows)
+        + "\npaper Section II-A: lossless 'typically lower than 2:1'",
+    )
+    assert all(r["fpc_lossless_CR"] < 2.0 for r in rows)
+    assert all(r["lossy_advantage"] > 2.0 for r in rows)
+
+
+def test_fpc_compression_kernel(benchmark, nyx):
+    field = nyx.fields["velocity_x"].ravel()[:16384]
+    payload = benchmark(fpc_compress, field)
+    assert len(payload) > 0

@@ -1,0 +1,26 @@
+"""Section V-C mitigations: NVLink and asynchronous overlap.
+
+"the overall compression and decompression throughput can be further
+improved by using a faster CPU-GPU interconnect or asynchronous GPU-CPU
+communication"
+"""
+
+from conftest import write_result
+from repro.analysis.throughput import mitigation_study
+from repro.foresight.visualization import format_table
+
+
+def test_mitigations(benchmark):
+    rows = benchmark.pedantic(
+        mitigation_study, args=(512**3, (1.0, 2.0, 4.0, 8.0, 16.0)),
+        rounds=1, iterations=1,
+    )
+    write_result(
+        "mitigations",
+        "== Section V-C mitigations: overall compression throughput (GB/s) ==\n"
+        + format_table(rows),
+    )
+    for r in rows:
+        assert r["nvlink_gbps"] > r["pcie_gbps"]
+        assert r["pcie_async_gbps"] >= r["pcie_gbps"]
+        assert r["nvlink_async_gbps"] >= max(r["pcie_async_gbps"], r["nvlink_gbps"])

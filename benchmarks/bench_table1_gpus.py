@@ -1,0 +1,22 @@
+"""Table I: GPU catalog + the kernel-time model over all devices."""
+
+from conftest import write_result
+from repro.experiments import table1
+from repro.gpu.device import GPU_CATALOG
+from repro.gpu.kernel import kernel_time
+
+
+def test_table1_rows(benchmark, profile):
+    result = benchmark(table1.run, profile)
+    write_result("table1", result.render())
+    assert len(result.rows) == 7
+
+
+def test_table1_kernel_model_eval(benchmark):
+    def evaluate_catalog():
+        return [
+            kernel_time(g, "cuzfp", "compress", 512**3, 4.0) for g in GPU_CATALOG
+        ]
+
+    times = benchmark(evaluate_catalog)
+    assert all(t > 0 for t in times)

@@ -1,0 +1,22 @@
+"""Table II: dataset metadata + generator throughput."""
+
+from conftest import write_result
+from repro.cosmo.hacc import make_hacc_dataset
+from repro.cosmo.nyx import make_nyx_dataset
+from repro.experiments import table2
+
+
+def test_table2_rows(benchmark, profile):
+    result = benchmark.pedantic(table2.run, args=(profile,), rounds=1, iterations=1)
+    write_result("table2", result.render())
+    assert all(r["in_range"] for r in result.rows)
+
+
+def test_table2_nyx_generation(benchmark):
+    ds = benchmark(make_nyx_dataset, 32)
+    assert ds.grid_size == 32
+
+
+def test_table2_hacc_generation(benchmark):
+    ds = benchmark(make_hacc_dataset, 24)
+    assert ds.n_particles == 24**3

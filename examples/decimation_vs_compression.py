@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Decimation vs error-bounded compression (paper Section I).
+
+The paper's motivation: decimation (keep one snapshot in k) loses
+irreplaceable simulation states, while error-bounded compression of
+*every* snapshot at the same storage budget keeps post-analysis quality.
+This example generates a correlated Nyx time series and compares the two
+strategies head to head.
+
+Run:  python examples/decimation_vs_compression.py
+"""
+
+from repro.analysis.decimation_study import decimation_vs_compression
+from repro.cosmo.timeseries import make_nyx_series
+from repro.foresight.visualization import format_table
+
+
+def main() -> None:
+    series = make_nyx_series(grid_size=48, n_snapshots=8, seed=13)
+    print(f"{series.n_snapshots} snapshots of {series.snapshots[0].grid_size}^3 "
+          f"({series.total_bytes() / 1e6:.1f} MB total)\n")
+
+    rows = decimation_vs_compression(
+        series, field="dark_matter_density", keep_everies=(2, 4)
+    )
+    print(format_table(rows, ["strategy", "storage_ratio", "worst_psnr_db",
+                              "worst_pk_deviation"]))
+    print(
+        "\nReading: at every storage budget, compressing all snapshots "
+        "preserves tens of dB more fidelity on the worst snapshot than "
+        "interpolating decimated ones — the paper's case for replacing "
+        "decimation with error-bounded lossy compression."
+    )
+
+
+if __name__ == "__main__":
+    main()

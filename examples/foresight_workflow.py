@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Full Foresight pipeline from one JSON config (paper Figs. 2-3).
+
+CBench sweeps -> PAT workflow on the SLURM simulator -> power-spectrum
+analysis -> Cinema database on disk, plus the sbatch submission script
+PAT would hand to a real cluster.
+
+Run:  python examples/foresight_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cosmo import make_nyx_dataset
+from repro.cosmo.power_spectrum import (
+    power_spectrum,
+    power_spectrum_ratio,
+    ratio_within_band,
+)
+from repro.foresight import CBench, CinemaDatabase, load_config
+from repro.foresight.pat import Job, SlurmSimulator, Workflow
+from repro.foresight.visualization import save_series_csv
+
+CONFIG = {
+    "input": {
+        "dataset": "nyx",
+        "generator": {"grid_size": 48, "seed": 9},
+        "fields": ["baryon_density", "temperature"],
+    },
+    "compressors": [
+        {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [2, 4, 8]}},
+        {"name": "gpu-sz", "mode": "abs",
+         "sweep": {"error_bound": {"baryon_density": [0.1, 0.01],
+                                    "temperature": [200.0, 20.0]}}},
+    ],
+    "analyses": ["distortion", "power_spectrum"],
+    "output": {"directory": "foresight-demo"},
+}
+
+
+def main() -> None:
+    cfg = load_config(CONFIG)
+    nyx = make_nyx_dataset(**cfg.generator)
+    fields = {name: nyx.fields[name] for name in cfg.fields}
+    bench = CBench(fields)
+    state: dict = {}
+
+    def cbench_job():
+        state["records"] = bench.run_all(cfg.compressors, cfg.fields)
+        return f"{len(state['records'])} configurations benchmarked"
+
+    def pk_job():
+        out = []
+        for rec in state["records"]:
+            ref = power_spectrum(fields[rec.field].astype(np.float64),
+                                 nyx.box_size, nbins=10)
+            spec = power_spectrum(rec.reconstruction.astype(np.float64),
+                                  nyx.box_size, nbins=10)
+            ratio = power_spectrum_ratio(ref, spec)
+            row = rec.to_row()
+            row["pk_acceptable"] = ratio_within_band(ratio, 0.01)
+            row["pk_max_dev"] = float(np.nanmax(np.abs(ratio - 1)))
+            out.append((row, ref.k, ratio))
+        state["analyzed"] = out
+        return f"{len(out)} spectra analyzed"
+
+    wf = Workflow("foresight-demo")
+    wf.add_job(Job(name="cbench", action=cbench_job, walltime_minutes=30))
+    wf.add_job(Job(name="pk", action=pk_job, depends_on=["cbench"]))
+    wf.add_job(Job(name="cinema", command="python make_cinema.py",
+                   depends_on=["pk"]))
+
+    outdir = Path(tempfile.mkdtemp(prefix="foresight-"))
+    script = wf.write_submission_script(outdir / "submit.sh")
+    print(f"sbatch script written to {outdir / 'submit.sh'} "
+          f"({script.count('sbatch')} submissions)\n")
+
+    records = SlurmSimulator(nodes=4).run(wf, raise_on_failure=True)
+    for name, rec in records.items():
+        print(f"job {name:8s} [{rec.job_id}] {rec.state.value:10s} {rec.result or ''}")
+
+    def artifact(row, artifact_dir):
+        match = next(
+            (k, r) for rr, k, r in state["analyzed"]
+            if rr["compressor"] == row["compressor"]
+            and rr["field"] == row["field"] and rr["parameter"] == row["parameter"]
+        )
+        name = f"pk_{row['compressor']}_{row['field']}_{row['parameter']:g}.csv"
+        save_series_csv(artifact_dir / name, match[0], {"pk_ratio": match[1]},
+                        x_name="k")
+        return f"artifacts/{name}"
+
+    db = CinemaDatabase(outdir / "study")
+    db.write([row for row, _, _ in state["analyzed"]], artifact_writer=artifact)
+    print(f"\nCinema database: {db.path} ({len(db.read())} rows + pk artifacts)")
+
+
+if __name__ == "__main__":
+    main()

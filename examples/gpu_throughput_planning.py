@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Plan in-situ compression for a GPU supercomputer node (paper §V-C/D).
+
+Uses the analytic GPU model to answer the paper's operational questions:
+how does the cuZFP time budget decompose (Fig. 7), which GPU generation
+helps (Fig. 9), and what does bitrate cost end to end (Fig. 10) — then
+sizes the I/O win for a Summit-like 6-GPU node against raw PCIe output.
+
+Run:  python examples/gpu_throughput_planning.py
+"""
+
+from repro.foresight.visualization import format_table
+from repro.gpu import (
+    GPU_CATALOG,
+    V100,
+    simulate_compression,
+    simulate_decompression,
+)
+
+N = 512**3  # one paper-size Nyx field
+
+
+def main() -> None:
+    print("== Fig. 7-style breakdown (V100, compression) ==")
+    rows = []
+    for rate in (1, 2, 4, 8, 16):
+        run = simulate_compression(N, rate, device=V100)
+        row = {"bitrate": rate}
+        row.update({k: f"{v * 1e3:.2f} ms" for k, v in run.breakdown().items()})
+        row["total"] = f"{run.total_seconds * 1e3:.2f} ms"
+        row["baseline"] = f"{run.baseline_seconds * 1e3:.1f} ms"
+        rows.append(row)
+    print(format_table(rows, ["bitrate", "init", "kernel", "memcpy", "free",
+                              "total", "baseline"]))
+
+    print("\n== Fig. 9-style device comparison (kernel GB/s at rate 4) ==")
+    rows = [
+        {
+            "gpu": g.name,
+            "compress": f"{simulate_compression(N, 4, device=g).kernel_throughput / 1e9:.0f}",
+            "decompress": f"{simulate_decompression(N, 4, device=g).kernel_throughput / 1e9:.0f}",
+        }
+        for g in GPU_CATALOG
+    ]
+    print(format_table(rows, ["gpu", "compress", "decompress"]))
+
+    print("\n== Node-level planning (Summit-like: 6x V100 per node) ==")
+    snapshot_bytes = 6 * N * 4  # six fields
+    run = simulate_compression(N, 3.0, device=V100)  # best-fit mean rate
+    per_gpu_time = run.total_seconds * 6  # six fields per GPU sequentially
+    node_time = per_gpu_time  # one field set per GPU, 6 GPUs in parallel
+    raw_time = run.baseline_seconds * 6
+    print(f"snapshot: {snapshot_bytes / 1e9:.1f} GB of fields")
+    print(f"compressed output per node: {6 * run.compressed_bytes / 1e9:.2f} GB")
+    print(f"in-situ compression wall time (6 GPUs): {node_time:.3f} s "
+          f"vs raw PCIe dump {raw_time:.3f} s")
+    print(f"I/O volume reduction: {snapshot_bytes / (6 * run.compressed_bytes):.1f}x")
+    print("\npaper's point: with 6 V100s/node, compression overhead drops to "
+          "<0.3% of a 10 s timestep (from >10% with CPU compressors).")
+
+
+if __name__ == "__main__":
+    main()

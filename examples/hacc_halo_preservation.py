@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""HACC halo preservation under lossy compression (paper Fig. 6).
+
+Generates a synthetic HACC snapshot, compresses positions with GPU-SZ at
+several absolute error bounds (and velocities at PW_REL 0.025, the
+paper's choice), re-runs the Friends-of-Friends halo finder on the
+reconstructed particles, and prints the mass-binned halo-count ratios.
+
+Run:  python examples/hacc_halo_preservation.py
+"""
+
+import numpy as np
+
+from repro.compressors import SZCompressor
+from repro.cosmo import make_hacc_dataset
+from repro.cosmo.halos import find_halos, halo_count_ratio, halo_mass_function
+from repro.foresight.visualization import format_table, render_ascii_plot
+
+
+def main() -> None:
+    hacc = make_hacc_dataset(particles_per_side=40, seed=3)
+    n_side = round(hacc.n_particles ** (1 / 3))
+    ll = 0.2 * hacc.box_size / n_side
+    print(f"{hacc.n_particles:,} particles, box {hacc.box_size} Mpc/h, "
+          f"FoF linking length {ll:.3f}\n")
+
+    cat0 = find_halos(hacc.positions, hacc.box_size, ll, min_members=10)
+    mf0 = halo_mass_function(cat0, nbins=8)
+    print(f"original: {cat0.n_halos} halos, largest {cat0.sizes.max()} particles")
+
+    sz = SZCompressor()
+    rows = []
+    curves = {}
+    for eb in (0.005, 0.05, 0.25, 1.0):
+        recon = {}
+        nbytes = comp = 0
+        for name in ("x", "y", "z"):
+            buf = sz.compress(hacc.fields[name], error_bound=eb, mode="abs")
+            recon[name] = sz.decompress(buf)
+            nbytes += buf.original_nbytes
+            comp += buf.compressed_nbytes
+        pos = np.mod(np.stack([recon[k] for k in "xyz"], axis=1), hacc.box_size)
+        cat = find_halos(pos, hacc.box_size, ll, min_members=10)
+        mf = halo_mass_function(cat, bin_edges=mf0.bin_edges)
+        ratio = halo_count_ratio(mf0, mf)
+        curves[f"eb={eb}"] = np.nan_to_num(ratio, nan=1.0)
+        rows.append({
+            "abs_bound": eb,
+            "position_CR": nbytes / comp,
+            "halos": cat.n_halos,
+            "worst_bin_ratio_dev": float(np.nanmax(np.abs(ratio - 1))),
+        })
+
+    print(format_table(rows))
+    print()
+    print(render_ascii_plot(mf0.bin_centers, curves,
+                            title="halo count ratio vs halo mass", logx=True))
+
+    # Velocities: the paper's PW_REL 0.025 choice.
+    vbuf = sz.compress(hacc.fields["vx"], pwrel=0.025, mode="pw_rel")
+    print(f"\nvelocity vx at PW_REL 0.025: CR {vbuf.compression_ratio:.2f}x")
+    print("paper conclusion: ABS 0.005 on positions keeps every mass bin's "
+          "ratio ~1 while maximizing ratio (4.25x overall on the real data).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Knob autotuning: searches over compressor parameters.
+
+The §V-D guideline needs a *set* of candidate configurations; these
+helpers automate producing them:
+
+* :func:`search_error_bound_for_ratio` — bisect the ABS bound of an
+  error-bounded compressor until the achieved compression ratio hits a
+  target (used by the decimation comparison, which must match storage).
+* :func:`search_max_acceptable_bound` — bisect for the loosest bound
+  whose post-analysis quality predicate still passes; combined with the
+  monotone throughput of Fig. 10 this *is* the best-fit search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.errors import AnalysisError
+from repro.util.validation import check_positive
+
+
+def search_error_bound_for_ratio(
+    compressor: Compressor,
+    data: np.ndarray,
+    target_ratio: float,
+    rel_tol: float = 0.1,
+    max_iters: int = 30,
+) -> float:
+    """Error bound whose compression ratio is ~``target_ratio``.
+
+    Compression ratio is monotone (non-strictly) in the bound, so plain
+    bisection on ``log eb`` converges; returns the best bound found even
+    if ``rel_tol`` is not reached within ``max_iters``.
+    """
+    check_positive(target_ratio, "target_ratio")
+    scale = float(np.abs(data).max())
+    if scale == 0:
+        raise AnalysisError("cannot tune a bound on an all-zero field")
+    lo, hi = scale * 1e-9, scale * 1.0
+    best_eb, best_gap = hi, np.inf
+    for _ in range(max_iters):
+        mid = float(np.sqrt(lo * hi))
+        ratio = compressor.compress(data, error_bound=mid, mode="abs").compression_ratio
+        gap = abs(ratio - target_ratio) / target_ratio
+        if gap < best_gap:
+            best_eb, best_gap = mid, gap
+        if gap <= rel_tol:
+            return mid
+        if ratio > target_ratio:
+            hi = mid  # compressing too hard -> tighten the bound
+        else:
+            lo = mid
+    return best_eb
+
+
+def search_max_acceptable_bound(
+    compressor: Compressor,
+    data: np.ndarray,
+    acceptable: Callable[[np.ndarray, np.ndarray], bool],
+    lo: float,
+    hi: float,
+    iters: int = 12,
+) -> float | None:
+    """Loosest ABS bound in ``[lo, hi]`` whose reconstruction satisfies
+    ``acceptable(original, reconstruction)``.
+
+    Returns ``None`` when even ``lo`` fails.  Assumes acceptability is
+    monotone in the bound (true for the paper's pk/halo criteria in
+    practice).
+    """
+    check_positive(lo, "lo")
+    if hi <= lo:
+        raise AnalysisError("need hi > lo")
+
+    def ok(eb: float) -> bool:
+        recon = compressor.decompress(compressor.compress(data, error_bound=eb, mode="abs"))
+        return acceptable(data, recon)
+
+    if not ok(lo):
+        return None
+    if ok(hi):
+        return hi
+    good, bad = lo, hi
+    for _ in range(iters):
+        mid = float(np.sqrt(good * bad))
+        if ok(mid):
+            good = mid
+        else:
+            bad = mid
+    return good

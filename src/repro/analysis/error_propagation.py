@@ -1,0 +1,93 @@
+"""Error propagation from compressed fields to derived quantities.
+
+Fig. 5's composite panels (overall density, velocity magnitude) analyze
+quantities *derived from several independently compressed fields*, so
+the effective error bound on the composite is not any single field's
+knob.  This module provides the first-order propagation rules and
+empirical verification:
+
+* sums (overall density): ``|d(a+b)| <= eb_a + eb_b`` (exact, not just
+  first order);
+* Euclidean magnitude: ``| |v'| - |v| | <= |v' - v| <= sqrt(sum eb_i^2)``
+  by the reverse triangle inequality (exact);
+* products: ``|d(ab)| <~ |a| eb_b + |b| eb_a`` (first order; the exact
+  bound adds ``eb_a * eb_b``).
+
+These are the guarantees a domain scientist needs to pick per-field
+bounds from a composite-quantity tolerance — step 2 of the Section V-D
+guideline run in reverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.util.validation import check_positive
+
+
+def sum_bound(*bounds: float) -> float:
+    """Exact ABS bound on a sum of independently bounded fields."""
+    if not bounds:
+        raise DataError("need at least one bound")
+    for b in bounds:
+        check_positive(b, "bound")
+    return float(sum(bounds))
+
+
+def magnitude_bound(*bounds: float) -> float:
+    """Exact ABS bound on the Euclidean magnitude of a bounded vector.
+
+    ``| |v'| - |v| | <= ||v' - v||_2 <= sqrt(sum_i eb_i^2)``.
+    """
+    if not bounds:
+        raise DataError("need at least one bound")
+    for b in bounds:
+        check_positive(b, "bound")
+    return float(np.sqrt(sum(b * b for b in bounds)))
+
+
+def product_bound(abs_a: float, abs_b: float, eb_a: float, eb_b: float) -> float:
+    """Exact ABS bound on a product of bounded fields given magnitude
+    caps ``abs_a >= |a|``, ``abs_b >= |b|``."""
+    for v, name in ((abs_a, "abs_a"), (abs_b, "abs_b")):
+        check_positive(v, name, strict=False)
+    for v, name in ((eb_a, "eb_a"), (eb_b, "eb_b")):
+        check_positive(v, name)
+    return float(abs_a * eb_b + abs_b * eb_a + eb_a * eb_b)
+
+
+def required_field_bounds_for_sum(total_bound: float, n_fields: int) -> float:
+    """Equal per-field ABS bound guaranteeing ``total_bound`` on a sum."""
+    check_positive(total_bound, "total_bound")
+    if n_fields < 1:
+        raise DataError("n_fields must be >= 1")
+    return total_bound / n_fields
+
+
+def required_field_bounds_for_magnitude(total_bound: float, n_fields: int) -> float:
+    """Equal per-field ABS bound guaranteeing ``total_bound`` on a
+    Euclidean magnitude of ``n_fields`` components."""
+    check_positive(total_bound, "total_bound")
+    if n_fields < 1:
+        raise DataError("n_fields must be >= 1")
+    return total_bound / float(np.sqrt(n_fields))
+
+
+def verify_composite_bound(
+    originals: list[np.ndarray],
+    reconstructions: list[np.ndarray],
+    composite,
+    bound: float,
+) -> tuple[bool, float]:
+    """Empirically check a propagated bound on ``composite(fields)``.
+
+    Returns ``(holds, measured_max_error)``.
+    """
+    if len(originals) != len(reconstructions) or not originals:
+        raise DataError("need matching non-empty field lists")
+    check_positive(bound, "bound")
+    ref = composite(*[np.asarray(a, dtype=np.float64) for a in originals])
+    rec = composite(*[np.asarray(a, dtype=np.float64) for a in reconstructions])
+    err = float(np.abs(rec - ref).max())
+    return err <= bound * (1 + 1e-9), err

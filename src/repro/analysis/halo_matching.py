@@ -1,0 +1,113 @@
+"""Halo-by-halo matching between original and reconstructed catalogs.
+
+Fig. 6 compares halo *counts* per mass bin; a stricter question the
+paper's MCP/MBP discussion implies is whether the *same* halos survive:
+does each original halo have a counterpart at the same place with the
+same mass, and how far do the centers and the most-bound particles move?
+This module matches catalogs by proximity (mutual nearest centers within
+a tolerance) and reports per-halo fidelity statistics — the kind of
+deep-dive a cosmologist would run before trusting a compression setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cosmo.halos import HaloCatalog
+from repro.errors import AnalysisError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class HaloMatchResult:
+    """Outcome of matching ``reconstructed`` against ``original``."""
+
+    matched_original: np.ndarray       # indices into the original catalog
+    matched_reconstructed: np.ndarray  # parallel indices into the other
+    center_offsets: np.ndarray         # Mpc/h per matched pair
+    mass_ratios: np.ndarray            # reconstructed/original per pair
+    n_original: int
+    n_reconstructed: int
+
+    @property
+    def match_fraction(self) -> float:
+        """Fraction of original halos with a counterpart."""
+        if self.n_original == 0:
+            return float("nan")
+        return self.matched_original.size / self.n_original
+
+    @property
+    def spurious_fraction(self) -> float:
+        """Fraction of reconstructed halos with no original counterpart."""
+        if self.n_reconstructed == 0:
+            return 0.0
+        return 1.0 - self.matched_reconstructed.size / self.n_reconstructed
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "match_fraction": self.match_fraction,
+            "spurious_fraction": self.spurious_fraction,
+            "median_center_offset": float(np.median(self.center_offsets))
+            if self.center_offsets.size
+            else float("nan"),
+            "median_mass_ratio": float(np.median(self.mass_ratios))
+            if self.mass_ratios.size
+            else float("nan"),
+        }
+
+
+def _pairwise_periodic_distance(
+    a: np.ndarray, b: np.ndarray, box_size: float
+) -> np.ndarray:
+    d = a[:, None, :] - b[None, :, :]
+    d -= box_size * np.rint(d / box_size)
+    return np.sqrt(np.einsum("ijk,ijk->ij", d, d))
+
+
+def match_halo_catalogs(
+    original: HaloCatalog,
+    reconstructed: HaloCatalog,
+    box_size: float,
+    max_offset: float | None = None,
+) -> HaloMatchResult:
+    """Mutual-nearest-neighbor matching of halo centers.
+
+    A pair matches when each is the other's nearest center and their
+    separation is below ``max_offset`` (default: half the mean
+    inter-halo spacing of the original catalog).
+    """
+    check_positive(box_size, "box_size")
+    n_o, n_r = original.n_halos, reconstructed.n_halos
+    if n_o == 0:
+        raise AnalysisError("original catalog is empty")
+    if n_r == 0:
+        return HaloMatchResult(
+            matched_original=np.zeros(0, dtype=np.int64),
+            matched_reconstructed=np.zeros(0, dtype=np.int64),
+            center_offsets=np.zeros(0),
+            mass_ratios=np.zeros(0),
+            n_original=n_o,
+            n_reconstructed=0,
+        )
+    if max_offset is None:
+        max_offset = 0.5 * box_size / max(1.0, n_o ** (1.0 / 3.0))
+
+    dist = _pairwise_periodic_distance(original.centers, reconstructed.centers, box_size)
+    nearest_r = dist.argmin(axis=1)
+    nearest_o = dist.argmin(axis=0)
+    o_idx = np.arange(n_o)
+    mutual = nearest_o[nearest_r] == o_idx
+    close = dist[o_idx, nearest_r] <= max_offset
+    keep = mutual & close
+    mo = o_idx[keep]
+    mr = nearest_r[keep]
+    return HaloMatchResult(
+        matched_original=mo,
+        matched_reconstructed=mr,
+        center_offsets=dist[mo, mr],
+        mass_ratios=reconstructed.masses[mr] / original.masses[mo],
+        n_original=n_o,
+        n_reconstructed=n_r,
+    )

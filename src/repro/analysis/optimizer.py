@@ -1,0 +1,71 @@
+"""The configuration-optimization guideline (Section V-D).
+
+The paper's three-step recipe:
+
+1. benchmark the compressor configurations (CBench sweeps);
+2. keep the configurations whose *post-analysis* quality is acceptable
+   (pk ratio within 1 +/- 1%, halo counts preserved);
+3. among those, pick the one with the **highest compression ratio** —
+   which, because both PCIe transfer time and kernel time grow with
+   bitrate (Figs. 7, 10), is simultaneously the fastest and the smallest.
+
+:func:`select_best_fit` implements steps 2-3 over generic candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ConfigCandidate:
+    """One evaluated configuration of one field."""
+
+    field_name: str
+    compressor: str
+    mode: str
+    parameter: float
+    compression_ratio: float
+    acceptable: bool
+    diagnostics: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BestFitResult:
+    """Chosen configuration per field, plus the aggregate ratio."""
+
+    per_field: dict[str, ConfigCandidate]
+    overall_compression_ratio: float
+
+    def parameters(self) -> dict[str, float]:
+        """field -> chosen knob value (the tuples quoted in Section V-B)."""
+        return {name: c.parameter for name, c in self.per_field.items()}
+
+
+def select_best_fit(candidates: list[ConfigCandidate]) -> BestFitResult:
+    """Apply guideline steps 2-3: filter acceptable, maximize ratio.
+
+    The overall ratio treats every field as equally sized (true for both
+    HACC and Nyx, whose six fields have identical element counts):
+    ``overall = n_fields / sum(1 / ratio_f)`` — the harmonic composition
+    of per-field ratios, i.e. total original bytes over total compressed
+    bytes.
+    """
+    if not candidates:
+        raise AnalysisError("no candidates supplied")
+    fields = sorted({c.field_name for c in candidates})
+    chosen: dict[str, ConfigCandidate] = {}
+    for name in fields:
+        ok = [c for c in candidates if c.field_name == name and c.acceptable]
+        if not ok:
+            raise AnalysisError(
+                f"no acceptable configuration for field {name!r}; "
+                "widen the sweep or relax the tolerance"
+            )
+        chosen[name] = max(ok, key=lambda c: c.compression_ratio)
+    inv_sum = sum(1.0 / c.compression_ratio for c in chosen.values())
+    overall = len(chosen) / inv_sum
+    return BestFitResult(per_field=chosen, overall_compression_ratio=overall)

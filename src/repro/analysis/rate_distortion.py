@@ -1,0 +1,57 @@
+"""Rate-distortion curves (Fig. 4).
+
+For an error-bounded compressor the knob is the bound; for a fixed-rate
+compressor it is the bitrate.  Either way the curve reports *measured*
+bitrate (bits/value of the actual stream) against PSNR, which is the
+paper's device for comparing compressors with different control modes
+fairly ("we plot the rate-distortion curve ... for a fair comparison").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.compressors.base import Compressor
+from repro.errors import DataError
+from repro.metrics.error import psnr
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One point of a rate-distortion curve."""
+
+    parameter: float
+    bitrate: float
+    compression_ratio: float
+    psnr: float
+
+
+def rate_distortion_curve(
+    compressor: Compressor,
+    data: np.ndarray,
+    knob: str,
+    values: Sequence[float],
+    mode: str,
+    **extra,
+) -> list[RDPoint]:
+    """Sweep ``values`` of ``knob`` and collect (bitrate, PSNR) points,
+    sorted by bitrate."""
+    if not values:
+        raise DataError("need at least one knob value")
+    points = []
+    for v in values:
+        kwargs = {"mode": mode, knob: float(v), **extra}
+        buf = compressor.compress(data, **kwargs)
+        recon = compressor.decompress(buf)
+        points.append(
+            RDPoint(
+                parameter=float(v),
+                bitrate=buf.bitrate,
+                compression_ratio=buf.compression_ratio,
+                psnr=psnr(data, recon),
+            )
+        )
+    return sorted(points, key=lambda p: p.bitrate)

@@ -1,0 +1,70 @@
+"""Rate-distortion curve modeling.
+
+The paper observes (§V-A) that "most of the rate-distortion curves
+linearly increase with the bitrate and have similar slopes".  Information
+theory predicts the slope: each extra bit of quantization halves the
+error, adding ``20 log10(2) ~ 6.02 dB``.  These helpers fit that line and
+locate the low-bitrate departure point (the blocking-induced drop the
+paper discusses for GPU-SZ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.rate_distortion import RDPoint
+from repro.errors import AnalysisError
+
+#: The theoretical high-rate slope in dB per bit.
+DB_PER_BIT_THEORY = 20.0 * np.log10(2.0)
+
+
+@dataclass(frozen=True)
+class RDLineFit:
+    """Least-squares line ``psnr = slope * bitrate + intercept``."""
+
+    slope_db_per_bit: float
+    intercept_db: float
+    r_squared: float
+    n_points: int
+
+    def predict(self, bitrate: np.ndarray) -> np.ndarray:
+        return self.slope_db_per_bit * np.asarray(bitrate) + self.intercept_db
+
+
+def fit_rd_line(points: list[RDPoint], min_bitrate: float = 0.0) -> RDLineFit:
+    """Fit the linear (high-rate) regime of a rate-distortion curve."""
+    usable = [
+        p for p in points
+        if p.bitrate >= min_bitrate and np.isfinite(p.psnr)
+    ]
+    if len(usable) < 2:
+        raise AnalysisError("need at least two finite RD points to fit")
+    x = np.array([p.bitrate for p in usable])
+    y = np.array([p.psnr for p in usable])
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (slope * x + intercept)
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - float((resid**2).sum()) / ss_tot if ss_tot > 0 else 1.0
+    return RDLineFit(
+        slope_db_per_bit=float(slope),
+        intercept_db=float(intercept),
+        r_squared=r2,
+        n_points=len(usable),
+    )
+
+
+def departure_bitrate(
+    points: list[RDPoint], fit: RDLineFit, tolerance_db: float = 6.0
+) -> float | None:
+    """Largest bitrate whose PSNR falls ``tolerance_db`` below the fitted
+    line — the onset of the low-rate drop (None when the curve never
+    departs)."""
+    departures = [
+        p.bitrate
+        for p in points
+        if np.isfinite(p.psnr) and fit.predict(np.array([p.bitrate]))[0] - p.psnr > tolerance_db
+    ]
+    return max(departures) if departures else None

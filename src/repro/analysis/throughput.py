@@ -1,0 +1,152 @@
+"""Throughput studies composing the GPU model (Figs. 7-10).
+
+Each study returns plain records so the experiment modules and benches
+can render tables without recomputing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.gpu.device import GPU_CATALOG, GPUSpec, V100
+from repro.gpu.kernel import cpu_throughput
+from repro.gpu.pcie import NVLINK2, PCIE3_X16
+from repro.gpu.runtime import simulate_compression, simulate_decompression
+
+
+def breakdown_study(
+    nvalues: int,
+    rates: Sequence[float],
+    device: GPUSpec = V100,
+    codec: str = "cuzfp",
+) -> list[dict[str, Any]]:
+    """Fig. 7: per-stage time breakdown for both directions at each rate."""
+    rows = []
+    for direction, sim in (
+        ("compress", simulate_compression),
+        ("decompress", simulate_decompression),
+    ):
+        for rate in rates:
+            run = sim(nvalues, float(rate), device=device, codec=codec)
+            row: dict[str, Any] = {
+                "direction": direction,
+                "bitrate": float(rate),
+                "total_ms": run.total_seconds * 1e3,
+                "baseline_ms": run.baseline_seconds * 1e3,
+            }
+            for stage, seconds in run.breakdown().items():
+                row[f"{stage}_ms"] = seconds * 1e3
+            rows.append(row)
+    return rows
+
+
+def gpu_comparison_study(
+    nvalues: int,
+    rate: float,
+    devices: Sequence[GPUSpec] = GPU_CATALOG,
+    codec: str = "cuzfp",
+) -> list[dict[str, Any]]:
+    """Fig. 9: kernel throughput of each catalog GPU at one rate."""
+    rows = []
+    for device in devices:
+        c = simulate_compression(nvalues, rate, device=device, codec=codec)
+        d = simulate_decompression(nvalues, rate, device=device, codec=codec)
+        rows.append(
+            {
+                "gpu": device.name,
+                "architecture": device.architecture,
+                "compress_kernel_gbps": c.kernel_throughput / 1e9,
+                "decompress_kernel_gbps": d.kernel_throughput / 1e9,
+            }
+        )
+    return rows
+
+
+def throughput_vs_rate_study(
+    nvalues: int,
+    rates: Sequence[float],
+    device: GPUSpec = V100,
+    codec: str = "cuzfp",
+) -> list[dict[str, Any]]:
+    """Fig. 10: kernel vs overall throughput against bitrate, with the
+    no-compression PCIe baseline."""
+    rows = []
+    for rate in rates:
+        c = simulate_compression(nvalues, float(rate), device=device, codec=codec)
+        d = simulate_decompression(nvalues, float(rate), device=device, codec=codec)
+        rows.append(
+            {
+                "bitrate": float(rate),
+                "compress_kernel_gbps": c.kernel_throughput / 1e9,
+                "compress_overall_gbps": c.overall_throughput / 1e9,
+                "decompress_kernel_gbps": d.kernel_throughput / 1e9,
+                "decompress_overall_gbps": d.overall_throughput / 1e9,
+                "baseline_gbps": c.original_bytes / c.baseline_seconds / 1e9,
+            }
+        )
+    return rows
+
+
+def mitigation_study(
+    nvalues: int,
+    rates: Sequence[float],
+    device: GPUSpec = V100,
+    codec: str = "cuzfp",
+) -> list[dict[str, Any]]:
+    """The paper's two proposed mitigations for the memcpy bottleneck
+    (Section V-C): a faster interconnect (NVLink) and asynchronous
+    kernel/transfer overlap — overall compression throughput under each.
+    """
+    rows = []
+    for rate in rates:
+        pcie = simulate_compression(nvalues, float(rate), device=device,
+                                    codec=codec, link=PCIE3_X16)
+        nvlink = simulate_compression(nvalues, float(rate), device=device,
+                                      codec=codec, link=NVLINK2)
+        rows.append(
+            {
+                "bitrate": float(rate),
+                "pcie_gbps": pcie.overall_throughput / 1e9,
+                "pcie_async_gbps": pcie.overlapped_throughput / 1e9,
+                "nvlink_gbps": nvlink.overall_throughput / 1e9,
+                "nvlink_async_gbps": nvlink.overlapped_throughput / 1e9,
+            }
+        )
+    return rows
+
+
+def cpu_gpu_comparison(
+    nvalues: int,
+    rate: float,
+    device: GPUSpec = V100,
+) -> list[dict[str, Any]]:
+    """Fig. 8: SZ/ZFP on 1-core and 20-core CPU vs cuZFP on the V100.
+
+    GPU rows report both kernel-only and with-transfer throughput; the
+    multi-core ZFP decompression cell is ``None`` (the paper's "N/A").
+    """
+    rows = []
+    for codec in ("sz", "zfp"):
+        for threads in (1, 20):
+            row: dict[str, Any] = {"platform": f"{codec.upper()} CPU {threads}-core"}
+            for direction in ("compress", "decompress"):
+                thr = cpu_throughput(codec, direction, threads=threads)
+                row[f"{direction}_gbps"] = None if thr is None else thr / 1e9
+            rows.append(row)
+    c = simulate_compression(nvalues, rate, device=device, codec="cuzfp")
+    d = simulate_decompression(nvalues, rate, device=device, codec="cuzfp")
+    rows.append(
+        {
+            "platform": f"cuZFP {device.name} (kernel)",
+            "compress_gbps": c.kernel_throughput / 1e9,
+            "decompress_gbps": d.kernel_throughput / 1e9,
+        }
+    )
+    rows.append(
+        {
+            "platform": f"cuZFP {device.name} (incl. transfer)",
+            "compress_gbps": c.overall_throughput / 1e9,
+            "decompress_gbps": d.overall_throughput / 1e9,
+        }
+    )
+    return rows

@@ -1,0 +1,91 @@
+"""Temporal decimation — the baseline lossy compression replaces.
+
+Decimation keeps every ``keep_every``-th snapshot and drops the rest
+(paper Section I: "Decimation stores one snapshot every other time step
+...  This process can lead to a loss of valuable simulation information").
+Reconstruction interpolates the missing snapshots from the kept ones —
+nearest-neighbor (what an analyst implicitly does when reusing the
+closest stored snapshot) or linear in time.
+
+The storage ratio is exactly ``n / n_kept``; quality on the *dropped*
+snapshots is whatever interpolation can recover, which is the quantity
+the decimation-vs-compression ablation benchmark compares against
+error-bounded compression at the same storage budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cosmo.datasets import GridDataset
+from repro.cosmo.timeseries import SnapshotSeries
+from repro.errors import DataError
+
+
+@dataclass
+class DecimatedSeries:
+    """Kept snapshots plus everything needed to reconstruct the series."""
+
+    times: np.ndarray            # all original times
+    kept_indices: np.ndarray
+    kept_snapshots: list[GridDataset]
+    interpolation: str
+
+    @property
+    def storage_ratio(self) -> float:
+        """Original bytes over stored bytes (the decimation 'compression
+        ratio')."""
+        return self.times.size / self.kept_indices.size
+
+    def reconstruct(self) -> list[GridDataset]:
+        """Rebuild all snapshots; kept ones come back bit-exact."""
+        kept_times = self.times[self.kept_indices]
+        out: list[GridDataset] = []
+        for i, t in enumerate(self.times):
+            where = np.searchsorted(kept_times, t)
+            if where < kept_times.size and kept_times[where] == t:
+                out.append(self.kept_snapshots[where])
+                continue
+            lo = max(0, where - 1)
+            hi = min(kept_times.size - 1, where)
+            if self.interpolation == "nearest" or lo == hi:
+                pick = lo if (hi == lo or t - kept_times[lo] <= kept_times[hi] - t) else hi
+                out.append(self.kept_snapshots[pick])
+            else:
+                w = (t - kept_times[lo]) / (kept_times[hi] - kept_times[lo])
+                a, b = self.kept_snapshots[lo], self.kept_snapshots[hi]
+                fields = {
+                    name: (
+                        (1.0 - w) * a.fields[name].astype(np.float64)
+                        + w * b.fields[name].astype(np.float64)
+                    ).astype(a.fields[name].dtype)
+                    for name in a.fields
+                }
+                out.append(GridDataset(fields=fields, box_size=a.box_size,
+                                       name=f"interp_t{t:g}"))
+        return out
+
+
+def decimate(
+    series: SnapshotSeries,
+    keep_every: int = 2,
+    interpolation: str = "linear",
+) -> DecimatedSeries:
+    """Keep every ``keep_every``-th snapshot (always including the last)."""
+    if keep_every < 2:
+        raise DataError("keep_every must be >= 2 (otherwise nothing is saved)")
+    if interpolation not in ("nearest", "linear"):
+        raise DataError("interpolation must be 'nearest' or 'linear'")
+    n = series.n_snapshots
+    kept = list(range(0, n, keep_every))
+    if kept[-1] != n - 1:
+        kept.append(n - 1)
+    kept_idx = np.array(kept, dtype=np.int64)
+    return DecimatedSeries(
+        times=series.times.copy(),
+        kept_indices=kept_idx,
+        kept_snapshots=[series.snapshots[i] for i in kept_idx],
+        interpolation=interpolation,
+    )

@@ -1,0 +1,46 @@
+"""Name-based compressor registry used by Foresight JSON configs."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.compressors.base import Compressor
+from repro.errors import ConfigError
+
+_REGISTRY: dict[str, Callable[..., Compressor]] = {}
+
+
+def register_compressor(name: str, factory: Callable[..., Compressor]) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ConfigError(f"compressor {name!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def get_compressor(name: str, **kwargs: Any) -> Compressor:
+    """Instantiate a registered compressor by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigError(f"unknown compressor {name!r}; known: {known}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_compressors() -> list[str]:
+    """Sorted names of all registered compressors."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    # Imported lazily to avoid import cycles at package init.
+    from repro.compressors.sz import GPUSZ, SZCompressor
+    from repro.compressors.zfp import CuZFP, ZFPCompressor
+
+    register_compressor("sz", SZCompressor)
+    register_compressor("gpu-sz", GPUSZ)
+    register_compressor("zfp", ZFPCompressor)
+    register_compressor("cuzfp", CuZFP)
+
+
+_register_builtins()

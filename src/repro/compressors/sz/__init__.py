@@ -1,0 +1,23 @@
+"""SZ-family prediction-based error-bounded compressor.
+
+The implementation follows the *GPU* formulation of SZ (cuSZ / GPU-SZ):
+
+* **dual quantization** — values are first quantized onto the error-bound
+  lattice, then a *lossless* Lorenzo predictor runs on the quantized
+  integers.  This removes the serial dependence on reconstructed neighbors
+  that makes CPU-SZ sequential, which is exactly why the GPU ports use it;
+  here it also makes the whole codec expressible as vectorized numpy.
+* **independent blocks** — prediction never crosses block borders, as in
+  the GPU kernels.  The paper attributes the low-bitrate drop of GPU-SZ's
+  rate-distortion curves on Nyx (Fig. 4a) to this blocking; the same
+  artifact emerges here.
+* **adaptive prediction** — per block, the cheaper of the Lorenzo
+  predictor and a least-squares linear (regression) predictor is chosen,
+  mirroring SZ 2.x's adaptive predictor cited by the paper.
+* quantization codes are entropy-coded with the canonical Huffman codec;
+  out-of-range residuals use an escape symbol plus a raw outlier section.
+"""
+
+from repro.compressors.sz.szcompressor import GPUSZ, SZCompressor
+
+__all__ = ["SZCompressor", "GPUSZ"]

@@ -1,0 +1,13 @@
+"""ZFP-family transform-based fixed-rate compressor.
+
+Follows the published ZFP pipeline (Lindstrom 2014) on 4^d blocks:
+block-floating-point exponent alignment, the exact integer lifting
+transform from the reference implementation, total-sequency coefficient
+ordering, negabinary mapping, and embedded bit-plane coding with group
+testing, truncated to a fixed per-block bit budget (cuZFP's only mode at
+the time of the paper).
+"""
+
+from repro.compressors.zfp.zfpcompressor import CuZFP, ZFPCompressor
+
+__all__ = ["ZFPCompressor", "CuZFP"]

@@ -1,0 +1,331 @@
+"""ZFP compressor facade: fixed-rate, fixed-precision, fixed-accuracy.
+
+Stream layout::
+
+    magic  b"ZFR1"
+    fixed header (struct): version, dtype, ndim, planes, maxbits,
+                           nblocks, mode, parameter
+    shape  ndim * u64
+    offset table ((nblocks + 1) * u64 bit offsets; variable-rate modes only)
+    bit blob
+
+Per block (inside the budget):
+
+    1 bit   nonzero flag
+    12 bits biased common exponent           (only if nonzero)
+    ...     embedded-coded bit planes        (only if nonzero)
+    ...     zero padding up to ``maxbits``   (fixed-rate mode only)
+
+Fixed-rate is the paper's cuZFP mode: block ``b`` starts at bit
+``b * maxbits``, which is what makes the stream GPU-decodable in
+parallel.  Fixed-precision codes a constant number of bit planes per
+block; fixed-accuracy truncates planes below a per-block cutoff derived
+from the common exponent so the reconstruction error stays under an
+absolute tolerance — the CPU-ZFP modes the paper notes were missing from
+cuZFP.  Variable-rate streams carry an explicit per-block offset table
+(the index a parallel decoder would need).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
+from repro.compressors.zfp import blockcodec as BC
+from repro.compressors.zfp import transform as T
+from repro.errors import CorruptStreamError, DataError
+from repro.util.blocks import block_partition, block_reassemble
+from repro.util.validation import check_dtype, check_shape_nd
+
+_MAGIC = b"ZFR1"
+_HDR = "<4sBBBBIQBd"
+_DTYPES = {0: np.dtype(np.float32), 1: np.dtype(np.float64)}
+_DTYPE_CODES = {v: k for k, v in _DTYPES.items()}
+
+#: Bit planes kept per dtype; headroom notes in blockcodec/transform.
+_PLANES = {0: 32, 1: 52}
+
+_MODE_CODES = {
+    CompressorMode.FIXED_RATE: 0,
+    CompressorMode.FIXED_PRECISION: 1,
+    CompressorMode.FIXED_ACCURACY: 2,
+}
+_CODE_MODES = {v: k for k, v in _MODE_CODES.items()}
+
+#: Effectively-unbounded per-block budget for the variable-rate modes.
+_UNBOUNDED = 1 << 20
+
+
+def _accuracy_kmin(tolerance: float, e: int, planes: int, ndim: int) -> int:
+    """Plane cutoff guaranteeing abs error <= tolerance for one block.
+
+    Truncating planes below ``kmin`` perturbs each coefficient by
+    ``< 2^kmin`` lattice units = ``2^(kmin + e - (planes-2))`` in value;
+    the inverse transform amplifies the max coefficient error by at most
+    ``(15/4)^ndim < 4^ndim``, so we solve for kmin with that conservative
+    gain (matching zfp's accuracy-mode bookkeeping in spirit).
+    """
+    gain_log2 = 2 * ndim
+    kmin = math.floor(math.log2(tolerance)) - gain_log2 - e + (planes - 2)
+    return max(0, min(planes, kmin))
+
+
+class ZFPCompressor(Compressor):
+    """Transform-based lossy compressor (ZFP family).
+
+    Knobs (one per mode):
+
+    * ``rate`` — bits per value; exact, data-independent ratio.
+    * ``precision`` — bit planes kept per block (variable rate).
+    * ``tolerance`` — absolute error bound (variable rate).
+    """
+
+    name = "zfp"
+    supported_modes = (
+        CompressorMode.FIXED_RATE,
+        CompressorMode.FIXED_PRECISION,
+        CompressorMode.FIXED_ACCURACY,
+    )
+
+    def compress(
+        self,
+        data: np.ndarray,
+        rate: float | None = None,
+        precision: int | None = None,
+        tolerance: float | None = None,
+        mode: CompressorMode | str | None = None,
+        **_: Any,
+    ) -> CompressedBuffer:
+        mode = self._resolve_mode(mode, rate, precision, tolerance)
+        self.check_mode(mode)
+        data = np.asarray(data)
+        check_dtype(data, [np.float32, np.float64], "data")
+        check_shape_nd(data, (1, 2, 3), "data")
+        if not np.all(np.isfinite(data)):
+            raise DataError("ZFP input must be finite (no NaN/Inf)")
+
+        size = 4**data.ndim
+        planes = _PLANES[_DTYPE_CODES[data.dtype]]
+        header_bits = 1 + BC.EBITS
+
+        if mode is CompressorMode.FIXED_RATE:
+            maxbits = int(round(rate * size))
+            if maxbits < header_bits + 1:
+                raise DataError(
+                    f"rate {rate} too small: needs at least "
+                    f"{(header_bits + 1) / size:.3f} bits/value for the block header"
+                )
+            parameter = float(rate)
+        elif mode is CompressorMode.FIXED_PRECISION:
+            if not 1 <= int(precision) <= planes:
+                raise DataError(f"precision must be in [1, {planes}]")
+            maxbits = 0
+            parameter = float(precision)
+        else:
+            if tolerance is None or tolerance <= 0 or not np.isfinite(tolerance):
+                raise DataError("fixed-accuracy mode needs a positive tolerance")
+            maxbits = 0
+            parameter = float(tolerance)
+
+        blocks, grid, _ = block_partition(data, (4,) * data.ndim, mode="edge")
+        nblocks = blocks.shape[0]
+        flat = blocks.reshape(nblocks, size).astype(np.float64)
+
+        amax = np.abs(flat).max(axis=1)
+        nonzero = amax > 0
+        e = np.zeros(nblocks, dtype=np.int64)
+        _, e_nz = np.frexp(amax[nonzero])
+        e[nonzero] = e_nz  # amax < 2**e
+        scale_exp = (planes - 2) - e
+        ints = np.rint(np.ldexp(flat, scale_exp[:, None])).astype(np.int64)
+
+        coeffs = T.forward_transform(ints.reshape(blocks.shape))
+        perm = T.sequency_order(data.ndim)
+        ordered = coeffs.reshape(nblocks, size)[:, perm]
+        u = BC.int_to_negabinary(ordered)
+        words = BC.plane_words(u, planes)
+        words_list = words.tolist()
+
+        emitter = BC._Emitter()
+        fixed_rate = mode is CompressorMode.FIXED_RATE
+        offsets = np.zeros(nblocks + 1, dtype=np.uint64)
+        for b in range(nblocks):
+            offsets[b] = emitter.nbits
+            if not nonzero[b]:
+                emitter.emit_msb(0, 1)
+                if fixed_rate:
+                    emitter.emit_msb(0, maxbits - 1)
+                continue
+            emitter.emit_msb(1, 1)
+            emitter.emit_msb(int(e[b]) + BC.EBIAS, BC.EBITS)
+            if fixed_rate:
+                budget, kmin = maxbits - header_bits, 0
+            elif mode is CompressorMode.FIXED_PRECISION:
+                budget, kmin = _UNBOUNDED, planes - int(precision)
+            else:
+                budget = _UNBOUNDED
+                kmin = _accuracy_kmin(parameter, int(e[b]), planes, data.ndim)
+            BC.encode_block_planes(
+                emitter, words_list[b], size, budget, kmin=kmin, pad=fixed_rate
+            )
+        offsets[nblocks] = emitter.nbits
+        body, nbits = emitter.pack()
+        if fixed_rate and nbits != nblocks * maxbits:
+            raise AssertionError("fixed-rate invariant violated")
+
+        header = struct.pack(
+            _HDR,
+            _MAGIC,
+            2,
+            _DTYPE_CODES[data.dtype],
+            data.ndim,
+            planes,
+            maxbits,
+            nblocks,
+            _MODE_CODES[mode],
+            parameter,
+        )
+        shape_bytes = struct.pack(f"<{data.ndim}Q", *data.shape)
+        offset_bytes = b"" if fixed_rate else offsets.tobytes()
+        payload = header + shape_bytes + offset_bytes + body
+        return CompressedBuffer(
+            payload=payload,
+            original_shape=data.shape,
+            original_dtype=data.dtype,
+            mode=mode,
+            parameter=parameter,
+            meta={
+                "maxbits_per_block": maxbits,
+                "zero_blocks": int((~nonzero).sum()),
+                "body_bits": int(nbits),
+            },
+        )
+
+    def decompress(self, buf: CompressedBuffer | bytes) -> np.ndarray:
+        payload = buf.payload if isinstance(buf, CompressedBuffer) else buf
+        hsize = struct.calcsize(_HDR)
+        if len(payload) < hsize or payload[:4] != _MAGIC:
+            raise CorruptStreamError("bad ZFP stream header")
+        (
+            _m, version, dtype_code, ndim, planes, maxbits, nblocks,
+            mode_code, parameter,
+        ) = struct.unpack(_HDR, payload[:hsize])
+        if version != 2:
+            raise CorruptStreamError(f"unsupported ZFP stream version {version}")
+        if mode_code not in _CODE_MODES:
+            raise CorruptStreamError(f"unknown ZFP mode code {mode_code}")
+        mode = _CODE_MODES[mode_code]
+        dtype = _DTYPES[dtype_code]
+        pos = hsize
+        shape = struct.unpack(f"<{ndim}Q", payload[pos : pos + 8 * ndim])
+        pos += 8 * ndim
+        size = 4**ndim
+        header_bits = 1 + BC.EBITS
+        fixed_rate = mode is CompressorMode.FIXED_RATE
+
+        if fixed_rate:
+            offsets = np.arange(nblocks + 1, dtype=np.int64) * maxbits
+        else:
+            if len(payload) < pos + 8 * (nblocks + 1):
+                raise CorruptStreamError("ZFP stream truncated (offset table)")
+            offsets = np.frombuffer(
+                payload[pos : pos + 8 * (nblocks + 1)], dtype=np.uint64
+            ).astype(np.int64)
+            pos += 8 * (nblocks + 1)
+
+        body = np.frombuffer(payload[pos:], dtype=np.uint8)
+        total_bits = int(offsets[-1])
+        if body.size * 8 < total_bits:
+            raise CorruptStreamError("ZFP stream truncated (body)")
+        bits = np.unpackbits(body, count=total_bits, bitorder="big")
+
+        words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
+        e = np.zeros(nblocks, dtype=np.int64)
+        nonzero = np.zeros(nblocks, dtype=bool)
+        for b in range(nblocks):
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            span = hi - lo
+            if span <= 0:
+                raise CorruptStreamError("non-increasing ZFP block offsets")
+            chunk = bits[lo:hi]
+            pad = (-span) % 8
+            if pad:
+                chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint8)])
+            value = int.from_bytes(np.packbits(chunk, bitorder="big").tobytes(), "big") >> pad
+            reader = BC._BlockReader(value, span)
+            if not reader.read_bit():
+                continue
+            nonzero[b] = True
+            e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
+            if fixed_rate:
+                budget, kmin = maxbits - header_bits, 0
+            elif mode is CompressorMode.FIXED_PRECISION:
+                budget, kmin = span - header_bits, planes - int(parameter)
+            else:
+                budget = span - header_bits
+                kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
+            words_mat[b] = BC.decode_block_planes(
+                reader, planes, size, budget, kmin=kmin
+            )
+        u = BC.words_matrix_to_coeffs(words_mat, size)
+
+        ordered = BC.negabinary_to_int(u)
+        inv_perm = T.inverse_sequency_order(ndim)
+        coeffs = ordered[:, inv_perm].reshape((nblocks,) + (4,) * ndim)
+        ints = T.inverse_transform(coeffs)
+        scale_exp = -((planes - 2) - e)
+        flat = np.ldexp(ints.reshape(nblocks, size).astype(np.float64), scale_exp[:, None])
+        flat[~nonzero] = 0.0
+
+        grid = tuple(-(-s // 4) for s in shape)
+        arr = block_reassemble(flat.reshape((nblocks,) + (4,) * ndim), grid, shape)
+        return arr.astype(dtype)
+
+    @staticmethod
+    def _resolve_mode(
+        mode: CompressorMode | str | None,
+        rate: float | None,
+        precision: int | None,
+        tolerance: float | None,
+    ) -> CompressorMode:
+        if isinstance(mode, str):
+            mode = CompressorMode(mode)
+        if mode is None:
+            given = [m for m, v in (
+                (CompressorMode.FIXED_RATE, rate),
+                (CompressorMode.FIXED_PRECISION, precision),
+                (CompressorMode.FIXED_ACCURACY, tolerance),
+            ) if v is not None]
+            if len(given) != 1:
+                raise DataError(
+                    "pass exactly one of rate=, precision=, tolerance= "
+                    "(or an explicit mode=)"
+                )
+            return given[0]
+        knob_map = {
+            CompressorMode.FIXED_RATE: rate,
+            CompressorMode.FIXED_PRECISION: precision,
+            CompressorMode.FIXED_ACCURACY: tolerance,
+        }
+        if mode not in knob_map:
+            return mode  # non-ZFP mode: let check_mode report it properly
+        if knob_map[mode] is None:
+            raise DataError(f"mode {mode.value} requires its knob argument")
+        return mode
+
+
+class CuZFP(ZFPCompressor):
+    """cuZFP as evaluated in the paper: **fixed-rate mode only**.
+
+    Functionally identical streams to :class:`ZFPCompressor` in that mode
+    (the CUDA port codes the same layout); the restricted
+    ``supported_modes`` models the prototype's limitation the paper works
+    around (Section IV-B-1).
+    """
+
+    name = "cuzfp"
+    supported_modes = (CompressorMode.FIXED_RATE,)

@@ -1,0 +1,154 @@
+"""Dataset containers and the Table II metadata of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One row of Table II's field list: a name and its value range."""
+
+    name: str
+    value_range: tuple[float, float]
+
+    def contains(self, data: np.ndarray, slack: float = 0.0) -> bool:
+        lo, hi = self.value_range
+        span = hi - lo
+        return bool(
+            data.min() >= lo - slack * span and data.max() <= hi + slack * span
+        )
+
+
+#: Table II — HACC: six 1-D arrays (position, velocity per axis).
+HACC_TABLE_II: tuple[FieldSpec, ...] = (
+    FieldSpec("x", (0.0, 256.0)),
+    FieldSpec("y", (0.0, 256.0)),
+    FieldSpec("z", (0.0, 256.0)),
+    FieldSpec("vx", (-1e4, 1e4)),
+    FieldSpec("vy", (-1e4, 1e4)),
+    FieldSpec("vz", (-1e4, 1e4)),
+)
+
+#: Table II — Nyx: six 3-D arrays.
+NYX_TABLE_II: tuple[FieldSpec, ...] = (
+    FieldSpec("baryon_density", (0.0, 1e5)),
+    FieldSpec("dark_matter_density", (0.0, 1e4)),
+    FieldSpec("temperature", (1e2, 1e7)),
+    FieldSpec("velocity_x", (-1e8, 1e8)),
+    FieldSpec("velocity_y", (-1e8, 1e8)),
+    FieldSpec("velocity_z", (-1e8, 1e8)),
+)
+
+#: Sizes of the paper's actual datasets, for scale documentation.
+PAPER_HACC_ELEMENTS = 1_073_726_359
+PAPER_NYX_GRID = 512
+
+
+@dataclass
+class ParticleDataset:
+    """HACC-style snapshot: six 1-D float32 arrays plus box metadata."""
+
+    fields: dict[str, np.ndarray]
+    box_size: float
+    name: str = "hacc"
+
+    def __post_init__(self) -> None:
+        sizes = {v.size for v in self.fields.values()}
+        if len(sizes) != 1:
+            raise DataError("all particle fields must have equal length")
+        for key, v in self.fields.items():
+            if v.ndim != 1:
+                raise DataError(f"particle field {key!r} must be 1-D")
+
+    @property
+    def n_particles(self) -> int:
+        return next(iter(self.fields.values())).size
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(N, 3)`` position matrix."""
+        return np.stack([self.fields[k] for k in ("x", "y", "z")], axis=1)
+
+    @property
+    def velocities(self) -> np.ndarray:
+        return np.stack([self.fields[k] for k in ("vx", "vy", "vz")], axis=1)
+
+    def with_fields(self, new_fields: dict[str, np.ndarray]) -> "ParticleDataset":
+        """Copy with some fields replaced (e.g. by reconstructions)."""
+        merged = dict(self.fields)
+        merged.update(new_fields)
+        return ParticleDataset(fields=merged, box_size=self.box_size, name=self.name)
+
+    def total_bytes(self) -> int:
+        return sum(v.nbytes for v in self.fields.values())
+
+
+@dataclass
+class GridDataset:
+    """Nyx-style snapshot: six 3-D float32 arrays plus box metadata."""
+
+    fields: dict[str, np.ndarray]
+    box_size: float
+    name: str = "nyx"
+
+    def __post_init__(self) -> None:
+        shapes = {v.shape for v in self.fields.values()}
+        if len(shapes) != 1:
+            raise DataError("all grid fields must share one shape")
+        shape = shapes.pop()
+        if len(shape) != 3:
+            raise DataError("grid fields must be 3-D")
+
+    @property
+    def grid_size(self) -> int:
+        return next(iter(self.fields.values())).shape[0]
+
+    def velocity_magnitude(self) -> np.ndarray:
+        """``sqrt(vx^2 + vy^2 + vz^2)`` — one of Fig. 5's composite spectra."""
+        vx = self.fields["velocity_x"].astype(np.float64)
+        vy = self.fields["velocity_y"].astype(np.float64)
+        vz = self.fields["velocity_z"].astype(np.float64)
+        return np.sqrt(vx**2 + vy**2 + vz**2)
+
+    def overall_density(self) -> np.ndarray:
+        """Baryon + dark matter density (Fig. 5's composite density)."""
+        return self.fields["baryon_density"].astype(np.float64) + self.fields[
+            "dark_matter_density"
+        ].astype(np.float64)
+
+    def with_fields(self, new_fields: dict[str, np.ndarray]) -> "GridDataset":
+        merged = dict(self.fields)
+        merged.update(new_fields)
+        return GridDataset(fields=merged, box_size=self.box_size, name=self.name)
+
+    def total_bytes(self) -> int:
+        return sum(v.nbytes for v in self.fields.values())
+
+
+def table_ii_rows() -> list[dict[str, str]]:
+    """Render Table II ("Details of HACC and Nyx Dataset") as records."""
+    rows = []
+    for spec in HACC_TABLE_II:
+        rows.append(
+            {
+                "dataset": "HACC",
+                "dimension": f"{PAPER_HACC_ELEMENTS:,}",
+                "field": spec.name,
+                "value_range": f"({spec.value_range[0]:g}, {spec.value_range[1]:g})",
+            }
+        )
+    for spec in NYX_TABLE_II:
+        rows.append(
+            {
+                "dataset": "Nyx",
+                "dimension": f"{PAPER_NYX_GRID}^3",
+                "field": spec.name,
+                "value_range": f"({spec.value_range[0]:g}, {spec.value_range[1]:g})",
+            }
+        )
+    return rows

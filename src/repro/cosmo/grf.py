@@ -1,0 +1,75 @@
+"""Gaussian random fields with a target power spectrum (FFT method).
+
+Convention (shared with :mod:`repro.cosmo.power_spectrum` so that a
+generated field *measures back* to its input spectrum):
+
+    P(k) = V * <|delta_hat(k)|^2> / N^6,   delta_hat = fftn(delta)
+
+Generation filters unit white noise in Fourier space:
+``delta_hat = fftn(noise) * sqrt(P(k) * N^3 / V)``; since
+``<|fftn(noise)|^2> = N^3`` the measured spectrum matches ``P`` in
+expectation, and starting from real noise keeps the field exactly real.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.util.validation import check_positive
+
+
+def wavenumber_grid(n: int, box_size: float) -> np.ndarray:
+    """|k| on the FFT grid of an ``n^3`` box with side ``box_size``."""
+    check_positive(box_size, "box_size")
+    k1 = 2.0 * np.pi * np.fft.fftfreq(n, d=box_size / n)
+    kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+    return np.sqrt(kx**2 + ky**2 + kz**2)
+
+
+def gaussian_random_field(
+    n: int,
+    box_size: float,
+    spectrum: Callable[[np.ndarray], np.ndarray],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Real ``n^3`` field whose power spectrum follows ``spectrum``."""
+    if n < 2:
+        raise DataError("grid size must be >= 2")
+    check_positive(box_size, "box_size")
+    volume = box_size**3
+    kmag = wavenumber_grid(n, box_size)
+    pk = np.asarray(spectrum(kmag), dtype=np.float64)
+    if np.any(pk < 0) or not np.all(np.isfinite(pk)):
+        raise DataError("spectrum must be finite and nonnegative on the k grid")
+    noise = rng.standard_normal((n, n, n))
+    amp = np.sqrt(pk * n**3 / volume)
+    field = np.fft.ifftn(np.fft.fftn(noise) * amp).real
+    return field
+
+
+def displacement_field(
+    delta: np.ndarray, box_size: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Zel'dovich displacement ``psi = -grad(inv_laplacian(delta))``.
+
+    In Fourier space ``psi_hat_i = i * k_i / k^2 * delta_hat`` — the
+    first-order Lagrangian displacement that moves particles off a uniform
+    lattice into the clustered configuration described by ``delta``.
+    """
+    n = delta.shape[0]
+    if delta.shape != (n, n, n):
+        raise DataError("delta must be a cubic 3-D grid")
+    k1 = 2.0 * np.pi * np.fft.fftfreq(n, d=box_size / n)
+    kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+    k2 = kx**2 + ky**2 + kz**2
+    k2[0, 0, 0] = 1.0  # avoid 0/0; DC displacement is zero anyway
+    dhat = np.fft.fftn(delta)
+    out = []
+    for ki in (kx, ky, kz):
+        psi_hat = 1j * ki / k2 * dhat
+        psi_hat[0, 0, 0] = 0.0
+        out.append(np.fft.ifftn(psi_hat).real)
+    return out[0], out[1], out[2]

@@ -1,0 +1,44 @@
+"""Per-table/figure experiment modules.
+
+Every module exposes ``run(profile=...) -> ExperimentResult`` where the
+profile ("small" for tests, "paper" for the benchmark harness) sets the
+dataset scale.  ``repro.experiments.runner.run_all`` executes the full
+suite and renders EXPERIMENTS.md-style summaries.
+"""
+
+from repro.experiments.base import ExperimentResult, Profile, PROFILES
+from repro.experiments import (
+    fig1,
+    fig2_fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    guideline,
+    table1,
+    table2,
+)
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+__all__ = [
+    "ExperimentResult",
+    "Profile",
+    "PROFILES",
+    "table1",
+    "table2",
+    "fig1",
+    "fig2_fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "guideline",
+    "ALL_EXPERIMENTS",
+    "run_all",
+]

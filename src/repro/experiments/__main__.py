@@ -1,0 +1,50 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments [--profile small] [fig4 fig5 ...]
+
+Runs the selected (default: all) table/figure experiments and prints
+their rendered tables — the quickest way to regenerate the paper's
+evaluation without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.experiments.base import PROFILES
+from repro.experiments.runner import ALL_EXPERIMENTS, render_all, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*ALL_EXPERIMENTS, []],
+        help=f"subset to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--profile",
+        default="small",
+        choices=sorted(PROFILES),
+        help="dataset scale (default: small)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        results = run_all(args.profile, only=args.experiments or None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_all(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Shared experiment infrastructure: result container and size profiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from repro.cosmo.datasets import GridDataset, ParticleDataset
+from repro.cosmo.hacc import make_hacc_dataset
+from repro.cosmo.nyx import make_nyx_dataset
+from repro.errors import ConfigError
+from repro.foresight.visualization import format_table
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Dataset scale for an experiment run.
+
+    The paper's data is a 512^3 Nyx grid and 1.07e9 HACC particles;
+    profiles scale that down so the suite runs on one CPU.  Figures are
+    shape-stable across profiles (verified by the test suite at "small").
+    """
+
+    name: str
+    nyx_grid: int
+    hacc_side: int
+    paper_nvalues: int = 512**3  # throughput studies model paper-size data
+
+    @property
+    def hacc_particles(self) -> int:
+        return self.hacc_side**3
+
+
+PROFILES: dict[str, Profile] = {
+    "small": Profile("small", nyx_grid=32, hacc_side=24),
+    "default": Profile("default", nyx_grid=64, hacc_side=40),
+    "paper": Profile("paper", nyx_grid=128, hacc_side=64),
+}
+
+
+def get_profile(profile: str | Profile) -> Profile:
+    if isinstance(profile, Profile):
+        return profile
+    if profile not in PROFILES:
+        raise ConfigError(f"unknown profile {profile!r}; known: {sorted(PROFILES)}")
+    return PROFILES[profile]
+
+
+@lru_cache(maxsize=4)
+def nyx_for(profile_name: str) -> GridDataset:
+    """Cached Nyx dataset for a profile (experiments share the snapshot)."""
+    return make_nyx_dataset(grid_size=PROFILES[profile_name].nyx_grid)
+
+
+@lru_cache(maxsize=4)
+def hacc_for(profile_name: str) -> ParticleDataset:
+    """Cached HACC dataset for a profile."""
+    return make_hacc_dataset(particles_per_side=PROFILES[profile_name].hacc_side)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]]
+    series: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self, columns: list[str] | None = None) -> str:
+        """Human-readable table plus notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows, columns))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

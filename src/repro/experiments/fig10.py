@@ -1,0 +1,37 @@
+"""Fig. 10: cuZFP throughput vs bitrate on the Nyx dataset (V100).
+
+Solid lines = kernel throughput; dashed = overall including CPU-GPU
+transfer; horizontal baseline = raw PCIe transfer with no compression.
+Both kernel and overall throughput fall as bitrate rises — the
+observation behind the Section V-D guideline ("choose the [acceptable]
+configuration with the highest compression ratio").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import throughput_vs_rate_study
+from repro.experiments.base import ExperimentResult, get_profile
+
+RATES = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+
+
+def run(profile: str = "small") -> ExperimentResult:
+    prof = get_profile(profile)
+    rows = throughput_vs_rate_study(prof.paper_nvalues, RATES)
+    mono_kernel = all(
+        rows[i]["compress_kernel_gbps"] >= rows[i + 1]["compress_kernel_gbps"]
+        for i in range(len(rows) - 1)
+    )
+    mono_overall = all(
+        rows[i]["compress_overall_gbps"] >= rows[i + 1]["compress_overall_gbps"]
+        for i in range(len(rows) - 1)
+    )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="cuZFP throughput vs bitrate (kernel, overall, baseline)",
+        rows=rows,
+        notes=[
+            f"kernel throughput monotonically decreasing: {mono_kernel}; "
+            f"overall monotonically decreasing: {mono_overall} (paper observes both)"
+        ],
+    )

@@ -1,0 +1,37 @@
+"""Fig. 8: SZ and ZFP throughput on a 20-core Xeon Gold 6148 vs cuZFP on
+a Tesla V100.
+
+Uses the best-fit Nyx configuration from Fig. 5 (the paper keeps its
+chosen settings for the throughput comparison); the ZFP-OpenMP
+decompression cell is N/A, as in the paper.  The modeled claim: the GPU
+path, even including PCIe transfer, beats the 20-core CPU by an order of
+magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import cpu_gpu_comparison
+from repro.experiments.base import ExperimentResult, get_profile
+
+#: Effective bitrate of the paper's chosen cuZFP Nyx config
+#: (4,4,4,2,2,2) -> mean 3 bits/value (CR 10.7x).
+BEST_FIT_RATE = 3.0
+
+
+def run(profile: str = "small") -> ExperimentResult:
+    prof = get_profile(profile)
+    rows = cpu_gpu_comparison(prof.paper_nvalues, BEST_FIT_RATE)
+    gpu_overall = next(
+        r for r in rows if "incl. transfer" in r["platform"]
+    )["compress_gbps"]
+    cpu20 = next(r for r in rows if r["platform"] == "ZFP CPU 20-core")["compress_gbps"]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Compression/decompression throughput: CPU (SZ, ZFP) vs GPU (cuZFP)",
+        rows=rows,
+        notes=[
+            "multi-core ZFP decompression is N/A (unsupported at the paper's time)",
+            f"cuZFP incl. transfer is {gpu_overall / cpu20:.1f}x the 20-core ZFP "
+            "compression throughput (paper: 'much higher throughput than ... multi-core CPU')",
+        ],
+    )

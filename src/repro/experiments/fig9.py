@@ -1,0 +1,28 @@
+"""Fig. 9: cuZFP kernel throughput across the seven Table I GPUs.
+
+The paper's observation: kernel throughput rises with upgraded hardware
+(more shaders, higher peak FLOPS, higher memory bandwidth).  Transfer
+time is identical everywhere because all GPUs sit on PCIe 3.0 x16, so
+only kernels are compared.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import gpu_comparison_study
+from repro.experiments.base import ExperimentResult, get_profile
+
+RATE = 4.0
+
+
+def run(profile: str = "small") -> ExperimentResult:
+    prof = get_profile(profile)
+    rows = gpu_comparison_study(prof.paper_nvalues, RATE)
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="cuZFP kernel throughput on different GPUs",
+        rows=rows,
+        notes=[
+            f"fixed rate {RATE} bits/value; ordering follows hardware capability "
+            "(Volta > Turing/Pascal > Kepler), as in the paper"
+        ],
+    )

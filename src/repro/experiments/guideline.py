@@ -1,0 +1,120 @@
+"""Section V-D end to end: the configuration-optimization guideline.
+
+Runs the full three-step recipe on both datasets:
+
+1. benchmark candidate configurations (CBench-style sweeps),
+2. filter by post-analysis acceptability (pk ratio on Nyx grids, halo
+   count ratio on HACC particles),
+3. choose the highest-compression acceptable configuration per field,
+
+and then *verifies the guideline's premise* with the GPU model: among
+the acceptable configurations, the chosen (highest-ratio) one also has
+the highest modeled overall throughput — Fig. 10's monotonicity is what
+makes step 3 optimal on both axes at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.halo_ratio import halo_ratio_sweep
+from repro.analysis.optimizer import ConfigCandidate, select_best_fit
+from repro.analysis.pk_ratio import pk_ratio_sweep
+from repro.compressors.sz import SZCompressor
+from repro.experiments.base import ExperimentResult, get_profile, hacc_for, nyx_for
+from repro.gpu.runtime import simulate_compression
+
+NYX_FIELDS = ("baryon_density", "dark_matter_density", "temperature")
+EB_FRACTIONS = (0.1, 0.03, 0.01, 3e-3, 1e-3)
+HACC_BOUNDS = (0.25, 0.05, 0.01, 0.005)
+
+
+def run(profile: str = "small") -> ExperimentResult:
+    prof = get_profile(profile)
+    nyx = nyx_for(prof.name)
+    hacc = hacc_for(prof.name)
+    sz = SZCompressor()
+    rows: list[dict] = []
+    notes: list[str] = []
+
+    # -- Nyx: pk-ratio acceptability per field -----------------------------
+    nyx_candidates: list[ConfigCandidate] = []
+    for name in NYX_FIELDS:
+        field = nyx.fields[name]
+        sigma = float(field.std())
+        points = pk_ratio_sweep(
+            sz, field, nyx.box_size, "error_bound",
+            [sigma * f for f in EB_FRACTIONS], "abs", nbins=10,
+        )
+        for p in points:
+            nyx_candidates.append(
+                ConfigCandidate(
+                    field_name=name, compressor="gpu-sz", mode="abs",
+                    parameter=p.parameter,
+                    compression_ratio=p.compression_ratio,
+                    acceptable=p.acceptable,
+                )
+            )
+            rows.append(
+                {
+                    "dataset": "nyx", "field": name, "error_bound": p.parameter,
+                    "compression_ratio": p.compression_ratio,
+                    "acceptable": p.acceptable, "bitrate": p.bitrate,
+                }
+            )
+    best_nyx = select_best_fit(nyx_candidates)
+    notes.append(
+        f"Nyx best fit: CR {best_nyx.overall_compression_ratio:.2f}x "
+        f"with bounds {{{', '.join(f'{k}: {v:.3g}' for k, v in best_nyx.parameters().items())}}}"
+    )
+
+    # -- HACC: halo-ratio acceptability on positions -----------------------
+    halo_points = halo_ratio_sweep(
+        sz, hacc, "error_bound", HACC_BOUNDS, "abs", nbins=8
+    )
+    hacc_candidates = [
+        ConfigCandidate(
+            field_name="positions", compressor="gpu-sz", mode="abs",
+            parameter=p.parameter, compression_ratio=p.compression_ratio,
+            acceptable=bool(p.max_ratio_deviation < 0.15),
+        )
+        for p in halo_points
+    ]
+    for p, c in zip(halo_points, hacc_candidates):
+        rows.append(
+            {
+                "dataset": "hacc", "field": "positions",
+                "error_bound": p.parameter,
+                "compression_ratio": p.compression_ratio,
+                "acceptable": c.acceptable, "bitrate": p.bitrate,
+            }
+        )
+    best_hacc = select_best_fit(hacc_candidates)
+    notes.append(
+        f"HACC best fit: positions ABS {best_hacc.parameters()['positions']:g} "
+        f"(CR {best_hacc.overall_compression_ratio:.2f}x); paper picks 0.005"
+    )
+
+    # -- premise check: max ratio == max modeled throughput -----------------
+    acceptable = [c for c in hacc_candidates if c.acceptable]
+    if len(acceptable) >= 2:
+        throughputs = {
+            c.parameter: simulate_compression(
+                prof.paper_nvalues, 32.0 / c.compression_ratio, codec="cusz"
+            ).overall_throughput
+            for c in acceptable
+        }
+        chosen = best_hacc.per_field["positions"].parameter
+        fastest = max(throughputs, key=throughputs.get)
+        agrees = chosen == fastest
+        notes.append(
+            "guideline premise (highest acceptable CR is also fastest): "
+            + ("holds" if agrees else "VIOLATED")
+            + f" — modeled throughputs {{ {', '.join(f'{k:g}: {v/1e9:.1f} GB/s' for k, v in throughputs.items())} }}"
+        )
+    return ExperimentResult(
+        experiment_id="guideline",
+        title="Section V-D: best-fit configuration guideline, end to end",
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,47 @@
+"""Run the complete experiment suite and render summaries."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    fig1,
+    fig2_fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    guideline,
+    table1,
+    table2,
+)
+from repro.experiments.base import ExperimentResult
+
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig1": fig1.run,
+    "fig2_fig3": fig2_fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "guideline": guideline.run,
+}
+
+
+def run_all(profile: str = "small", only: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run every (or selected) experiments at the given profile."""
+    names = only or list(ALL_EXPERIMENTS)
+    return {name: ALL_EXPERIMENTS[name](profile=profile) for name in names}
+
+
+def render_all(results: dict[str, ExperimentResult]) -> str:
+    """Concatenate rendered experiment tables."""
+    return "\n\n".join(results[name].render() for name in results)

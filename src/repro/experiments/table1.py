@@ -1,0 +1,29 @@
+"""Table I: specifications of the GPUs used in the experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.gpu.device import GPU_CATALOG
+
+
+def run(profile: str = "small") -> ExperimentResult:
+    """Render the device catalog as Table I's rows (profile-independent)."""
+    rows = []
+    for g in GPU_CATALOG:
+        rows.append(
+            {
+                "gpu": g.name,
+                "release": f"c. {g.release_year}",
+                "architecture": g.architecture,
+                "compute_capability": g.compute_capability,
+                "memory": f"{g.memory_gb:g}GB {g.memory_type}" + (" x2" if g.dual_chip else ""),
+                "shaders": f"{g.shaders}" + (" x2" if g.dual_chip else ""),
+                "peak_fp32_tflops": g.peak_tflops_fp32,
+                "mem_bw_gbps": g.mem_bandwidth_gbps,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Specifications of Different GPUs Used in Our Experiments",
+        rows=rows,
+    )

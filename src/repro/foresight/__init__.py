@@ -1,0 +1,38 @@
+"""Foresight: the compression benchmark & analysis framework (Section IV-A).
+
+The three components of the paper's Fig. 2:
+
+* **CBench** (:mod:`repro.foresight.cbench`) — executes compressor x
+  field x configuration sweeps and records compression ratio, distortion
+  metrics, throughput estimates, and reconstructed data.
+* **PAT** (:mod:`repro.foresight.pat`) — a lightweight workflow package:
+  ``Job`` captures one SLURM batch job, ``Workflow`` tracks dependencies
+  and writes submission scripts, and an in-process scheduler simulator
+  executes the DAG so whole studies run without a cluster.
+* **Cinema** (:mod:`repro.foresight.cinema`) — writes Cinema-spec
+  databases (``data.csv`` plus per-row artifacts) for interactive
+  exploration.
+
+Everything is driven by a single JSON configuration
+(:mod:`repro.foresight.config`), as in the real Foresight.
+"""
+
+from repro.foresight.analysis import available_analyses, get_analysis, register_analysis
+from repro.foresight.cbench import CBench, CBenchRecord
+from repro.foresight.cinema import CinemaDatabase
+from repro.foresight.config import ForesightConfig, load_config
+from repro.foresight.pat import Job, SlurmSimulator, Workflow
+
+__all__ = [
+    "CBench",
+    "CBenchRecord",
+    "CinemaDatabase",
+    "ForesightConfig",
+    "load_config",
+    "Job",
+    "Workflow",
+    "SlurmSimulator",
+    "available_analyses",
+    "get_analysis",
+    "register_analysis",
+]

@@ -1,0 +1,108 @@
+"""Pluggable post-hoc analyses.
+
+The paper: "in this study we adopt cosmology-specific analysis scripts
+for dark matter halos and power spectrum, whereas other analysis code can
+be added into our framework for different scientific simulations."  This
+registry is that extension point: an analysis is a callable
+``(original, reconstructed, **context) -> dict`` registered by name and
+selected from the JSON config's ``analyses`` list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+AnalysisFn = Callable[..., dict[str, Any]]
+
+_REGISTRY: dict[str, AnalysisFn] = {}
+
+
+def register_analysis(name: str, fn: AnalysisFn, overwrite: bool = False) -> None:
+    """Register ``fn`` under ``name``."""
+    if name in _REGISTRY and not overwrite:
+        raise ConfigError(f"analysis {name!r} already registered")
+    _REGISTRY[name] = fn
+
+
+def get_analysis(name: str) -> AnalysisFn:
+    if name not in _REGISTRY:
+        raise ConfigError(f"unknown analysis {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def available_analyses() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# -- built-ins ----------------------------------------------------------------
+
+
+def _distortion(original: np.ndarray, reconstructed: np.ndarray, **_: Any) -> dict[str, Any]:
+    from repro.metrics.error import evaluate_distortion
+
+    return evaluate_distortion(original, reconstructed)
+
+
+def _power_spectrum(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    box_size: float = 1.0,
+    nbins: int = 16,
+    tolerance: float = 0.01,
+    **_: Any,
+) -> dict[str, Any]:
+    from repro.cosmo.power_spectrum import (
+        power_spectrum,
+        power_spectrum_ratio,
+        ratio_within_band,
+    )
+
+    ref = power_spectrum(np.asarray(original, dtype=np.float64), box_size, nbins=nbins)
+    rec = power_spectrum(np.asarray(reconstructed, dtype=np.float64), box_size, nbins=nbins)
+    ratio = power_spectrum_ratio(ref, rec)
+    return {
+        "k": ref.k,
+        "pk_ratio": ratio,
+        "within_band": ratio_within_band(ratio, tolerance),
+        "max_deviation": float(np.nanmax(np.abs(ratio - 1.0))),
+    }
+
+
+def _halo_finder(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    box_size: float = 1.0,
+    linking_length: float | None = None,
+    min_members: int = 10,
+    nbins: int = 10,
+    **_: Any,
+) -> dict[str, Any]:
+    from repro.cosmo.halos import find_halos, halo_count_ratio, halo_mass_function
+
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if linking_length is None:
+        n_part = original.shape[0]
+        linking_length = 0.2 * box_size / max(2, round(n_part ** (1.0 / 3.0)))
+    cat_o = find_halos(original, box_size, linking_length, min_members=min_members)
+    cat_r = find_halos(reconstructed, box_size, linking_length, min_members=min_members)
+    mf_o = halo_mass_function(cat_o, nbins=nbins)
+    mf_r = halo_mass_function(cat_r, bin_edges=mf_o.bin_edges)
+    ratio = halo_count_ratio(mf_o, mf_r)
+    return {
+        "mass_bin_centers": mf_o.bin_centers,
+        "counts_original": mf_o.counts,
+        "counts_reconstructed": mf_r.counts,
+        "count_ratio": ratio,
+        "n_halos_original": cat_o.n_halos,
+        "n_halos_reconstructed": cat_r.n_halos,
+    }
+
+
+register_analysis("distortion", _distortion)
+register_analysis("power_spectrum", _power_spectrum)
+register_analysis("halo_finder", _halo_finder)

@@ -1,0 +1,116 @@
+"""CBench: the compression benchmark runner (Foresight component 1).
+
+CBench takes fields and compressor sweeps and produces one record per
+(compressor, field, configuration): compression ratio, bitrate, the full
+distortion metric set, wall-clock timings of this Python implementation
+(labelled as such — GPU throughput comes from :mod:`repro.gpu`), and
+optionally the reconstructed array for downstream domain analyses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer
+from repro.compressors.registry import get_compressor
+from repro.errors import DataError
+from repro.foresight.config import CompressorSweep
+from repro.metrics.error import evaluate_distortion
+
+
+@dataclass
+class CBenchRecord:
+    """One benchmark row."""
+
+    compressor: str
+    field: str
+    mode: str
+    parameter: float
+    compression_ratio: float
+    bitrate: float
+    metrics: dict[str, float]
+    compress_seconds: float
+    decompress_seconds: float
+    meta: dict[str, Any] = field(default_factory=dict)
+    reconstruction: np.ndarray | None = None
+
+    def to_row(self) -> dict[str, Any]:
+        """Flat dict for RecordStore / Cinema (drops the reconstruction)."""
+        row: dict[str, Any] = {
+            "compressor": self.compressor,
+            "field": self.field,
+            "mode": self.mode,
+            "parameter": self.parameter,
+            "compression_ratio": self.compression_ratio,
+            "bitrate": self.bitrate,
+            "compress_seconds": self.compress_seconds,
+            "decompress_seconds": self.decompress_seconds,
+        }
+        row.update(self.metrics)
+        return row
+
+
+class CBench:
+    """Benchmark executor.
+
+    >>> bench = CBench({"rho": some_field})
+    >>> records = bench.run(sweep)            # doctest: +SKIP
+    """
+
+    def __init__(self, fields: dict[str, np.ndarray], keep_reconstructions: bool = True) -> None:
+        if not fields:
+            raise DataError("CBench needs at least one field")
+        self.fields = fields
+        self.keep_reconstructions = keep_reconstructions
+
+    def run_one(
+        self,
+        sweep: CompressorSweep,
+        field_name: str,
+        value: float,
+    ) -> CBenchRecord:
+        """Run a single (compressor, field, knob value) cell."""
+        if field_name not in self.fields:
+            raise DataError(f"unknown field {field_name!r}")
+        data = self.fields[field_name]
+        compressor = get_compressor(sweep.name, **sweep.options)
+
+        kwargs: dict[str, Any] = {"mode": sweep.mode, sweep.knob: value}
+        t0 = time.perf_counter()
+        buf: CompressedBuffer = compressor.compress(data, **kwargs)
+        t1 = time.perf_counter()
+        recon = compressor.decompress(buf)
+        t2 = time.perf_counter()
+
+        return CBenchRecord(
+            compressor=sweep.name,
+            field=field_name,
+            mode=sweep.mode,
+            parameter=value,
+            compression_ratio=buf.compression_ratio,
+            bitrate=buf.bitrate,
+            metrics=evaluate_distortion(data, recon),
+            compress_seconds=t1 - t0,
+            decompress_seconds=t2 - t1,
+            meta=dict(buf.meta),
+            reconstruction=recon if self.keep_reconstructions else None,
+        )
+
+    def run(self, sweep: CompressorSweep, fields: list[str] | None = None) -> list[CBenchRecord]:
+        """Run a full sweep over the requested fields."""
+        out = []
+        for name in fields or list(self.fields):
+            for value in sweep.values_for(name):
+                out.append(self.run_one(sweep, name, value))
+        return out
+
+    def run_all(self, sweeps: list[CompressorSweep], fields: list[str] | None = None) -> list[CBenchRecord]:
+        """Run several compressor sweeps back to back."""
+        out: list[CBenchRecord] = []
+        for sweep in sweeps:
+            out.extend(self.run(sweep, fields))
+        return out

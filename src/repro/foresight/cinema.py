@@ -1,0 +1,66 @@
+"""Cinema database writer (Foresight component 3).
+
+Cinema (Woodring et al. 2017) stores exploration results as a directory
+with a ``data.csv`` index whose columns are parameter values and whose
+``FILE`` column points at per-row artifacts.  This writer produces
+spec-compliant databases from CBench/analysis records; artifacts are
+written by a caller-supplied callback (CSV series, rendered ASCII plots,
+JSON blobs — anything file-shaped).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import DataError
+
+
+class CinemaDatabase:
+    """A ``.cdb`` directory with a data.csv index."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.suffix != ".cdb":
+            self.path = self.path.with_suffix(".cdb")
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def write(
+        self,
+        records: list[dict[str, Any]],
+        artifact_writer: Callable[[dict[str, Any], Path], str] | None = None,
+    ) -> Path:
+        """Write ``records`` to ``data.csv``.
+
+        ``artifact_writer(record, artifact_dir)`` returns the relative
+        path of the artifact it wrote for that record; it becomes the
+        row's ``FILE`` column.
+        """
+        if not records:
+            raise DataError("no records to write")
+        columns = sorted({k for r in records for k in r})
+        artifact_dir = self.path / "artifacts"
+        rows = []
+        for i, rec in enumerate(records):
+            row = {c: rec.get(c, "NaN") for c in columns}
+            if artifact_writer is not None:
+                artifact_dir.mkdir(exist_ok=True)
+                row["FILE"] = artifact_writer(rec, artifact_dir)
+            rows.append(row)
+        if artifact_writer is not None:
+            columns = columns + ["FILE"]
+        index = self.path / "data.csv"
+        with open(index, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns)
+            writer.writeheader()
+            writer.writerows(rows)
+        return index
+
+    def read(self) -> list[dict[str, str]]:
+        """Load data.csv back as a list of string-valued records."""
+        index = self.path / "data.csv"
+        if not index.exists():
+            raise DataError(f"no data.csv in {self.path}")
+        with open(index, newline="", encoding="utf-8") as fh:
+            return list(csv.DictReader(fh))

@@ -1,0 +1,77 @@
+"""Static HTML viewer for Cinema databases.
+
+The paper shows its results through "web-based Cinema viewers"; this
+writer produces a dependency-free ``index.html`` inside a ``.cdb``
+directory — a sortable parameter table with links to per-row artifacts —
+so a study's outputs are browsable without any server or JS framework.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.errors import DataError
+from repro.foresight.cinema import CinemaDatabase
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; }
+table { border-collapse: collapse; }
+th, td { border: 1px solid #ccc; padding: 0.3rem 0.6rem; text-align: right; }
+th { background: #eee; cursor: default; }
+td.text { text-align: left; }
+caption { font-weight: 600; margin-bottom: 0.5rem; text-align: left; }
+"""
+
+
+def write_viewer(db: CinemaDatabase, title: str = "Foresight study") -> Path:
+    """Render ``index.html`` for an existing database; returns its path."""
+    rows = db.read()
+    if not rows:
+        raise DataError("database has no rows")
+    columns = list(rows[0].keys())
+
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style>",
+        "</head><body>",
+        f"<table><caption>{html.escape(title)} &mdash; {len(rows)} configurations</caption>",
+        "<tr>" + "".join(f"<th>{html.escape(c)}</th>" for c in columns) + "</tr>",
+    ]
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if col == "FILE" and value:
+                cells.append(
+                    f"<td class='text'><a href='{html.escape(value)}'>"
+                    f"{html.escape(Path(value).name)}</a></td>"
+                )
+            else:
+                escaped = html.escape(_fmt(value))
+                css = " class='text'" if not _is_number(value) else ""
+                cells.append(f"<td{css}>{escaped}</td>")
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    parts.append("</table></body></html>")
+    out = db.path / "index.html"
+    out.write_text("\n".join(parts), encoding="utf-8")
+    return out
+
+
+def _is_number(value: object) -> bool:
+    try:
+        float(str(value))
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def _fmt(value: object) -> str:
+    if _is_number(value):
+        f = float(str(value))
+        if f == int(f) and abs(f) < 1e15:
+            return str(int(f))
+        return f"{f:.5g}"
+    return str(value)

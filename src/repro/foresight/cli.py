@@ -1,0 +1,140 @@
+"""Foresight command-line interface.
+
+The real Foresight is driven as ``foresight <config.json>``; this module
+is that executable: it loads the JSON config, generates (or loads) the
+dataset, runs the CBench sweeps as a PAT workflow on the SLURM simulator,
+executes the configured analyses, and writes a Cinema database plus a
+JSON-lines record file into the output directory.
+
+Usage::
+
+    python -m repro.foresight.cli config.json [--nodes 4] [--quiet]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cosmo.hacc import make_hacc_dataset
+from repro.cosmo.nyx import make_nyx_dataset
+from repro.errors import ReproError
+from repro.foresight.analysis import get_analysis
+from repro.foresight.cbench import CBench
+from repro.foresight.cinema import CinemaDatabase
+from repro.foresight.config import ForesightConfig, load_config
+from repro.foresight.pat import Job, SlurmSimulator, Workflow
+from repro.foresight.visualization import format_table
+from repro.io.json_records import RecordStore
+
+
+def _load_fields_from_file(cfg: ForesightConfig) -> tuple[dict[str, np.ndarray], float]:
+    """Load snapshot fields from a .gio (HACC layout) or .h5l (Nyx) file."""
+    from repro.io.genericio import read_genericio
+    from repro.io.hdf5like import H5LikeFile
+
+    path = cfg.input_file
+    box = cfg.box_size if cfg.box_size is not None else (
+        256.0 if cfg.dataset == "hacc" else 50.0
+    )
+    if path.suffix == ".gio":
+        gio = read_genericio(path, variables=cfg.fields or None)
+        return dict(gio.variables), box
+    if path.suffix == ".h5l":
+        h5 = H5LikeFile.load(path)
+        names = cfg.fields or [k.rsplit("/", 1)[-1] for k in h5.keys()]
+        fields = {}
+        for name in names:
+            key = next((k for k in h5.keys() if k.rsplit("/", 1)[-1] == name), None)
+            if key is None:
+                raise ReproError(f"dataset {name!r} not found in {path}")
+            fields[name] = h5[key]
+        return fields, box
+    raise ReproError(f"unsupported input file type: {path.suffix!r} (.gio or .h5l)")
+
+
+def _build_fields(cfg: ForesightConfig) -> tuple[dict[str, np.ndarray], float]:
+    if cfg.input_file is not None:
+        return _load_fields_from_file(cfg)
+    if cfg.dataset == "nyx":
+        ds = make_nyx_dataset(**cfg.generator)
+    else:
+        ds = make_hacc_dataset(**cfg.generator)
+    names = cfg.fields or sorted(ds.fields)
+    missing = [n for n in names if n not in ds.fields]
+    if missing:
+        raise ReproError(f"config names unknown fields: {missing}")
+    return {n: ds.fields[n] for n in names}, ds.box_size
+
+
+def run_study(cfg: ForesightConfig, nodes: int = 4, verbose: bool = True) -> list[dict]:
+    """Execute a full Foresight study; returns the flat result rows."""
+    fields, box_size = _build_fields(cfg)
+    bench = CBench(fields)
+    state: dict = {}
+
+    def cbench_job():
+        state["records"] = bench.run_all(cfg.compressors, list(fields))
+        return len(state["records"])
+
+    def analysis_job():
+        rows = []
+        for rec in state["records"]:
+            row = rec.to_row()
+            for name in cfg.analyses:
+                if name == "distortion":
+                    continue  # CBench already computed it
+                fn = get_analysis(name)
+                out = fn(
+                    fields[rec.field],
+                    rec.reconstruction,
+                    box_size=box_size,
+                )
+                for key, value in out.items():
+                    if np.isscalar(value) or isinstance(value, (bool, int, float)):
+                        row[f"{name}.{key}"] = value
+            rows.append(row)
+        state["rows"] = rows
+        return len(rows)
+
+    wf = Workflow("foresight-cli")
+    wf.add_job(Job(name="cbench", action=cbench_job))
+    wf.add_job(Job(name="analysis", action=analysis_job, depends_on=["cbench"]))
+    SlurmSimulator(nodes=nodes).run(wf, raise_on_failure=True)
+
+    outdir = cfg.output_directory
+    outdir.mkdir(parents=True, exist_ok=True)
+    RecordStore(outdir / "records.jsonl").extend(state["rows"])
+    CinemaDatabase(outdir / "study").write(state["rows"])
+    if verbose:
+        cols = [c for c in ("compressor", "field", "parameter",
+                            "compression_ratio", "psnr") if any(c in r for r in state["rows"])]
+        print(format_table(state["rows"], cols))
+        print(f"\nwrote {outdir / 'records.jsonl'} and {outdir / 'study.cdb'}")
+    return state["rows"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="foresight", description="Run a Foresight compression study."
+    )
+    parser.add_argument("config", help="JSON configuration file")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="simulated cluster size (default 4)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        cfg = load_config(Path(args.config))
+        run_study(cfg, nodes=args.nodes, verbose=not args.quiet)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Foresight JSON configuration.
+
+The real Foresight is driven by one JSON file naming the input data, the
+compressors with their parameter sweeps, the analyses to run, and the
+output location.  Example::
+
+    {
+      "input": {"dataset": "nyx", "generator": {"grid_size": 64, "seed": 1},
+                 "fields": ["baryon_density", "temperature"]},
+      "compressors": [
+        {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [1, 2, 4]}},
+        {"name": "gpu-sz", "mode": "abs",
+         "sweep": {"error_bound": {"baryon_density": [0.1, 0.2],
+                                    "temperature": [1e3]}}}
+      ],
+      "analyses": ["distortion", "power_spectrum"],
+      "output": {"directory": "results"}
+    }
+
+Per-field sweeps (dict-valued) let different fields use different knob
+values, which the paper's best-fit configurations require.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.compressors.registry import available_compressors
+from repro.errors import ConfigError
+
+_VALID_MODES = {"abs", "pw_rel", "fixed_rate"}
+_KNOBS = {"abs": "error_bound", "pw_rel": "pwrel", "fixed_rate": "rate"}
+
+
+@dataclass
+class CompressorSweep:
+    """One compressor entry: which knob values to run per field."""
+
+    name: str
+    mode: str
+    sweep: dict[str, Any]
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.name.lower() not in available_compressors():
+            raise ConfigError(
+                f"unknown compressor {self.name!r}; available: {available_compressors()}"
+            )
+        if self.mode not in _VALID_MODES:
+            raise ConfigError(f"mode must be one of {sorted(_VALID_MODES)}")
+        knob = _KNOBS[self.mode]
+        if knob not in self.sweep:
+            raise ConfigError(f"mode {self.mode!r} sweep must define {knob!r}")
+
+    @property
+    def knob(self) -> str:
+        return _KNOBS[self.mode]
+
+    def values_for(self, field_name: str) -> list[float]:
+        """Knob values for a field (dict sweeps are per-field)."""
+        raw = self.sweep[self.knob]
+        if isinstance(raw, dict):
+            if field_name not in raw:
+                return []
+            raw = raw[field_name]
+        if not isinstance(raw, (list, tuple)):
+            raw = [raw]
+        values = [float(v) for v in raw]
+        if any(v <= 0 for v in values):
+            raise ConfigError(f"{self.knob} values must be positive")
+        return values
+
+
+@dataclass
+class ForesightConfig:
+    """Validated top-level configuration.
+
+    Input data comes either from a synthetic generator (``generator``
+    keys are passed to ``make_nyx_dataset`` / ``make_hacc_dataset``) or
+    from a snapshot file (``input.file``): a GenericIO-like ``.gio`` for
+    HACC layouts or an HDF5-like ``.h5l`` for Nyx layouts — mirroring the
+    real Foresight, which points at simulation outputs.
+    """
+
+    dataset: str
+    generator: dict[str, Any]
+    fields: list[str]
+    compressors: list[CompressorSweep]
+    analyses: list[str]
+    output_directory: Path
+    input_file: Path | None = None
+    box_size: float | None = None
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "ForesightConfig":
+        try:
+            inp = raw["input"]
+            dataset = inp["dataset"]
+            comps = raw["compressors"]
+        except KeyError as exc:
+            raise ConfigError(f"missing required config key: {exc}") from exc
+        if dataset not in ("nyx", "hacc"):
+            raise ConfigError("input.dataset must be 'nyx' or 'hacc'")
+        if "file" in inp and "generator" in inp:
+            raise ConfigError("input.file and input.generator are mutually exclusive")
+        sweeps = [
+            CompressorSweep(
+                name=c["name"],
+                mode=c.get("mode", "abs"),
+                sweep=c.get("sweep", {}),
+                options=c.get("options", {}),
+            )
+            for c in comps
+        ]
+        return cls(
+            dataset=dataset,
+            generator=dict(inp.get("generator", {})),
+            fields=list(inp.get("fields", [])),
+            compressors=sweeps,
+            analyses=list(raw.get("analyses", ["distortion"])),
+            output_directory=Path(raw.get("output", {}).get("directory", "foresight-out")),
+            input_file=Path(inp["file"]) if "file" in inp else None,
+            box_size=float(inp["box_size"]) if "box_size" in inp else None,
+        )
+
+
+def load_config(source: str | Path | dict[str, Any]) -> ForesightConfig:
+    """Load a config from a JSON file path or an already-parsed dict."""
+    if isinstance(source, dict):
+        return ForesightConfig.from_dict(source)
+    path = Path(source)
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise ConfigError(f"config file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"config is not valid JSON: {exc}") from exc
+    return ForesightConfig.from_dict(raw)

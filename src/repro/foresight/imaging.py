@@ -1,0 +1,74 @@
+"""Dependency-free image rendering for Cinema artifacts.
+
+Fig. 1 of the paper shows grayscale visualizations of Nyx density slices
+for the original and reconstructed data.  This module renders exactly
+that without matplotlib: a 2-D slice, log-scaled, written as a binary
+PGM (portable graymap) file — a format every image viewer opens and a
+valid Cinema artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def render_slice(
+    field: np.ndarray,
+    axis: int = 2,
+    index: int | None = None,
+    log_scale: bool = True,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Render a 2-D slice of a 3-D field to uint8 grayscale.
+
+    ``vmin``/``vmax`` pin the scaling so original and reconstructed
+    renders are directly comparable (pass the original's range to both).
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 3:
+        raise DataError("render_slice expects a 3-D field")
+    if not 0 <= axis <= 2:
+        raise DataError("axis must be 0, 1, or 2")
+    if index is None:
+        index = field.shape[axis] // 2
+    plane = np.take(field, index, axis=axis)
+    if log_scale:
+        floor = np.min(plane[plane > 0]) if (plane > 0).any() else 1.0
+        plane = np.log10(np.maximum(plane, floor))
+    lo = float(plane.min()) if vmin is None else (np.log10(vmin) if log_scale and vmin and vmin > 0 else vmin)
+    hi = float(plane.max()) if vmax is None else (np.log10(vmax) if log_scale and vmax and vmax > 0 else vmax)
+    if hi <= lo:
+        return np.zeros(plane.shape, dtype=np.uint8)
+    scaled = np.clip((plane - lo) / (hi - lo), 0.0, 1.0)
+    return (scaled * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> Path:
+    """Write a uint8 grayscale image as binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise DataError("write_pgm expects a 2-D uint8 array")
+    path = Path(path)
+    header = f"P5\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    path.write_bytes(header + image.tobytes())
+    return path
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM written by :func:`write_pgm`."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P5"):
+        raise DataError("not a binary PGM file")
+    parts = raw.split(b"\n", 3)
+    if len(parts) < 4:
+        raise DataError("truncated PGM header")
+    width, height = (int(v) for v in parts[1].split())
+    body = parts[3]
+    if len(body) < width * height:
+        raise DataError("truncated PGM body")
+    return np.frombuffer(body[: width * height], dtype=np.uint8).reshape(height, width)

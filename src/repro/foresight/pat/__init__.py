@@ -1,0 +1,15 @@
+"""PAT: the workflow submission package (Foresight component 2).
+
+Two user-facing classes, as the paper describes: :class:`Job` specifies
+the requirements of one SLURM batch job and its dependencies;
+:class:`Workflow` tracks the dependency DAG and writes the submission
+script.  :class:`SlurmSimulator` executes the same DAG in process with
+simulated cluster semantics, so studies run identically with or without
+a real scheduler.
+"""
+
+from repro.foresight.pat.job import Job
+from repro.foresight.pat.scheduler import JobState, SlurmSimulator
+from repro.foresight.pat.workflow import Workflow
+
+__all__ = ["Job", "Workflow", "SlurmSimulator", "JobState"]

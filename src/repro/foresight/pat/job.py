@@ -1,0 +1,50 @@
+"""The PAT Job class: one SLURM batch job with requirements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ScheduleError
+
+
+@dataclass
+class Job:
+    """Specification of one batch job.
+
+    ``action`` is the in-process callable the simulator executes;
+    ``command`` is the shell line written into the sbatch script (for a
+    real cluster).  Either may be omitted, but not both.
+    """
+
+    name: str
+    action: Callable[..., Any] | None = None
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    command: str | None = None
+    nodes: int = 1
+    walltime_minutes: int = 60
+    partition: str = "standard"
+    depends_on: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or " " in self.name:
+            raise ScheduleError(f"invalid job name {self.name!r}")
+        if self.action is None and self.command is None:
+            raise ScheduleError(f"job {self.name!r} needs an action or a command")
+        if self.nodes < 1 or self.walltime_minutes < 1:
+            raise ScheduleError(f"job {self.name!r} has invalid resources")
+
+    def sbatch_lines(self, job_ids: dict[str, str]) -> list[str]:
+        """Render the ``#SBATCH`` header + command for a submission script."""
+        lines = [
+            f"#SBATCH --job-name={self.name}",
+            f"#SBATCH --nodes={self.nodes}",
+            f"#SBATCH --time={self.walltime_minutes}",
+            f"#SBATCH --partition={self.partition}",
+        ]
+        if self.depends_on:
+            deps = ":".join(job_ids.get(d, d) for d in self.depends_on)
+            lines.append(f"#SBATCH --dependency=afterok:{deps}")
+        lines.append(self.command or f"# in-process action: {self.action!r}")
+        return lines

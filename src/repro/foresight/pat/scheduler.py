@@ -1,0 +1,115 @@
+"""In-process SLURM simulator.
+
+Executes a PAT workflow's DAG with cluster semantics: a fixed node pool,
+FIFO-with-dependencies dispatch, simulated submit/start/end timestamps
+(wall-clock of the in-process actions, or the declared walltime for
+command-only jobs), and SLURM-like job states.  Failing actions put the
+job in FAILED and cascade CANCELLED to dependents — the ``afterok``
+behaviour the generated sbatch scripts would have.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ScheduleError
+from repro.foresight.pat.job import Job
+from repro.foresight.pat.workflow import Workflow
+
+
+class JobState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+
+@dataclass
+class JobRecord:
+    job: Job
+    job_id: int
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+    result: Any = None
+    error: str | None = None
+
+
+class SlurmSimulator:
+    """Simulated cluster executing :class:`Workflow` DAGs in-process."""
+
+    def __init__(self, nodes: int = 4) -> None:
+        if nodes < 1:
+            raise ScheduleError("cluster needs at least one node")
+        self.nodes = nodes
+        self._next_id = 1000
+
+    def run(self, workflow: Workflow, raise_on_failure: bool = False) -> dict[str, JobRecord]:
+        """Execute ``workflow``; returns per-job records keyed by name."""
+        workflow.validate()
+        order = workflow.topological_order()
+        records = {
+            job.name: JobRecord(job=job, job_id=self._next_id + i, submit_time=time.time())
+            for i, job in enumerate(order)
+        }
+        self._next_id += len(order)
+
+        clock = 0.0  # simulated seconds for command-only jobs
+        for job in order:
+            rec = records[job.name]
+            if job.nodes > self.nodes:
+                rec.state = JobState.FAILED
+                rec.error = (
+                    f"requested {job.nodes} nodes but the cluster has {self.nodes}"
+                )
+                self._cascade_cancel(job.name, records)
+                continue
+            dep_states = [records[d].state for d in job.depends_on]
+            if any(s is not JobState.COMPLETED for s in dep_states):
+                rec.state = JobState.CANCELLED
+                rec.error = "dependency not satisfied (afterok)"
+                continue
+            rec.state = JobState.RUNNING
+            rec.start_time = clock
+            if job.action is not None:
+                t0 = time.perf_counter()
+                try:
+                    rec.result = job.action(*job.args, **job.kwargs)
+                    rec.state = JobState.COMPLETED
+                except Exception as exc:  # action failures become job failures
+                    rec.state = JobState.FAILED
+                    rec.error = f"{type(exc).__name__}: {exc}"
+                clock += time.perf_counter() - t0
+            else:
+                # Command-only job: charge its declared walltime.
+                clock += job.walltime_minutes * 60.0
+                rec.state = JobState.COMPLETED
+            rec.end_time = clock
+            if rec.state is JobState.FAILED:
+                self._cascade_cancel(job.name, records)
+
+        if raise_on_failure:
+            failed = [n for n, r in records.items() if r.state is JobState.FAILED]
+            if failed:
+                details = "; ".join(f"{n}: {records[n].error}" for n in failed)
+                raise ScheduleError(f"workflow jobs failed: {details}")
+        return records
+
+    @staticmethod
+    def _cascade_cancel(failed_name: str, records: dict[str, JobRecord]) -> None:
+        """Cancel every job transitively depending on ``failed_name``."""
+        changed = True
+        bad = {failed_name}
+        while changed:
+            changed = False
+            for rec in records.values():
+                if rec.state is JobState.PENDING and set(rec.job.depends_on) & bad:
+                    rec.state = JobState.CANCELLED
+                    rec.error = f"upstream failure: {failed_name}"
+                    bad.add(rec.job.name)
+                    changed = True

@@ -1,0 +1,82 @@
+"""The PAT Workflow class: a dependency DAG of jobs.
+
+Responsibilities split exactly as the paper describes: the Workflow
+"tracks the dependencies between jobs and writes the submission script
+for the workflow"; execution is delegated to a scheduler
+(:class:`repro.foresight.pat.scheduler.SlurmSimulator` in-process, or a
+real SLURM via the generated script).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ScheduleError
+from repro.foresight.pat.job import Job
+
+
+class Workflow:
+    """Ordered collection of :class:`Job` with dependency validation."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ScheduleError("workflow needs a name")
+        self.name = name
+        self.jobs: dict[str, Job] = {}
+
+    def add_job(self, job: Job) -> None:
+        if job.name in self.jobs:
+            raise ScheduleError(f"duplicate job name {job.name!r}")
+        self.jobs[job.name] = job
+
+    def validate(self) -> None:
+        """Check that dependencies exist and the graph is acyclic."""
+        for job in self.jobs.values():
+            for dep in job.depends_on:
+                if dep not in self.jobs:
+                    raise ScheduleError(f"job {job.name!r} depends on unknown {dep!r}")
+        self.topological_order()
+
+    def topological_order(self) -> list[Job]:
+        """Kahn's algorithm; raises :class:`ScheduleError` on cycles."""
+        indeg = {name: 0 for name in self.jobs}
+        children: dict[str, list[str]] = {name: [] for name in self.jobs}
+        for job in self.jobs.values():
+            for dep in job.depends_on:
+                if dep not in self.jobs:
+                    raise ScheduleError(f"job {job.name!r} depends on unknown {dep!r}")
+                indeg[job.name] += 1
+                children[dep].append(job.name)
+        ready = sorted(n for n, d in indeg.items() if d == 0)
+        order: list[Job] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self.jobs[name])
+            for child in children[name]:
+                indeg[child] -= 1
+                if indeg[child] == 0:
+                    ready.append(child)
+            ready.sort()
+        if len(order) != len(self.jobs):
+            cyclic = sorted(set(self.jobs) - {j.name for j in order})
+            raise ScheduleError(f"dependency cycle involving: {cyclic}")
+        return order
+
+    def write_submission_script(self, path: str | Path) -> str:
+        """Write a chained-sbatch submission script and return its text."""
+        order = self.topological_order()
+        job_ids = {job.name: f"${{{job.name}_id}}" for job in order}
+        lines = ["#!/bin/bash", f"# PAT workflow: {self.name}", "set -e", ""]
+        for job in order:
+            script_name = f"{self.name}_{job.name}.sbatch"
+            lines.append(f"cat > {script_name} <<'EOF'")
+            lines.append("#!/bin/bash")
+            lines.extend(job.sbatch_lines(job_ids))
+            lines.append("EOF")
+            lines.append(
+                f"{job.name}_id=$(sbatch --parsable {script_name})"
+            )
+            lines.append("")
+        text = "\n".join(lines)
+        Path(path).write_text(text)
+        return text

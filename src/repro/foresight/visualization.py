@@ -1,0 +1,120 @@
+"""Text-mode visualization: the last stage of the Foresight pipeline.
+
+The real Foresight renders matplotlib plots into Cinema databases; in
+this matplotlib-free environment the same information is rendered as
+aligned ASCII line charts plus machine-readable CSV series (both are
+valid Cinema artifacts).
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+) -> str:
+    """Render one or more y(x) series as an ASCII scatter chart."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise DataError("empty x axis")
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    for k, v in ys.items():
+        if v.shape != x.shape:
+            raise DataError(f"series {k!r} length does not match x")
+
+    xs = np.log10(np.maximum(x, 1e-300)) if logx else x
+    all_y = np.concatenate([v[np.isfinite(v)] for v in ys.values()])
+    if all_y.size == 0:
+        raise DataError("no finite y values")
+    ymin, ymax = float(all_y.min()), float(all_y.max())
+    if math.isclose(ymin, ymax):
+        ymin -= 0.5
+        ymax += 0.5
+    xmin, xmax = float(xs.min()), float(xs.max())
+    if math.isclose(xmin, xmax):
+        xmin -= 0.5
+        xmax += 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, v) in enumerate(ys.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for xi, yi in zip(xs, v):
+            if not (np.isfinite(xi) and np.isfinite(yi)):
+                continue
+            col = int((xi - xmin) / (xmax - xmin) * (width - 1))
+            row = int((yi - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{ymin:.4g}, {ymax:.4g}]   x: [{x.min():.4g}, {x.max():.4g}]"
+                 + ("  (log x)" if logx else ""))
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def save_series_csv(
+    path: str | Path,
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    x_name: str = "x",
+) -> Path:
+    """Write x plus named series as CSV columns."""
+    path = Path(path)
+    x = np.asarray(x, dtype=np.float64)
+    cols = {x_name: x}
+    for k, v in series.items():
+        v = np.asarray(v, dtype=np.float64)
+        if v.shape != x.shape:
+            raise DataError(f"series {k!r} length does not match x")
+        cols[k] = v
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(cols.keys())
+        for i in range(x.size):
+            writer.writerow([f"{cols[c][i]:.10g}" for c in cols])
+    return path
+
+
+def format_table(rows: list[dict[str, object]], columns: list[str] | None = None) -> str:
+    """Render records as an aligned text table (used by the benches)."""
+    if not rows:
+        raise DataError("no rows")
+    columns = columns or sorted({k for r in rows for k in r})
+    rendered = [
+        {c: _fmt(r.get(c, "")) for c in columns} for r in rows
+    ]
+    widths = {c: max(len(c), *(len(r[c]) for r in rendered)) for c in columns}
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    body = [" | ".join(r[c].ljust(widths[c]) for c in columns) for r in rendered]
+    return "\n".join([header, sep, *body])
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

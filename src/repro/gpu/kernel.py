@@ -1,0 +1,137 @@
+"""Roofline kernel-time model for the compression codecs.
+
+Kernel time is ``max(compute time, memory time)`` where
+
+* compute time = ``N * ops_per_value(knob) / (efficiency * peak_flops)``;
+* memory time  = ``traffic_bytes(N, knob) / mem_bandwidth``.
+
+The per-codec coefficients are calibrated so that the V100 reproduces the
+throughput regimes reported for cuZFP and (projected) cuSZ around the
+paper's time frame — tens of GB/s kernels, decreasing with bitrate
+(paper Fig. 10 and Section V-C: "the kernel throughput is also decreased
+by increasing the bitrate").  Absolute numbers are model outputs, not
+measurements; EXPERIMENTS.md flags them as such.
+
+CPU throughputs for Fig. 8 follow published single-core SZ/ZFP figures
+with an Amdahl-style parallel efficiency for the OpenMP variants.  ZFP's
+OpenMP decompression did not exist at the paper's time (Fig. 8 "N/A"),
+which :func:`cpu_throughput` reproduces by returning ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.gpu.device import CPU_XEON_6148, CPUSpec, GPUSpec
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CodecKernelModel:
+    """Operation/traffic coefficients of one GPU codec kernel.
+
+    ``ops_per_value = ops_base + ops_per_bit * bits_per_value`` — embedded
+    coding and Huffman stages do work proportional to the bits they emit,
+    on top of a fixed transform/prediction cost.
+    """
+
+    name: str
+    ops_base: float
+    ops_per_bit: float
+    flop_efficiency: float
+    #: bytes of device-memory traffic per value beyond the compressed bits
+    traffic_base_bytes: float
+
+    def ops_per_value(self, bits_per_value: float) -> float:
+        return self.ops_base + self.ops_per_bit * bits_per_value
+
+    def traffic_bytes(self, nvalues: float, bits_per_value: float) -> float:
+        return nvalues * (self.traffic_base_bytes + bits_per_value / 8.0)
+
+
+#: cuZFP compression kernel.  Calibrated so the V100 kernel is
+#: memory-bandwidth-bound (~105 GB/s) at low rates and slides into the
+#: compute roof at high rates — reproducing both the paper's observation
+#: that the kernel is cheap next to the PCIe memcpy (Fig. 7) and the
+#: decreasing kernel throughput with bitrate (Fig. 10).
+CUZFP_COMPRESS = CodecKernelModel("cuzfp-compress", ops_base=50.0, ops_per_bit=25.0, flop_efficiency=0.5, traffic_base_bytes=8.0)
+#: cuZFP decompression kernel (lighter: no forward transform bookkeeping).
+CUZFP_DECOMPRESS = CodecKernelModel("cuzfp-decompress", ops_base=40.0, ops_per_bit=20.0, flop_efficiency=0.5, traffic_base_bytes=8.0)
+#: Projected cuSZ-style kernel (the paper withholds GPU-SZ throughput as
+#: the OpenMP prototype's memory layout was unoptimized; these are the
+#: projected post-optimization numbers the SZ team anticipated).
+CUSZ_COMPRESS = CodecKernelModel("cusz-compress", ops_base=120.0, ops_per_bit=30.0, flop_efficiency=0.35, traffic_base_bytes=12.0)
+CUSZ_DECOMPRESS = CodecKernelModel("cusz-decompress", ops_base=100.0, ops_per_bit=25.0, flop_efficiency=0.35, traffic_base_bytes=12.0)
+
+_GPU_KERNELS = {
+    ("cuzfp", "compress"): CUZFP_COMPRESS,
+    ("cuzfp", "decompress"): CUZFP_DECOMPRESS,
+    ("cusz", "compress"): CUSZ_COMPRESS,
+    ("cusz", "decompress"): CUSZ_DECOMPRESS,
+}
+
+
+def kernel_time(
+    device: GPUSpec,
+    codec: str,
+    direction: str,
+    nvalues: float,
+    bits_per_value: float,
+) -> float:
+    """Seconds the (de)compression kernel runs on ``device``."""
+    check_positive(nvalues, "nvalues")
+    check_positive(bits_per_value, "bits_per_value")
+    key = (codec.lower(), direction)
+    if key not in _GPU_KERNELS:
+        known = sorted({c for c, _ in _GPU_KERNELS})
+        raise ConfigError(f"no kernel model for codec={codec!r} direction={direction!r}; codecs: {known}")
+    model = _GPU_KERNELS[key]
+    compute = nvalues * model.ops_per_value(bits_per_value) / (
+        model.flop_efficiency * device.peak_flops
+    )
+    memory = model.traffic_bytes(nvalues, bits_per_value) / device.mem_bandwidth
+    return max(compute, memory)
+
+
+# -- CPU reference (Fig. 8) --------------------------------------------------
+
+#: Single-core throughputs in bytes/s, from the SZ/ZFP literature the paper
+#: cites (SZ ~hundreds of MB/s; ZFP several hundred MB/s serial).
+_CPU_SINGLE_CORE = {
+    ("sz", "compress"): 180e6,
+    ("sz", "decompress"): 350e6,
+    ("zfp", "compress"): 400e6,
+    ("zfp", "decompress"): 800e6,
+}
+
+#: OpenMP strong-scaling efficiency at 20 cores.
+_OMP_EFFICIENCY = {
+    ("sz", "compress"): 0.75,
+    ("sz", "decompress"): 0.75,
+    ("zfp", "compress"): 0.80,
+    # ZFP had no OpenMP decompression at the paper's time (Fig. 8 N/A).
+    ("zfp", "decompress"): None,
+}
+
+
+def cpu_throughput(
+    codec: str,
+    direction: str,
+    threads: int = 1,
+    cpu: CPUSpec = CPU_XEON_6148,
+) -> float | None:
+    """Bytes/s on the reference CPU, or ``None`` when unsupported (the
+    Fig. 8 "N/A" cell: multi-threaded ZFP decompression)."""
+    key = (codec.lower(), direction)
+    if key not in _CPU_SINGLE_CORE:
+        known = sorted({c for c, _ in _CPU_SINGLE_CORE})
+        raise ConfigError(f"no CPU model for codec={codec!r}; codecs: {known}")
+    single = _CPU_SINGLE_CORE[key]
+    if threads <= 1:
+        return single
+    eff = _OMP_EFFICIENCY[key]
+    if eff is None:
+        return None
+    threads = min(threads, cpu.cores)
+    return single * threads * eff

@@ -1,0 +1,90 @@
+"""Node-level in-situ compression model (the paper's Summit argument).
+
+Section V-C: "taking into account multiple GPUs on a single node, for
+instance, six Nvidia Tesla V100 GPUs per Summit node, cuZFP can
+significantly reduce the compression overhead to 1/40 of the original
+multi-core compression overhead (e.g., from more than 10% to lower than
+0.3%)".  This module composes the per-GPU runtime model into that
+node-level overhead computation: given a timestep duration and a
+snapshot size per node, what fraction of the step does compression cost
+on (a) the node's CPUs and (b) its GPUs?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+from repro.gpu.device import GPUSpec, V100
+from repro.gpu.kernel import cpu_throughput
+from repro.gpu.runtime import simulate_compression
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: GPUs + a reference CPU."""
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    cpu_threads: int
+
+
+#: Summit-like node: 6 V100s, ~40 usable CPU cores (2x IBM POWER9 22c).
+SUMMIT_NODE = NodeSpec("Summit-like", gpu=V100, n_gpus=6, cpu_threads=40)
+
+
+@dataclass(frozen=True)
+class InSituOverhead:
+    """Compression cost relative to one simulation timestep."""
+
+    strategy: str
+    compression_seconds: float
+    timestep_seconds: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.compression_seconds / self.timestep_seconds
+
+
+def node_insitu_overhead(
+    snapshot_bytes_per_node: float,
+    timestep_seconds: float,
+    bits_per_value: float,
+    node: NodeSpec = SUMMIT_NODE,
+    value_bytes: int = 4,
+    cpu_codec: str = "sz",
+) -> list[InSituOverhead]:
+    """Overhead of compressing one snapshot per timestep, CPU vs GPU.
+
+    The GPU path assumes data is GPU-resident (the paper's Metric 4
+    protocol) and splits the snapshot evenly across the node's GPUs; the
+    CPU path must run the multi-core compressor over the whole snapshot.
+    """
+    check_positive(snapshot_bytes_per_node, "snapshot_bytes_per_node")
+    check_positive(timestep_seconds, "timestep_seconds")
+    if node.n_gpus < 1:
+        raise DataError("node needs at least one GPU")
+
+    out = []
+    cpu_bw = cpu_throughput(cpu_codec, "compress", threads=node.cpu_threads)
+    out.append(
+        InSituOverhead(
+            strategy=f"{cpu_codec.upper()} on {node.cpu_threads} CPU threads",
+            compression_seconds=snapshot_bytes_per_node / cpu_bw,
+            timestep_seconds=timestep_seconds,
+        )
+    )
+    per_gpu_values = snapshot_bytes_per_node / node.n_gpus / value_bytes
+    run = simulate_compression(
+        int(per_gpu_values), bits_per_value, device=node.gpu, value_bytes=value_bytes
+    )
+    out.append(
+        InSituOverhead(
+            strategy=f"cuZFP on {node.n_gpus}x {node.gpu.name}",
+            compression_seconds=run.total_seconds,  # GPUs run concurrently
+            timestep_seconds=timestep_seconds,
+        )
+    )
+    return out

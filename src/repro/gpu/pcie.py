@@ -1,0 +1,41 @@
+"""Host-device interconnect model.
+
+All GPUs in the paper's experiments hang off 16-lane PCIe 3.0
+(Section IV-B-3), whose 15.75 GB/s theoretical rate delivers ~12 GB/s in
+practice for large cudaMemcpy transfers.  A transfer costs a fixed launch
+latency plus size over effective bandwidth; the latency term is what makes
+tiny compressed payloads not infinitely fast in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    name: str
+    effective_bandwidth_gbps: float
+    latency_s: float
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bytes per second."""
+        return self.effective_bandwidth_gbps * 1e9
+
+
+#: 16-lane PCIe 3.0 — the paper's configuration for every GPU.
+PCIE3_X16 = Interconnect("PCIe 3.0 x16", effective_bandwidth_gbps=12.0, latency_s=10e-6)
+
+#: NVLink 2.0 — the faster interconnect the paper cites as future mitigation.
+NVLINK2 = Interconnect("NVLink 2.0", effective_bandwidth_gbps=70.0, latency_s=5e-6)
+
+
+def transfer_time(nbytes: float, link: Interconnect = PCIE3_X16) -> float:
+    """Seconds to move ``nbytes`` across ``link`` (one direction)."""
+    check_positive(nbytes, "nbytes", strict=False)
+    if nbytes == 0:
+        return 0.0
+    return link.latency_s + nbytes / link.effective_bandwidth

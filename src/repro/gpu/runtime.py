@@ -1,0 +1,171 @@
+"""Simulated GPU compression runs with Fig. 7-style timelines.
+
+The paper's measurement protocol (Section III, Metric 4): simulation data
+already lives in GPU memory; compression runs on-device; only the
+*compressed* bytes cross PCIe to the host.  Decompression is the mirror
+image: compressed bytes move host-to-device, the kernel reconstructs, and
+the output stays on the GPU for the next analysis task.
+
+Each run decomposes into the four stages of Fig. 7:
+
+* ``init``   — parameter upload + cudaMalloc of the output buffer;
+* ``kernel`` — the (de)compression kernel itself;
+* ``memcpy`` — compressed data over the interconnect;
+* ``free``   — cudaFree.
+
+The *baseline* (red dashed line in Fig. 7a) is moving the uncompressed
+data across PCIe with no compression at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import GPUSpec, V100
+from repro.gpu.kernel import kernel_time
+from repro.gpu.pcie import Interconnect, PCIE3_X16, transfer_time
+from repro.util.validation import check_positive
+
+#: Fixed driver-side costs (cudaMalloc/cudaFree/param upload), seconds.
+_INIT_FIXED_S = 4.0e-4
+_INIT_PER_BYTE_S = 1.0e-13  # allocation scales weakly with size
+_FREE_FIXED_S = 2.5e-4
+
+
+@dataclass(frozen=True)
+class TimelineStage:
+    name: str
+    seconds: float
+
+
+@dataclass
+class GPUCompressionRun:
+    """Result of one simulated (de)compression launch."""
+
+    device: GPUSpec
+    codec: str
+    direction: str
+    nvalues: int
+    value_bytes: int
+    bits_per_value: float
+    link: Interconnect
+    stages: list[TimelineStage] = field(default_factory=list)
+
+    @property
+    def original_bytes(self) -> float:
+        return float(self.nvalues) * self.value_bytes
+
+    @property
+    def compressed_bytes(self) -> float:
+        return self.nvalues * self.bits_per_value / 8.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    @property
+    def kernel_seconds(self) -> float:
+        return next(s.seconds for s in self.stages if s.name == "kernel")
+
+    @property
+    def kernel_throughput(self) -> float:
+        """Bytes of original data per second through the kernel alone."""
+        return self.original_bytes / self.kernel_seconds
+
+    @property
+    def overall_throughput(self) -> float:
+        """Bytes of original data per second including transfers (the
+        dashed-line quantity of Fig. 10)."""
+        return self.original_bytes / self.total_seconds
+
+    @property
+    def overlapped_total_seconds(self) -> float:
+        """Total with asynchronous kernel/transfer overlap.
+
+        The paper (Section V-C): throughput "can be further improved by
+        using ... asynchronous GPU-CPU communication".  With the stream
+        pipelined in chunks, the kernel and the memcpy run concurrently,
+        so the steady-state cost is the max of the two plus the fixed
+        driver overheads.
+        """
+        by_name = self.breakdown()
+        return (
+            by_name["init"]
+            + max(by_name["kernel"], by_name["memcpy"])
+            + by_name["free"]
+        )
+
+    @property
+    def overlapped_throughput(self) -> float:
+        """Bytes of original data per second under async overlap."""
+        return self.original_bytes / self.overlapped_total_seconds
+
+    @property
+    def baseline_seconds(self) -> float:
+        """Moving the uncompressed data over the link (Fig. 7 baseline)."""
+        return transfer_time(self.original_bytes, self.link)
+
+    def breakdown(self) -> dict[str, float]:
+        """Stage name -> seconds, in timeline order."""
+        return {s.name: s.seconds for s in self.stages}
+
+
+def _make_run(
+    device: GPUSpec,
+    codec: str,
+    direction: str,
+    nvalues: int,
+    value_bytes: int,
+    bits_per_value: float,
+    link: Interconnect,
+) -> GPUCompressionRun:
+    check_positive(nvalues, "nvalues")
+    check_positive(bits_per_value, "bits_per_value")
+    run = GPUCompressionRun(
+        device=device,
+        codec=codec,
+        direction=direction,
+        nvalues=nvalues,
+        value_bytes=value_bytes,
+        bits_per_value=bits_per_value,
+        link=link,
+    )
+    alloc_bytes = run.compressed_bytes if direction == "compress" else run.original_bytes
+    init = _INIT_FIXED_S + alloc_bytes * _INIT_PER_BYTE_S
+    kern = kernel_time(device, codec, direction, nvalues, bits_per_value)
+    copy = transfer_time(run.compressed_bytes, link)
+    if direction == "compress":
+        stages = [("init", init), ("kernel", kern), ("memcpy", copy), ("free", _FREE_FIXED_S)]
+    else:
+        stages = [("init", init), ("memcpy", copy), ("kernel", kern), ("free", _FREE_FIXED_S)]
+    run.stages = [TimelineStage(n, s) for n, s in stages]
+    return run
+
+
+def simulate_compression(
+    nvalues: int,
+    bits_per_value: float,
+    device: GPUSpec = V100,
+    codec: str = "cuzfp",
+    value_bytes: int = 4,
+    link: Interconnect = PCIE3_X16,
+) -> GPUCompressionRun:
+    """Simulate compressing ``nvalues`` values already resident on the GPU.
+
+    ``bits_per_value`` is the *actual* compressed bitrate — pass the
+    measured :attr:`CompressedBuffer.bitrate` of a real compression to
+    couple the model to real compressibility.
+    """
+    return _make_run(device, codec, "compress", nvalues, value_bytes, bits_per_value, link)
+
+
+def simulate_decompression(
+    nvalues: int,
+    bits_per_value: float,
+    device: GPUSpec = V100,
+    codec: str = "cuzfp",
+    value_bytes: int = 4,
+    link: Interconnect = PCIE3_X16,
+) -> GPUCompressionRun:
+    """Simulate decompressing onto the GPU (compressed bytes cross PCIe)."""
+    return _make_run(device, codec, "decompress", nvalues, value_bytes, bits_per_value, link)

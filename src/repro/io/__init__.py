@@ -1,0 +1,21 @@
+"""File-format substrates.
+
+The paper's datasets ship as GenericIO (HACC) and HDF5 (Nyx); these
+modules are minimal from-scratch equivalents with the same structural
+contracts — named variables with dtypes and per-block CRCs for
+GenericIO-like files, and a hierarchical group/dataset tree for the
+HDF5-like container — so the examples and Foresight I/O paths exercise
+realistic file handling.
+"""
+
+from repro.io.genericio import GenericIOFile, read_genericio, write_genericio
+from repro.io.hdf5like import H5LikeFile
+from repro.io.json_records import RecordStore
+
+__all__ = [
+    "GenericIOFile",
+    "read_genericio",
+    "write_genericio",
+    "H5LikeFile",
+    "RecordStore",
+]

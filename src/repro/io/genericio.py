@@ -1,0 +1,96 @@
+"""A GenericIO-like blocked binary format.
+
+GenericIO (the HACC I/O library) writes self-describing files: a header
+listing named variables with dtypes and sizes, followed by per-variable
+data blocks protected by CRCs.  This module reproduces that contract:
+
+* header: magic, JSON table of contents (name, dtype, count, offset, crc);
+* body: raw little-endian array bytes per variable;
+* every read verifies the CRC (zlib.crc32) and raises
+  :class:`CorruptStreamError` on mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CorruptStreamError, DataError
+
+_MAGIC = b"GIO1"
+
+
+@dataclass
+class GenericIOFile:
+    """In-memory view of a GenericIO-like file: name -> 1-D array."""
+
+    variables: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        for name, arr in self.variables.items():
+            if arr.ndim != 1:
+                raise DataError(f"GenericIO variable {name!r} must be 1-D")
+
+
+def write_genericio(path: str | Path, variables: dict[str, np.ndarray]) -> None:
+    """Write ``variables`` (1-D arrays) to ``path``."""
+    gio = GenericIOFile(variables=variables)
+    toc = []
+    blobs = []
+    offset = 0
+    for name, arr in gio.variables.items():
+        data = np.ascontiguousarray(arr).tobytes()
+        toc.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "count": int(arr.size),
+                "offset": offset,
+                "crc": zlib.crc32(data),
+            }
+        )
+        blobs.append(data)
+        offset += len(data)
+    header = json.dumps(toc).encode()
+    with open(path, "wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<Q", len(header)))
+        fh.write(header)
+        for blob in blobs:
+            fh.write(blob)
+
+
+def read_genericio(
+    path: str | Path, variables: list[str] | None = None
+) -> GenericIOFile:
+    """Read (a subset of) the variables in a GenericIO-like file."""
+    with open(path, "rb") as fh:
+        magic = fh.read(4)
+        if magic != _MAGIC:
+            raise CorruptStreamError(f"bad GenericIO magic {magic!r}")
+        (hlen,) = struct.unpack("<Q", fh.read(8))
+        toc = json.loads(fh.read(hlen).decode())
+        base = fh.tell()
+        out: dict[str, np.ndarray] = {}
+        for entry in toc:
+            if variables is not None and entry["name"] not in variables:
+                continue
+            dtype = np.dtype(entry["dtype"])
+            nbytes = entry["count"] * dtype.itemsize
+            fh.seek(base + entry["offset"])
+            blob = fh.read(nbytes)
+            if len(blob) != nbytes:
+                raise CorruptStreamError(f"variable {entry['name']!r} truncated")
+            if zlib.crc32(blob) != entry["crc"]:
+                raise CorruptStreamError(f"CRC mismatch in variable {entry['name']!r}")
+            out[entry["name"]] = np.frombuffer(blob, dtype=dtype).copy()
+    if variables is not None:
+        missing = set(variables) - set(out)
+        if missing:
+            raise DataError(f"variables not in file: {sorted(missing)}")
+    return GenericIOFile(variables=out)

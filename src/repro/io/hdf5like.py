@@ -1,0 +1,109 @@
+"""A minimal hierarchical container standing in for HDF5.
+
+Nyx snapshots are HDF5 files with grouped 3-D datasets.  This container
+keeps the structural contract — slash-separated group paths, named N-D
+datasets with dtypes and shapes, attributes per node — in a single file:
+a JSON table of contents followed by raw array bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CorruptStreamError, DataError
+
+_MAGIC = b"H5L1"
+
+
+class H5LikeFile:
+    """Hierarchical dataset container.
+
+    >>> f = H5LikeFile()
+    >>> f.create_dataset("native_fields/baryon_density", np.zeros((4, 4, 4)))
+    >>> f.attrs["format"] = "nyx"
+    >>> f.save("/tmp/x.h5l")          # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._datasets: dict[str, np.ndarray] = {}
+        self.attrs: dict[str, object] = {}
+
+    def create_dataset(self, path: str, data: np.ndarray) -> None:
+        path = path.strip("/")
+        if not path:
+            raise DataError("dataset path must be non-empty")
+        if path in self._datasets:
+            raise DataError(f"dataset {path!r} already exists")
+        self._datasets[path] = np.ascontiguousarray(data)
+
+    def __getitem__(self, path: str) -> np.ndarray:
+        path = path.strip("/")
+        if path not in self._datasets:
+            raise KeyError(path)
+        return self._datasets[path]
+
+    def __contains__(self, path: str) -> bool:
+        return path.strip("/") in self._datasets
+
+    def keys(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def groups(self) -> list[str]:
+        """All intermediate group paths implied by the dataset names."""
+        out: set[str] = set()
+        for path in self._datasets:
+            parts = path.split("/")
+            for i in range(1, len(parts)):
+                out.add("/".join(parts[:i]))
+        return sorted(out)
+
+    def save(self, path: str | Path) -> None:
+        toc = {"attrs": self.attrs, "datasets": []}
+        blobs = []
+        offset = 0
+        for name, arr in sorted(self._datasets.items()):
+            blob = arr.tobytes()
+            toc["datasets"].append(
+                {
+                    "name": name,
+                    "dtype": arr.dtype.str,
+                    "shape": list(arr.shape),
+                    "offset": offset,
+                }
+            )
+            blobs.append(blob)
+            offset += len(blob)
+        header = json.dumps(toc).encode()
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(struct.pack("<Q", len(header)))
+            fh.write(header)
+            for blob in blobs:
+                fh.write(blob)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "H5LikeFile":
+        with open(path, "rb") as fh:
+            if fh.read(4) != _MAGIC:
+                raise CorruptStreamError("bad H5Like magic")
+            (hlen,) = struct.unpack("<Q", fh.read(8))
+            toc = json.loads(fh.read(hlen).decode())
+            base = fh.tell()
+            out = cls()
+            out.attrs = dict(toc["attrs"])
+            for entry in toc["datasets"]:
+                dtype = np.dtype(entry["dtype"])
+                shape = tuple(entry["shape"])
+                nbytes = int(np.prod(shape)) * dtype.itemsize
+                fh.seek(base + entry["offset"])
+                blob = fh.read(nbytes)
+                if len(blob) != nbytes:
+                    raise CorruptStreamError(f"dataset {entry['name']!r} truncated")
+                out._datasets[entry["name"]] = np.frombuffer(blob, dtype=dtype).reshape(
+                    shape
+                ).copy()
+        return out

@@ -1,0 +1,55 @@
+"""Append-only JSON-lines record store for benchmark results.
+
+CBench and the experiment harness persist one JSON object per evaluated
+configuration; downstream analysis and the Cinema writer consume them as
+a list of flat dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import DataError
+
+
+class RecordStore:
+    """JSON-lines file of flat result records."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict[str, Any]) -> None:
+        if not isinstance(record, dict):
+            raise DataError("records must be dicts")
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, default=_json_default) + "\n")
+
+    def extend(self, records: Iterable[dict[str, Any]]) -> None:
+        for r in records:
+            self.append(r)
+
+    def load(self) -> list[dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        out = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+
+def _json_default(obj: Any) -> Any:
+    """Serialize numpy scalars/arrays transparently."""
+    import numpy as np
+
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)!r}")

@@ -1,0 +1,351 @@
+"""Canonical, length-limited Huffman coding.
+
+Design notes
+------------
+* **Length-limited codes.**  Code lengths are computed with the
+  package-merge algorithm (Larmore & Hirschberg 1990) under a configurable
+  limit (default 16 bits).  A bounded maximum length lets the decoder use a
+  single dense ``2^maxlen`` lookup table, which is what makes the
+  chunk-parallel decode below a table gather instead of a tree walk.
+* **Canonical form.**  Only the code *lengths* are serialized (5 bits per
+  alphabet symbol); both sides rebuild identical codewords by assigning
+  codes in (length, symbol) order.
+* **Vectorized encode.**  Symbols are mapped to (codeword, length) arrays
+  with fancy indexing and packed by
+  :func:`repro.util.bits.pack_varlen_codes` — no per-symbol Python loop.
+* **Chunk-parallel decode.**  The encoder records the bit offset of every
+  ``chunk_size``-symbol chunk, exactly like cuSZ's coarse-grained GPU
+  Huffman codec records per-chunk metadata so each thread block can decode
+  its chunk independently.  The decoder then advances *all* chunk cursors
+  in lockstep: each iteration gathers ``maxlen`` bits at every cursor,
+  looks up (symbol, length) in the dense table, and bumps the cursors —
+  ``chunk_size`` iterations of width-``nchunks`` vector operations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CorruptStreamError, DataError
+from repro.util.bits import pack_fixed_width, pack_varlen_codes, unpack_fixed_width
+
+_MAGIC = b"HUF1"
+
+
+def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
+    """Optimal length-limited code lengths for ``freqs`` (package-merge).
+
+    Zero-frequency symbols get length 0 (no codeword).  Raises
+    :class:`DataError` if the alphabet cannot be coded within ``max_len``
+    bits (needs ``2^max_len >= number of used symbols``).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    used = np.flatnonzero(freqs > 0)
+    n = used.size
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if n == 0:
+        return lengths
+    if n == 1:
+        lengths[used[0]] = 1
+        return lengths
+    if n > (1 << max_len):
+        raise DataError(f"alphabet of {n} symbols cannot fit in {max_len}-bit codes")
+
+    # Package-merge: work over "coins" of denominations 2^-1 .. 2^-max_len.
+    # items at each level: original leaves (weight, {symbol: count}) plus
+    # packages of pairs from the level below.  We track per-symbol activation
+    # counts; final code length of a symbol = number of times it is selected
+    # across the 2n-2 cheapest items at denomination 2^-1.
+    leaf_weights = freqs[used]
+    # Each item is (weight, id) where id indexes into a membership list.
+    memberships: list[np.ndarray] = []  # id -> count-vector over used symbols
+
+    def make_leaf(i: int) -> tuple[int, int]:
+        vec = np.zeros(n, dtype=np.int32)
+        vec[i] = 1
+        memberships.append(vec)
+        return (int(leaf_weights[i]), len(memberships) - 1)
+
+    prev_level: list[tuple[int, int]] = []
+    for level in range(max_len, 0, -1):
+        items = sorted(
+            [make_leaf(i) for i in range(n)] + prev_level, key=lambda t: t[0]
+        )
+        if level == 1:
+            take = items[: 2 * n - 2]
+            counts = np.zeros(n, dtype=np.int32)
+            for _, mid in take:
+                counts += memberships[mid]
+            lengths[used] = counts.astype(np.uint8)
+            return lengths
+        # Package pairs for the next level up.
+        next_level = []
+        for j in range(0, len(items) - 1, 2):
+            w = items[j][0] + items[j + 1][0]
+            vec = memberships[items[j][1]] + memberships[items[j + 1][1]]
+            memberships.append(vec)
+            next_level.append((w, len(memberships) - 1))
+        prev_level = next_level
+    raise AssertionError("unreachable")
+
+
+def huffman_lengths(freqs: np.ndarray, max_len: int = 16) -> np.ndarray:
+    """Code lengths for ``freqs``: classic Huffman, rebuilt with
+    package-merge only when the unconstrained tree exceeds ``max_len``.
+
+    The classic O(n log n) heap construction is much faster than
+    package-merge for the large alphabets SZ quantization produces, so it
+    is tried first.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    used = np.flatnonzero(freqs > 0)
+    lengths = np.zeros(freqs.size, dtype=np.uint8)
+    if used.size == 0:
+        return lengths
+    if used.size == 1:
+        lengths[used[0]] = 1
+        return lengths
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), int(s), [int(s)]) for s in used
+    ]
+    heapq.heapify(heap)
+    depth = np.zeros(freqs.size, dtype=np.int64)
+    tie = freqs.size
+    while len(heap) > 1:
+        w1, _, m1 = heapq.heappop(heap)
+        w2, _, m2 = heapq.heappop(heap)
+        members = m1 + m2
+        depth[members] += 1
+        heapq.heappush(heap, (w1 + w2, tie, members))
+        tie += 1
+    if depth[used].max() <= max_len:
+        lengths[used] = depth[used].astype(np.uint8)
+        return lengths
+    return package_merge_lengths(freqs, max_len)
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given per-symbol lengths.
+
+    Symbols are ordered by (length, symbol index); codes are consecutive
+    integers within a length class, shifted when the class length grows.
+    Kraft validity is checked and :class:`DataError` raised otherwise.
+    """
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    used = np.flatnonzero(lengths > 0)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    if used.size == 0:
+        return codes
+    kraft = np.sum(2.0 ** (-lengths[used].astype(np.float64)))
+    if kraft > 1.0 + 1e-9:
+        raise DataError(f"invalid code lengths (Kraft sum {kraft:.6f} > 1)")
+    order = used[np.lexsort((used, lengths[used]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for s in order:
+        ln = int(lengths[s])
+        code <<= ln - prev_len
+        codes[s] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanEncoded:
+    """Self-describing Huffman-compressed buffer (see :class:`HuffmanCodec`)."""
+
+    payload: bytes
+
+    def __len__(self) -> int:
+        return len(self.payload)
+
+
+class HuffmanCodec:
+    """Canonical length-limited Huffman codec over dense integer alphabets.
+
+    Symbols must be integers in ``[0, alphabet_size)``.  ``chunk_size``
+    controls the granularity of the parallel decode (and the offset-table
+    overhead: 8 bytes per chunk).
+    """
+
+    def __init__(self, max_len: int = 16, chunk_size: int = 4096) -> None:
+        if not 1 <= max_len <= 24:
+            raise DataError("max_len must be in [1, 24]")
+        if chunk_size < 1:
+            raise DataError("chunk_size must be >= 1")
+        self.max_len = max_len
+        self.chunk_size = chunk_size
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray, alphabet_size: int | None = None) -> HuffmanEncoded:
+        symbols = np.ascontiguousarray(symbols).ravel()
+        if symbols.size and symbols.min() < 0:
+            raise DataError("symbols must be nonnegative")
+        if alphabet_size is None:
+            alphabet_size = int(symbols.max()) + 1 if symbols.size else 1
+        if symbols.size and int(symbols.max()) >= alphabet_size:
+            raise DataError("symbol exceeds declared alphabet size")
+
+        freqs = np.bincount(symbols, minlength=alphabet_size).astype(np.int64)
+        lengths = huffman_lengths(freqs, self.max_len)
+        codes = canonical_codes(lengths)
+
+        sym_codes = codes[symbols]
+        sym_lengths = lengths[symbols].astype(np.int64)
+
+        # Per-chunk bit offsets for the parallel decoder.
+        n = symbols.size
+        nchunks = max(1, -(-n // self.chunk_size))
+        bit_cumsum = np.concatenate(([0], np.cumsum(sym_lengths)))
+        chunk_starts_sym = np.arange(nchunks) * self.chunk_size
+        chunk_bit_offsets = bit_cumsum[chunk_starts_sym].astype(np.uint64)
+
+        body, total_bits = pack_varlen_codes(sym_codes, sym_lengths)
+
+        header = struct.pack(
+            "<4sIIQQI",
+            _MAGIC,
+            alphabet_size,
+            self.max_len,
+            n,
+            total_bits,
+            self.chunk_size,
+        )
+        length_table = self._serialize_lengths(lengths, alphabet_size)
+        offsets = chunk_bit_offsets.tobytes()
+        payload = b"".join(
+            [
+                header,
+                struct.pack("<I", len(length_table)),
+                length_table,
+                struct.pack("<I", nchunks),
+                offsets,
+                body,
+            ]
+        )
+        return HuffmanEncoded(payload=payload)
+
+    @staticmethod
+    def _serialize_lengths(lengths: np.ndarray, alphabet_size: int) -> bytes:
+        """Code-length table: dense 5-bit lengths, or a sparse
+        (symbol, length) list when few symbols are used — skewed SZ
+        residual streams often use a handful of the 2*radius alphabet."""
+        used = np.flatnonzero(lengths > 0)
+        dense_bytes = -(-(5 * alphabet_size) // 8)
+        sparse_bytes = 4 + 5 * used.size  # u32 count + (u32 symbol, u8 len)
+        if sparse_bytes < dense_bytes:
+            parts = [b"\x01", struct.pack("<I", used.size)]
+            for s in used:
+                parts.append(struct.pack("<IB", int(s), int(lengths[s])))
+            return b"".join(parts)
+        return b"\x00" + pack_fixed_width(lengths.astype(np.uint64), 5)
+
+    @staticmethod
+    def _deserialize_lengths(blob: bytes, alphabet_size: int) -> np.ndarray:
+        if not blob:
+            raise CorruptStreamError("empty Huffman length table")
+        kind, rest = blob[0], blob[1:]
+        lengths = np.zeros(alphabet_size, dtype=np.uint8)
+        if kind == 0:
+            return unpack_fixed_width(rest, 5, alphabet_size).astype(np.uint8)
+        if kind != 1:
+            raise CorruptStreamError(f"unknown Huffman table format {kind}")
+        (count,) = struct.unpack("<I", rest[:4])
+        pos = 4
+        for _ in range(count):
+            sym, ln = struct.unpack("<IB", rest[pos : pos + 5])
+            pos += 5
+            if sym >= alphabet_size:
+                raise CorruptStreamError("sparse Huffman table symbol out of range")
+            lengths[sym] = ln
+        return lengths
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, encoded: HuffmanEncoded | bytes) -> np.ndarray:
+        payload = encoded.payload if isinstance(encoded, HuffmanEncoded) else encoded
+        hsize = struct.calcsize("<4sIIQQI")
+        if len(payload) < hsize:
+            raise CorruptStreamError("Huffman stream truncated (header)")
+        magic, alphabet_size, max_len, n, total_bits, chunk_size = struct.unpack(
+            "<4sIIQQI", payload[:hsize]
+        )
+        if magic != _MAGIC:
+            raise CorruptStreamError("bad Huffman magic")
+        try:
+            pos = hsize
+            (lt_len,) = struct.unpack("<I", payload[pos : pos + 4])
+            pos += 4
+            lengths = self._deserialize_lengths(
+                payload[pos : pos + lt_len], alphabet_size
+            )
+            pos += lt_len
+            (nchunks,) = struct.unpack("<I", payload[pos : pos + 4])
+            pos += 4
+            if len(payload) < pos + 8 * nchunks:
+                raise CorruptStreamError("Huffman stream truncated (offsets)")
+            chunk_offsets = np.frombuffer(
+                payload[pos : pos + 8 * nchunks], dtype=np.uint64
+            ).astype(np.int64)
+            pos += 8 * nchunks
+        except struct.error as exc:
+            raise CorruptStreamError(f"Huffman stream truncated: {exc}") from exc
+        body = payload[pos:]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+
+        codes = canonical_codes(lengths)
+        table_sym, table_len = self._build_decode_table(codes, lengths, max_len)
+
+        bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8), bitorder="big")
+        if bits.size < total_bits:
+            raise CorruptStreamError("Huffman stream truncated (body)")
+        # Pad so that gathering max_len bits never runs off the end.
+        bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+
+        out = np.empty(n, dtype=np.int64)
+        cursors = chunk_offsets.copy()
+        counts = np.minimum(
+            chunk_size, n - np.arange(nchunks, dtype=np.int64) * chunk_size
+        )
+        weights = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
+        window = np.arange(max_len, dtype=np.int64)
+        max_iters = int(counts.max())
+        for step in range(max_iters):
+            active = np.flatnonzero(counts > step)
+            idx = cursors[active, None] + window[None, :]
+            keys = bits[idx].astype(np.int64) @ weights
+            syms = table_sym[keys]
+            lens = table_len[keys]
+            if np.any(lens == 0):
+                raise CorruptStreamError("invalid codeword in Huffman stream")
+            out[active * chunk_size + step] = syms
+            cursors[active] += lens
+        if int(cursors.max(initial=0)) > total_bits:
+            raise CorruptStreamError("Huffman decode overran declared bit length")
+        return out
+
+    @staticmethod
+    def _build_decode_table(
+        codes: np.ndarray, lengths: np.ndarray, max_len: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense table: top ``max_len`` bits -> (symbol, code length)."""
+        size = 1 << max_len
+        table_sym = np.zeros(size, dtype=np.int64)
+        table_len = np.zeros(size, dtype=np.int64)
+        used = np.flatnonzero(lengths > 0)
+        for s in used:
+            ln = int(lengths[s])
+            if ln > max_len:
+                raise CorruptStreamError("code length exceeds declared max_len")
+            prefix = int(codes[s]) << (max_len - ln)
+            span = 1 << (max_len - ln)
+            table_sym[prefix : prefix + span] = s
+            table_len[prefix : prefix + span] = ln
+        return table_sym, table_len

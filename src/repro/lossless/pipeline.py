@@ -1,0 +1,68 @@
+"""Composable lossless pipelines.
+
+SZ's lossless stage chains entropy coding with a dictionary coder.  A
+:class:`LosslessPipeline` names an ordered list of byte-level stages and
+applies/unwinds them; the stream records which pipeline produced it so the
+decoder is self-describing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable
+
+from repro.errors import ConfigError, CorruptStreamError
+from repro.lossless.lzss import lzss_compress, lzss_decompress
+
+_MAGIC = b"PIPE"
+
+_STAGES: dict[str, tuple[Callable[[bytes], bytes], Callable[[bytes], bytes]]] = {
+    "identity": (lambda b: b, lambda b: b),
+    "lzss": (lzss_compress, lzss_decompress),
+}
+
+
+def register_stage(
+    name: str,
+    compress: Callable[[bytes], bytes],
+    decompress: Callable[[bytes], bytes],
+) -> None:
+    """Register a custom byte-level stage under ``name``."""
+    if name in _STAGES:
+        raise ConfigError(f"lossless stage {name!r} already registered")
+    _STAGES[name] = (compress, decompress)
+
+
+class LosslessPipeline:
+    """Ordered chain of byte-level lossless stages.
+
+    >>> pipe = LosslessPipeline(["lzss"])
+    >>> pipe.decompress(pipe.compress(b"abcabcabc" * 10)) == b"abcabcabc" * 10
+    True
+    """
+
+    def __init__(self, stages: list[str] | None = None) -> None:
+        self.stages = list(stages or [])
+        for s in self.stages:
+            if s not in _STAGES:
+                raise ConfigError(f"unknown lossless stage {s!r}")
+
+    def compress(self, data: bytes) -> bytes:
+        names = ",".join(self.stages).encode()
+        out = data
+        for s in self.stages:
+            out = _STAGES[s][0](out)
+        return _MAGIC + struct.pack("<H", len(names)) + names + out
+
+    def decompress(self, payload: bytes) -> bytes:
+        if payload[:4] != _MAGIC:
+            raise CorruptStreamError("bad lossless-pipeline magic")
+        (nlen,) = struct.unpack("<H", payload[4:6])
+        names = payload[6 : 6 + nlen].decode()
+        stages = [s for s in names.split(",") if s]
+        out = payload[6 + nlen :]
+        for s in reversed(stages):
+            if s not in _STAGES:
+                raise CorruptStreamError(f"stream uses unknown stage {s!r}")
+            out = _STAGES[s][1](out)
+        return out

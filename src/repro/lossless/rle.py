@@ -1,0 +1,38 @@
+"""Run-length coding for integer symbol streams.
+
+Dual-quantized Lorenzo residuals on smooth cosmology fields are dominated
+by the "exactly predicted" symbol, producing very long runs; RLE ahead of
+Huffman captures them cheaply.  The encoding is a pair of arrays
+(values, run lengths) — both vectorized via ``np.diff`` boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def rle_encode(symbols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Encode ``symbols`` as (values, run_lengths).
+
+    ``np.repeat(values, run_lengths)`` reconstructs the input exactly.
+    """
+    symbols = np.ascontiguousarray(symbols).ravel()
+    if symbols.size == 0:
+        return symbols[:0], np.zeros(0, dtype=np.int64)
+    boundaries = np.flatnonzero(np.diff(symbols) != 0)
+    starts = np.concatenate(([0], boundaries + 1))
+    ends = np.concatenate((boundaries + 1, [symbols.size]))
+    return symbols[starts], (ends - starts).astype(np.int64)
+
+
+def rle_decode(values: np.ndarray, run_lengths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    values = np.asarray(values)
+    run_lengths = np.asarray(run_lengths, dtype=np.int64)
+    if values.shape != run_lengths.shape:
+        raise DataError("values and run_lengths must have identical shapes")
+    if run_lengths.size and run_lengths.min() <= 0:
+        raise DataError("run lengths must be positive")
+    return np.repeat(values, run_lengths)

@@ -1,0 +1,91 @@
+"""General distortion metrics (the paper's Metric 2 plus CBench's set).
+
+All functions compare an original and a reconstructed array in float64 to
+keep the metric itself from adding rounding noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DataError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise DataError("empty arrays")
+    return a, b
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    return float(np.mean((a - b) ** 2))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Largest absolute pointwise error (what ABS mode bounds)."""
+    a, b = _pair(original, reconstructed)
+    return float(np.max(np.abs(a - b)))
+
+
+def max_pointwise_relative_error(
+    original: np.ndarray, reconstructed: np.ndarray
+) -> float:
+    """Largest ``|x' - x| / |x|`` over nonzero originals (PW_REL's bound)."""
+    a, b = _pair(original, reconstructed)
+    nz = a != 0
+    if not nz.any():
+        return 0.0
+    return float(np.max(np.abs((b[nz] - a[nz]) / a[nz])))
+
+
+def mean_relative_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """MRE: mean absolute error normalized by the value range (CBench's
+    definition, robust to zeros in the data)."""
+    a, b = _pair(original, reconstructed)
+    vrange = float(a.max() - a.min())
+    if vrange == 0:
+        return 0.0
+    return float(np.mean(np.abs(a - b)) / vrange)
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the value range."""
+    a, b = _pair(original, reconstructed)
+    vrange = float(a.max() - a.min())
+    if vrange == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((a - b) ** 2)) / vrange)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB, ``10 log10(range^2 / MSE)``.
+
+    Returns ``inf`` for exact reconstructions (the rate-distortion plots
+    clip it).  This is the definition used for Fig. 4.
+    """
+    a, b = _pair(original, reconstructed)
+    err = mse(a, b)
+    vrange = float(a.max() - a.min())
+    if err == 0:
+        return float("inf")
+    if vrange == 0:
+        return float("-inf") if err > 0 else float("inf")
+    return float(10.0 * np.log10(vrange**2 / err))
+
+
+def evaluate_distortion(original: np.ndarray, reconstructed: np.ndarray) -> dict[str, float]:
+    """All scalar distortion metrics in one dict (CBench's output row)."""
+    return {
+        "mse": mse(original, reconstructed),
+        "psnr": psnr(original, reconstructed),
+        "mre": mean_relative_error(original, reconstructed),
+        "nrmse": nrmse(original, reconstructed),
+        "max_abs_error": max_abs_error(original, reconstructed),
+        "max_pw_rel_error": max_pointwise_relative_error(original, reconstructed),
+    }

@@ -1,0 +1,23 @@
+"""Size metrics: compression ratio and bitrate (the paper's Metric 1).
+
+The conversion the paper spells out: for 32-bit inputs a bitrate of 4.0
+bits/value is a compression ratio of 8x.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataError
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Original size over compressed size."""
+    if original_bytes <= 0 or compressed_bytes <= 0:
+        raise DataError("sizes must be positive")
+    return original_bytes / compressed_bytes
+
+
+def bitrate(compressed_bytes: int, n_values: int) -> float:
+    """Average bits per value of the compressed representation."""
+    if compressed_bytes < 0 or n_values <= 0:
+        raise DataError("invalid sizes")
+    return 8.0 * compressed_bytes / n_values

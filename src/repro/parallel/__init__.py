@@ -1,0 +1,36 @@
+"""Simulated distributed-memory substrate.
+
+HACC writes its snapshots from an MPI domain decomposition (the paper's
+dataset comes from 8x8x4 ranks — the origin of the 1-D->3-D partition
+sizes in Section IV-B-4), compresses *per rank*, and finds halos with a
+parallel FoF.  This package reproduces those parallel algorithms
+in-process:
+
+* :mod:`repro.parallel.decomposition` — Cartesian box decomposition,
+  particle-to-rank assignment, ghost-layer exchange with communication
+  accounting.
+* :mod:`repro.parallel.compression` — per-rank independent compression
+  (exactly how the paper's dataset was produced) with global error-bound
+  validation.
+* :mod:`repro.parallel.fof` — distributed Friends-of-Friends: local FoF
+  per rank over owned+ghost particles, then a global union of group
+  fragments through shared ghost particles.  Verified against the serial
+  finder.
+"""
+
+from repro.parallel.compression import DistributedCompressionResult, compress_distributed
+from repro.parallel.decomposition import (
+    CartesianDecomposition,
+    GhostExchange,
+    RankParticles,
+)
+from repro.parallel.fof import distributed_fof
+
+__all__ = [
+    "CartesianDecomposition",
+    "RankParticles",
+    "GhostExchange",
+    "compress_distributed",
+    "DistributedCompressionResult",
+    "distributed_fof",
+]

@@ -1,0 +1,85 @@
+"""Per-rank independent compression — how the paper's dataset was made.
+
+HACC's GenericIO files store each MPI rank's particles contiguously
+("the HACC simulation used to generate this dataset runs with 8x8x4 MPI
+processes, and each MPI process saves its own portion"), and in-situ
+compression happens independently per rank.  This module reproduces that
+path: scatter a particle field by rank, compress every rank's share
+separately, and reassemble — validating that the global error bound
+survives the decomposition (it must: ABS bounds compose trivially).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer, Compressor
+from repro.errors import DataError
+from repro.parallel.decomposition import CartesianDecomposition
+
+
+@dataclass
+class DistributedCompressionResult:
+    """Per-rank buffers plus global reassembly bookkeeping."""
+
+    buffers: list[CompressedBuffer]
+    owned_ids: list[np.ndarray]
+    n_total: int
+
+    @property
+    def compressed_nbytes(self) -> int:
+        return sum(b.compressed_nbytes for b in self.buffers)
+
+    @property
+    def original_nbytes(self) -> int:
+        return sum(b.original_nbytes for b in self.buffers)
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.original_nbytes / max(1, self.compressed_nbytes)
+
+    def per_rank_ratios(self) -> list[float]:
+        return [b.compression_ratio for b in self.buffers]
+
+
+def compress_distributed(
+    compressor: Compressor,
+    values: np.ndarray,
+    positions: np.ndarray,
+    decomp: CartesianDecomposition,
+    **params: Any,
+) -> DistributedCompressionResult:
+    """Compress ``values`` (one per particle) rank by rank."""
+    values = np.asarray(values)
+    if values.ndim != 1 or values.shape[0] != positions.shape[0]:
+        raise DataError("values must be 1-D with one entry per particle")
+    owned = decomp.scatter(positions)
+    buffers = []
+    for ids in owned:
+        if ids.size == 0:
+            continue
+        buffers.append(compressor.compress(values[ids], **params))
+    kept_ids = [ids for ids in owned if ids.size]
+    return DistributedCompressionResult(
+        buffers=buffers, owned_ids=kept_ids, n_total=values.shape[0]
+    )
+
+
+def decompress_distributed(
+    compressor: Compressor,
+    result: DistributedCompressionResult,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Reassemble the global field from per-rank buffers."""
+    out: np.ndarray | None = None
+    for buf, ids in zip(result.buffers, result.owned_ids):
+        chunk = compressor.decompress(buf)
+        if out is None:
+            out = np.empty(result.n_total, dtype=dtype or chunk.dtype)
+        out[ids] = chunk
+    if out is None:
+        raise DataError("nothing to decompress")
+    return out

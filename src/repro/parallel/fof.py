@@ -1,0 +1,92 @@
+"""Distributed Friends-of-Friends.
+
+The paper: "A parallel halo-finding function is applied [to] the dataset".
+The standard parallel FoF recipe (used by HACC's halo finder) is:
+
+1. decompose the box; each rank receives its owned particles plus a
+   ghost layer one linking length deep;
+2. run *local* FoF on owned+ghost particles;
+3. groups that span rank boundaries appear as fragments sharing ghost
+   particles — merge fragments whose particle sets intersect via a
+   global union-find keyed on global particle ids;
+4. relabel to canonical global group ids.
+
+The result is identical (as a partition) to serial FoF on the full box,
+which the test suite verifies directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+from repro.cosmo.fof import FOFResult, friends_of_friends
+from repro.errors import DataError
+from repro.parallel.decomposition import CartesianDecomposition
+
+
+def distributed_fof(
+    positions: np.ndarray,
+    box_size: float,
+    linking_length: float,
+    dims: tuple[int, int, int] = (2, 2, 2),
+) -> tuple[FOFResult, dict]:
+    """Run FoF via domain decomposition; returns (result, stats).
+
+    ``stats`` reports per-rank particle counts and the ghost-exchange
+    volume — the communication cost a real MPI run would pay.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise DataError("positions must have shape (N, 3)")
+    n = positions.shape[0]
+    decomp = CartesianDecomposition(box_size, dims)
+    ranks, exchange = decomp.exchange_ghosts(positions, cutoff=linking_length)
+
+    # Local FoF per rank; collect same-group edges in *global* ids.
+    # Connecting each local group's members through its first member is
+    # enough to reproduce the partition under a global union-find.
+    edge_a: list[np.ndarray] = []
+    edge_b: list[np.ndarray] = []
+    stats = {
+        "n_ranks": decomp.n_ranks,
+        "ghost_bytes": exchange.total_bytes,
+        "owned_per_rank": [rp.n_owned for rp in ranks],
+        "ghosts_per_rank": [rp.n_ghost for rp in ranks],
+    }
+    for rp in ranks:
+        total = rp.n_owned + rp.n_ghost
+        if total == 0:
+            continue
+        local = friends_of_friends(
+            rp.positions, box_size, linking_length, periodic=False
+        )
+        gids = rp.all_ids
+        order = np.argsort(local.labels, kind="stable")
+        boundaries = np.searchsorted(
+            local.labels[order], np.arange(local.n_groups + 1)
+        )
+        for g in range(local.n_groups):
+            members = order[boundaries[g] : boundaries[g + 1]]
+            if members.size < 2:
+                continue
+            root = gids[members[0]]
+            edge_a.append(np.full(members.size - 1, root, dtype=np.int64))
+            edge_b.append(gids[members[1:]])
+
+    if edge_a:
+        ea = np.concatenate(edge_a)
+        eb = np.concatenate(edge_b)
+    else:
+        ea = eb = np.zeros(0, dtype=np.int64)
+    graph = coo_matrix((np.ones(ea.size, dtype=np.int8), (ea, eb)), shape=(n, n))
+    n_groups, labels = connected_components(graph, directed=False)
+
+    result = FOFResult(
+        labels=labels.astype(np.int64),
+        n_groups=int(n_groups),
+        edges=np.stack([ea, eb], axis=1) if ea.size else np.zeros((0, 2), dtype=np.int64),
+        linking_length=linking_length,
+    )
+    return result, stats

@@ -1,0 +1,74 @@
+"""The paper's HACC 1-D -> 3-D dimension conversion (Section IV-B-4).
+
+GPU-SZ only supports 3-D inputs, so the paper converts each 1-D HACC field
+(1,073,726,359 values, written by an 8x8x4 MPI decomposition) into 8
+partitions of 2^27 values (zero-padded), each viewed as ``512^3`` for
+GPU-SZ or ``2,097,152 x 8 x 8`` for cuZFP.  The conversion is a
+pointer-level reinterpretation in the paper ("we only pass the pointer and
+specify the data dimension"), and it is here too: for exact partition sizes
+the functions below return views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Elements per partition used by the paper: 134,217,728 = 2^27 = 512^3.
+HACC_PARTITION_ELEMS = 512**3
+
+#: The two 3-D view shapes the paper evaluates for one partition.
+SHAPE_CUBE = (512, 512, 512)
+SHAPE_SLAB = (2_097_152, 8, 8)
+
+
+def convert_1d_to_3d(
+    data: np.ndarray,
+    shape: tuple[int, int, int],
+    partition_elems: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Convert a 1-D field into a batch of zero-padded 3-D partitions.
+
+    Parameters
+    ----------
+    data:
+        1-D array of any length.
+    shape:
+        Per-partition 3-D shape; ``prod(shape)`` must equal the partition
+        size.
+    partition_elems:
+        Elements per partition; defaults to ``prod(shape)``.
+
+    Returns
+    -------
+    (partitions, original_length):
+        ``partitions`` has shape ``(nparts, *shape)``; ``original_length``
+        is needed by :func:`convert_3d_to_1d` to strip the zero padding.
+    """
+    if data.ndim != 1:
+        raise DataError(f"expected 1-D data, got ndim={data.ndim}")
+    elems = int(np.prod(shape))
+    if partition_elems is None:
+        partition_elems = elems
+    if partition_elems != elems:
+        raise DataError(
+            f"partition size {partition_elems} does not match shape {shape}"
+        )
+    n = data.size
+    nparts = max(1, -(-n // elems))
+    padded = np.zeros(nparts * elems, dtype=data.dtype)
+    padded[:n] = data
+    return padded.reshape((nparts, *shape)), n
+
+
+def convert_3d_to_1d(partitions: np.ndarray, original_length: int) -> np.ndarray:
+    """Inverse of :func:`convert_1d_to_3d`: flatten and strip padding."""
+    if partitions.ndim != 4:
+        raise DataError("expected a batch of 3-D partitions (ndim == 4)")
+    flat = partitions.reshape(-1)
+    if original_length > flat.size:
+        raise DataError(
+            f"original_length {original_length} exceeds data size {flat.size}"
+        )
+    return flat[:original_length]

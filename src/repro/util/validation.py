@@ -1,0 +1,45 @@
+"""Argument-validation helpers used across the library.
+
+These raise :class:`repro.errors.DataError` with consistent messages so the
+user-facing API fails fast with actionable diagnostics instead of numpy
+broadcasting errors deep inside a codec.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import DataError
+
+
+def check_dtype(arr: np.ndarray, allowed: Iterable[np.dtype | type], name: str = "array") -> None:
+    """Raise :class:`DataError` unless ``arr.dtype`` is one of ``allowed``."""
+    allowed_dtypes = tuple(np.dtype(a) for a in allowed)
+    if arr.dtype not in allowed_dtypes:
+        names = ", ".join(str(d) for d in allowed_dtypes)
+        raise DataError(f"{name} has dtype {arr.dtype}; expected one of: {names}")
+
+
+def check_positive(value: float, name: str = "value", strict: bool = True) -> None:
+    """Raise :class:`DataError` unless ``value`` is positive (or nonnegative)."""
+    if not np.isfinite(value):
+        raise DataError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise DataError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise DataError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_shape_nd(arr: np.ndarray, ndim: int | Iterable[int], name: str = "array") -> None:
+    """Raise :class:`DataError` unless ``arr.ndim`` matches ``ndim``.
+
+    ``ndim`` may be a single integer or an iterable of acceptable ranks.
+    """
+    allowed = (ndim,) if isinstance(ndim, int) else tuple(ndim)
+    if arr.ndim not in allowed:
+        ranks = " or ".join(str(r) for r in allowed)
+        raise DataError(f"{name} must be {ranks}-dimensional, got ndim={arr.ndim}")
+    if arr.size == 0:
+        raise DataError(f"{name} must be non-empty")

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic datasets, reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cosmo.hacc import make_hacc_dataset
+from repro.cosmo.nyx import make_nyx_dataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def smooth_field3d() -> np.ndarray:
+    """A 32^3 smooth-plus-noise float32 field (compresses well)."""
+    x, y, z = np.meshgrid(*[np.linspace(0, 4, 32)] * 3, indexing="ij")
+    r = np.random.default_rng(0)
+    return (np.sin(x) * np.cos(y) + 0.1 * z**2 + 0.01 * r.standard_normal(x.shape)).astype(
+        np.float32
+    )
+
+
+@pytest.fixture(scope="session")
+def rough_field3d() -> np.ndarray:
+    """A 16^3 white-noise float32 field (compresses poorly)."""
+    return np.random.default_rng(1).standard_normal((16, 16, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def nyx_small():
+    return make_nyx_dataset(grid_size=32, seed=42)
+
+
+@pytest.fixture(scope="session")
+def hacc_small():
+    return make_hacc_dataset(particles_per_side=24, seed=7)
+
+
+def ulp_tolerance(data: np.ndarray) -> float:
+    """One float32 ulp at the data's magnitude — the documented slack on
+    error bounds introduced by casting reconstructions to float32."""
+    return float(np.spacing(np.abs(np.asarray(data, dtype=np.float32)).max()))

@@ -1,0 +1,72 @@
+"""Tests for the knob autotuning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.autotune import (
+    search_error_bound_for_ratio,
+    search_max_acceptable_bound,
+)
+from repro.compressors import SZCompressor
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def field(nyx_small):
+    return nyx_small.fields["dark_matter_density"]
+
+
+class TestRatioSearch:
+    def test_converges_to_target(self, field):
+        sz = SZCompressor()
+        for target in (4.0, 8.0):
+            eb = search_error_bound_for_ratio(sz, field, target, rel_tol=0.15)
+            achieved = sz.compress(field, error_bound=eb).compression_ratio
+            assert abs(achieved - target) / target < 0.35
+
+    def test_monotone_in_target(self, field):
+        sz = SZCompressor()
+        eb_lo = search_error_bound_for_ratio(sz, field, 3.0)
+        eb_hi = search_error_bound_for_ratio(sz, field, 10.0)
+        assert eb_hi > eb_lo
+
+    def test_zero_field_rejected(self):
+        with pytest.raises(AnalysisError):
+            search_error_bound_for_ratio(SZCompressor(), np.zeros(100, np.float32), 4.0)
+
+
+class TestAcceptableBoundSearch:
+    def test_finds_boundary(self, field):
+        sz = SZCompressor()
+        threshold = float(field.std()) * 0.05
+
+        def acceptable(orig, recon):
+            return bool(np.abs(orig.astype(np.float64) - recon).max() < threshold)
+
+        bound = search_max_acceptable_bound(sz, field, acceptable, 1e-6, 100.0)
+        assert bound is not None
+        # The found bound passes; 4x looser fails.
+        recon = sz.decompress(sz.compress(field, error_bound=bound, mode="abs"))
+        assert acceptable(field, recon)
+        recon_bad = sz.decompress(
+            sz.compress(field, error_bound=bound * 8, mode="abs")
+        )
+        assert not acceptable(field, recon_bad)
+
+    def test_returns_none_when_nothing_acceptable(self, field):
+        sz = SZCompressor()
+        out = search_max_acceptable_bound(
+            sz, field, lambda o, r: False, 1e-6, 1.0, iters=2
+        )
+        assert out is None
+
+    def test_returns_hi_when_everything_acceptable(self, field):
+        sz = SZCompressor()
+        out = search_max_acceptable_bound(
+            sz, field, lambda o, r: True, 1e-6, 1.0, iters=2
+        )
+        assert out == 1.0
+
+    def test_bad_interval_rejected(self, field):
+        with pytest.raises(AnalysisError):
+            search_max_acceptable_bound(SZCompressor(), field, lambda o, r: True, 1.0, 0.5)

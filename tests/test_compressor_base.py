@@ -1,0 +1,104 @@
+"""Tests for the compressor framework: base API, registry, adapters."""
+
+import numpy as np
+import pytest
+
+from conftest import ulp_tolerance
+from repro.compressors import (
+    CompressedBuffer,
+    CompressorMode,
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from repro.compressors.adapters import Reshaped3D
+from repro.compressors.sz import SZCompressor
+from repro.compressors.zfp import ZFPCompressor
+from repro.errors import ConfigError, CorruptStreamError, DataError
+
+
+class TestCompressedBuffer:
+    def test_derived_quantities(self):
+        buf = CompressedBuffer(
+            payload=b"x" * 100,
+            original_shape=(10, 10),
+            original_dtype=np.dtype(np.float32),
+            mode=CompressorMode.ABS,
+            parameter=0.1,
+        )
+        assert buf.original_nbytes == 400
+        assert buf.compressed_nbytes == 100
+        assert buf.compression_ratio == 4.0
+        assert buf.bitrate == 8.0
+
+    def test_paper_bitrate_ratio_identity(self):
+        # "a bitrate of 4.0 is equivalent to the compression ratio of 8x"
+        buf = CompressedBuffer(
+            payload=b"x" * 500,
+            original_shape=(1000,),
+            original_dtype=np.dtype(np.float32),
+            mode=CompressorMode.FIXED_RATE,
+            parameter=4.0,
+        )
+        assert buf.bitrate == 4.0
+        assert buf.compression_ratio == 8.0
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_compressors()
+        for expected in ("sz", "gpu-sz", "zfp", "cuzfp"):
+            assert expected in names
+
+    def test_get_by_name_case_insensitive(self):
+        assert get_compressor("CuZFP").name == "cuzfp"
+
+    def test_get_with_options(self):
+        sz = get_compressor("sz", block_side=8)
+        assert sz.block_side == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigError, match="unknown compressor"):
+            get_compressor("mgard")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigError):
+            register_compressor("sz", SZCompressor)
+
+
+class TestReshaped3D:
+    def test_zfp_1d_through_adapter(self):
+        rng = np.random.default_rng(0)
+        data = (rng.random(5000) * 256).astype(np.float32)
+        adapter = Reshaped3D(ZFPCompressor(), tail_shape=(8, 8))
+        buf = adapter.compress(data, rate=8)
+        recon = adapter.decompress(buf)
+        assert recon.shape == data.shape
+        assert buf.original_shape == (5000,)
+
+    def test_padding_stripped(self):
+        data = np.arange(100, dtype=np.float32)
+        adapter = Reshaped3D(SZCompressor(), tail_shape=(4, 4))
+        buf = adapter.compress(data, error_bound=0.01, mode="abs")
+        recon = adapter.decompress(buf)
+        assert recon.shape == (100,)
+        assert np.abs(recon - data).max() <= 0.01 + ulp_tolerance(data)
+
+    def test_rejects_nd_input(self):
+        adapter = Reshaped3D(ZFPCompressor())
+        with pytest.raises(DataError):
+            adapter.compress(np.ones((4, 4), dtype=np.float32), rate=8)
+
+    def test_bad_magic_raises(self):
+        adapter = Reshaped3D(ZFPCompressor())
+        with pytest.raises(CorruptStreamError):
+            adapter.decompress(b"XXXX" + b"\x00" * 16)
+
+    def test_low_rate_possible_through_3d_view(self):
+        # The motivating case: rate 1 is impossible on raw 1-D blocks but
+        # fine on the 3-D slab view (paper Section IV-B-4).
+        data = np.random.default_rng(1).random(4096).astype(np.float32)
+        with pytest.raises(DataError):
+            ZFPCompressor().compress(data, rate=1.0)
+        buf = Reshaped3D(ZFPCompressor()).compress(data, rate=1.0)
+        assert buf.bitrate < 1.5

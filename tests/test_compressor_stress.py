@@ -1,0 +1,150 @@
+"""Stress and pathological-input tests for both codecs.
+
+Extreme magnitudes, denormals, plateaus, sign patterns — the inputs that
+break fixed-point and prediction logic if any scale assumption is wrong.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import ulp_tolerance
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def sz():
+    return SZCompressor()
+
+
+@pytest.fixture(scope="module")
+def zfp():
+    return ZFPCompressor()
+
+
+class TestSZStress:
+    def test_near_float32_max(self, sz):
+        data = (np.linspace(-3e38, 3e38, 4096).reshape(16, 16, 16)).astype(np.float32)
+        eb = 1e33
+        recon = sz.decompress(sz.compress(data, error_bound=eb))
+        assert np.abs(recon.astype(np.float64) - data).max() <= eb + ulp_tolerance(data)
+
+    def test_denormal_values(self, sz):
+        rng = np.random.default_rng(0)
+        data = (rng.random(2000) * 1e-38).astype(np.float32)
+        eb = 1e-40
+        recon = sz.decompress(sz.compress(data, error_bound=eb))
+        assert np.abs(recon.astype(np.float64) - data.astype(np.float64)).max() <= eb * 1.01 + 1e-45
+
+    def test_plateau_then_jump(self, sz):
+        data = np.zeros(5000, dtype=np.float32)
+        data[2500:] = 1e6
+        recon = sz.decompress(sz.compress(data, error_bound=0.5))
+        assert np.abs(recon - data).max() <= 0.5 + ulp_tolerance(data)
+
+    def test_alternating_signs(self, sz):
+        data = (np.resize([1.0, -1.0], 4096) * np.linspace(1, 100, 4096)).astype(np.float32)
+        recon = sz.decompress(sz.compress(data, error_bound=1e-3))
+        assert np.abs(recon - data).max() <= 1e-3 + ulp_tolerance(data)
+
+    def test_single_element(self, sz):
+        data = np.array([42.5], dtype=np.float32)
+        recon = sz.decompress(sz.compress(data, error_bound=1e-4))
+        assert abs(float(recon[0]) - 42.5) <= 1e-4 + 1e-5
+
+    def test_monotonic_staircase(self, sz):
+        data = np.repeat(np.arange(100, dtype=np.float32), 50)
+        buf = sz.compress(data, error_bound=1e-3)
+        assert buf.compression_ratio > 4  # steps predict perfectly
+        assert np.abs(sz.decompress(buf) - data).max() <= 1e-3 + ulp_tolerance(data)
+
+    def test_pwrel_with_huge_dynamic_range(self, sz):
+        data = np.geomspace(1e-20, 1e20, 3000).astype(np.float32)
+        recon = sz.decompress(sz.compress(data, pwrel=0.01, mode="pw_rel"))
+        rel = np.abs((recon.astype(np.float64) - data) / data)
+        assert rel.max() <= 0.01 * (1 + 1e-4)
+
+    def test_pwrel_all_negative(self, sz):
+        data = (-np.geomspace(1, 1e4, 1000)).astype(np.float32)
+        recon = sz.decompress(sz.compress(data, pwrel=0.05, mode="pw_rel"))
+        assert np.all(recon < 0)
+        rel = np.abs((recon.astype(np.float64) - data) / data)
+        assert rel.max() <= 0.05 * (1 + 1e-4)
+
+    def test_error_bound_larger_than_range(self, sz):
+        data = np.sin(np.linspace(0, 6, 1000)).astype(np.float32)
+        buf = sz.compress(data, error_bound=10.0)
+        # Everything quantizes to zero: ~1 bit/value + headers; the LZSS
+        # stage collapses the constant symbol stream much further.
+        assert buf.compression_ratio > 12
+        assert np.abs(sz.decompress(buf) - data).max() <= 10.0
+        with_dict = SZCompressor(lossless=["lzss"]).compress(data, error_bound=10.0)
+        assert with_dict.compression_ratio > 25
+
+    def test_tiny_2d_array(self, sz):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        recon = sz.decompress(sz.compress(data, error_bound=1e-4))
+        assert recon.shape == (2, 2)
+
+
+class TestZFPStress:
+    def test_near_float32_max(self, zfp):
+        data = (np.linspace(-3e38, 3e38, 4096).reshape(16, 16, 16)).astype(np.float32)
+        recon = zfp.decompress(zfp.compress(data, rate=16))
+        rel = np.abs(recon.astype(np.float64) - data) / 3e38
+        assert rel.max() < 1e-3
+
+    def test_denormal_block(self, zfp):
+        data = np.full((4, 4, 4), 1e-40, dtype=np.float32)
+        recon = zfp.decompress(zfp.compress(data, rate=16))
+        assert np.allclose(recon, 1e-40, rtol=1e-2)
+
+    def test_single_value_array(self, zfp):
+        data = np.array([3.75], dtype=np.float32)
+        recon = zfp.decompress(zfp.compress(data, rate=32))
+        assert abs(float(recon[0]) - 3.75) < 1e-5
+
+    def test_negative_zero_and_zero(self, zfp):
+        data = np.array([0.0, -0.0, 0.0, -0.0] * 16, dtype=np.float32)
+        recon = zfp.decompress(zfp.compress(data, rate=8))
+        assert np.all(recon == 0.0)
+
+    def test_checkerboard_high_frequency(self, zfp):
+        i, j, k = np.meshgrid(*[np.arange(8)] * 3, indexing="ij")
+        data = ((-1.0) ** (i + j + k)).astype(np.float32)
+        # Pure Nyquist content: fixed rate still reconstructs something
+        # bounded; accuracy mode must meet its tolerance.
+        recon = zfp.decompress(zfp.compress(data, tolerance=0.01))
+        assert np.abs(recon - data).max() <= 0.01
+
+    def test_float64_extreme_exponents(self, zfp):
+        data = np.array([1e-300, 1e300, -1e300, 1e-300] * 16).reshape(8, 8)
+        recon = zfp.decompress(zfp.compress(data, tolerance=1e290))
+        assert np.abs(recon - data).max() <= 1e290
+
+    def test_rate_below_header_rejected_1d(self, zfp):
+        with pytest.raises(DataError):
+            zfp.compress(np.zeros(64, dtype=np.float32), rate=2.0)
+
+    def test_huge_rate_clamps_to_lossless_planes(self, zfp):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((8, 8, 8)).astype(np.float32)
+        recon = zfp.decompress(zfp.compress(data, rate=64))
+        assert np.abs(recon - data).max() < 1e-6 * np.abs(data).max()
+
+
+class TestCrossCodecConsistency:
+    def test_same_field_same_bitrate_comparable_quality(self, sz, zfp, smooth_field3d):
+        """At matched bitrate both codecs should land within ~20 dB of
+        each other on smooth data (sanity against gross regressions)."""
+        from repro.metrics.error import psnr
+
+        zbuf = zfp.compress(smooth_field3d, rate=8)
+        zpsnr = psnr(smooth_field3d, zfp.decompress(zbuf))
+        # Find an SZ bound with a similar measured bitrate.
+        from repro.analysis.autotune import search_error_bound_for_ratio
+
+        eb = search_error_bound_for_ratio(sz, smooth_field3d, 4.0)
+        sbuf = sz.compress(smooth_field3d, error_bound=eb)
+        spsnr = psnr(smooth_field3d, sz.decompress(sbuf))
+        assert abs(zpsnr - spsnr) < 25

@@ -1,0 +1,132 @@
+"""Tests for CIC deposition and power-spectrum estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.cic import cic_deposit, density_contrast
+from repro.cosmo.power_spectrum import (
+    particle_power_spectrum,
+    power_spectrum,
+    power_spectrum_ratio,
+    ratio_within_band,
+)
+from repro.errors import AnalysisError, DataError
+
+
+class TestCIC:
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((1000, 3)) * 50.0
+        grid = cic_deposit(pos, 16, 50.0)
+        assert grid.sum() == pytest.approx(1000.0)
+
+    def test_weights(self):
+        pos = np.array([[25.0, 25.0, 25.0]])
+        grid = cic_deposit(pos, 10, 50.0, weights=np.array([3.0]))
+        assert grid.sum() == pytest.approx(3.0)
+
+    def test_particle_at_cell_center_deposits_into_one_cell(self):
+        # Cell centers are at (i + 0) * dx in this CIC convention when
+        # frac == 0; such a particle touches a single cell.
+        pos = np.array([[10.0, 20.0, 30.0]])  # dx = 5 -> exact cell corners
+        grid = cic_deposit(pos, 10, 50.0)
+        assert np.count_nonzero(grid) == 1
+
+    def test_offset_particle_spreads_over_8_cells(self):
+        pos = np.array([[12.5, 22.5, 32.5]])
+        grid = cic_deposit(pos, 10, 50.0)
+        assert np.count_nonzero(grid) == 8
+
+    def test_periodic_wrapping(self):
+        pos = np.array([[49.9, 0.05, 25.0]])
+        grid = cic_deposit(pos, 10, 50.0)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            cic_deposit(np.ones((3, 2)), 8, 10.0)
+        with pytest.raises(DataError):
+            cic_deposit(np.ones((3, 3)), 1, 10.0)
+        with pytest.raises(DataError):
+            cic_deposit(np.ones((3, 3)), 8, 10.0, weights=np.ones(4))
+
+    def test_density_contrast_zero_mean(self):
+        rng = np.random.default_rng(1)
+        grid = cic_deposit(rng.random((500, 3)) * 10, 8, 10.0)
+        delta = density_contrast(grid)
+        assert delta.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_density_contrast_rejects_empty(self):
+        with pytest.raises(DataError):
+            density_contrast(np.zeros((4, 4, 4)))
+
+
+class TestPowerSpectrum:
+    def test_identical_fields_ratio_one(self):
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((16, 16, 16))
+        p = power_spectrum(f, 10.0)
+        ratio = power_spectrum_ratio(p, p)
+        assert np.allclose(ratio, 1.0)
+        assert ratio_within_band(ratio, 1e-9)
+
+    def test_white_noise_flat_spectrum(self):
+        rng = np.random.default_rng(1)
+        pks = []
+        for _ in range(6):
+            f = rng.standard_normal((24, 24, 24))
+            p = power_spectrum(f, 10.0, nbins=6)
+            pks.append(p.pk)
+        mean = np.mean(pks, axis=0)
+        assert mean.max() / mean.min() < 1.6  # flat within variance
+
+    def test_amplitude_scaling(self):
+        rng = np.random.default_rng(2)
+        f = rng.standard_normal((16, 16, 16))
+        p1 = power_spectrum(f, 10.0)
+        p2 = power_spectrum(2.0 * f, 10.0)
+        assert np.allclose(p2.pk, 4.0 * p1.pk)
+
+    def test_mean_subtraction_kills_dc_sensitivity(self):
+        rng = np.random.default_rng(3)
+        f = rng.standard_normal((16, 16, 16))
+        p1 = power_spectrum(f, 10.0)
+        p2 = power_spectrum(f + 100.0, 10.0)
+        assert np.allclose(p1.pk, p2.pk)
+
+    def test_non_cubic_rejected(self):
+        with pytest.raises(DataError):
+            power_spectrum(np.zeros((4, 8, 8)), 10.0)
+
+    def test_mismatched_binning_rejected(self):
+        rng = np.random.default_rng(4)
+        f = rng.standard_normal((16, 16, 16))
+        a = power_spectrum(f, 10.0, nbins=8)
+        b = power_spectrum(f, 10.0, nbins=4)
+        with pytest.raises(AnalysisError):
+            power_spectrum_ratio(a, b)
+
+    def test_band_check_flags_deviation(self):
+        ratio = np.array([1.0, 1.005, 0.995])
+        assert ratio_within_band(ratio, 0.01)
+        assert not ratio_within_band(np.array([1.0, 1.02]), 0.01)
+
+    def test_band_check_rejects_all_nan(self):
+        with pytest.raises(AnalysisError):
+            ratio_within_band(np.array([np.nan, np.nan]))
+
+
+class TestParticlePowerSpectrum:
+    def test_uniform_lattice_has_tiny_power(self):
+        n = 16
+        g = (np.arange(n) + 0.5) * (50.0 / n)
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+        p = particle_power_spectrum(pos, 50.0, grid_size=16, nbins=6)
+        assert np.nanmax(p.pk) < 1e-10
+
+    def test_clustered_exceeds_random(self, hacc_small):
+        rng = np.random.default_rng(0)
+        random_pos = rng.random(hacc_small.positions.shape) * hacc_small.box_size
+        p_clustered = particle_power_spectrum(hacc_small.positions, hacc_small.box_size, grid_size=32, nbins=6)
+        p_random = particle_power_spectrum(random_pos, hacc_small.box_size, grid_size=32, nbins=6)
+        assert np.nanmean(p_clustered.pk[:3]) > 5 * np.nanmean(p_random.pk[:3])

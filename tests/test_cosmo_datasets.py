@@ -1,0 +1,139 @@
+"""Tests for the synthetic HACC/Nyx generators and dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.datasets import (
+    GridDataset,
+    HACC_TABLE_II,
+    NYX_TABLE_II,
+    ParticleDataset,
+    table_ii_rows,
+)
+from repro.cosmo.hacc import make_hacc_dataset
+from repro.cosmo.halos import find_halos
+from repro.cosmo.nyx import make_nyx_dataset
+from repro.errors import DataError
+
+
+class TestNyxGenerator:
+    def test_six_fields_float32(self, nyx_small):
+        assert set(nyx_small.fields) == {s.name for s in NYX_TABLE_II}
+        for f in nyx_small.fields.values():
+            assert f.dtype == np.float32
+            assert f.shape == (32, 32, 32)
+
+    def test_value_ranges_match_table_ii(self, nyx_small):
+        for spec in NYX_TABLE_II:
+            assert spec.contains(nyx_small.fields[spec.name], slack=0.0), spec.name
+
+    def test_densities_positive(self, nyx_small):
+        assert nyx_small.fields["baryon_density"].min() > 0
+        assert nyx_small.fields["dark_matter_density"].min() > 0
+
+    def test_temperature_floor_and_cap(self, nyx_small):
+        t = nyx_small.fields["temperature"]
+        assert t.min() >= 1e2 and t.max() <= 1e7
+
+    def test_density_is_skewed(self, nyx_small):
+        # Lognormal: mean far above median.
+        rho = nyx_small.fields["dark_matter_density"].astype(np.float64)
+        assert rho.mean() > 2 * np.median(rho)
+
+    def test_seed_reproducibility(self):
+        a = make_nyx_dataset(grid_size=16, seed=5)
+        b = make_nyx_dataset(grid_size=16, seed=5)
+        for k in a.fields:
+            assert np.array_equal(a.fields[k], b.fields[k])
+
+    def test_different_seeds_differ(self):
+        a = make_nyx_dataset(grid_size=16, seed=5)
+        b = make_nyx_dataset(grid_size=16, seed=6)
+        assert not np.array_equal(a.fields["temperature"], b.fields["temperature"])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(DataError):
+            make_nyx_dataset(grid_size=4)
+
+
+class TestHaccGenerator:
+    def test_six_fields_float32_1d(self, hacc_small):
+        assert set(hacc_small.fields) == {s.name for s in HACC_TABLE_II}
+        for f in hacc_small.fields.values():
+            assert f.dtype == np.float32 and f.ndim == 1
+
+    def test_value_ranges_match_table_ii(self, hacc_small):
+        for spec in HACC_TABLE_II:
+            assert spec.contains(hacc_small.fields[spec.name]), spec.name
+
+    def test_particle_count(self, hacc_small):
+        assert hacc_small.n_particles == 24**3
+
+    def test_positions_in_box(self, hacc_small):
+        pos = hacc_small.positions
+        assert pos.min() >= 0 and pos.max() < hacc_small.box_size
+
+    def test_has_halo_population(self, hacc_small):
+        ll = 0.2 * hacc_small.box_size / 24
+        cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+        assert cat.n_halos > 10
+        assert cat.sizes.max() >= 50
+
+    def test_halo_fraction_zero_gives_smooth_flow(self):
+        ds = make_hacc_dataset(particles_per_side=16, halo_fraction=0.0, seed=1)
+        ll = 0.2 * ds.box_size / 16
+        cat = find_halos(ds.positions, ds.box_size, ll, min_members=10)
+        assert cat.n_halos < 5  # Zel'dovich alone barely percolates
+
+    def test_seed_reproducibility(self):
+        a = make_hacc_dataset(particles_per_side=12, seed=3)
+        b = make_hacc_dataset(particles_per_side=12, seed=3)
+        assert np.array_equal(a.fields["x"], b.fields["x"])
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            make_hacc_dataset(particles_per_side=2)
+        with pytest.raises(DataError):
+            make_hacc_dataset(particles_per_side=16, halo_fraction=0.95)
+
+
+class TestContainers:
+    def test_particle_dataset_validates_lengths(self):
+        with pytest.raises(DataError):
+            ParticleDataset(
+                fields={"x": np.zeros(5), "y": np.zeros(4)}, box_size=10.0
+            )
+
+    def test_grid_dataset_validates_shapes(self):
+        with pytest.raises(DataError):
+            GridDataset(
+                fields={"a": np.zeros((4, 4, 4)), "b": np.zeros((4, 4, 5))},
+                box_size=10.0,
+            )
+
+    def test_with_fields_replaces(self, hacc_small):
+        new_x = np.zeros_like(hacc_small.fields["x"])
+        ds2 = hacc_small.with_fields({"x": new_x})
+        assert np.array_equal(ds2.fields["x"], new_x)
+        assert np.array_equal(ds2.fields["y"], hacc_small.fields["y"])
+        assert hacc_small.fields["x"].max() > 0  # original untouched
+
+    def test_velocity_magnitude(self, nyx_small):
+        vmag = nyx_small.velocity_magnitude()
+        assert vmag.min() >= 0
+        assert vmag.shape == (32, 32, 32)
+
+    def test_overall_density(self, nyx_small):
+        total = nyx_small.overall_density()
+        assert np.all(
+            total
+            >= nyx_small.fields["baryon_density"].astype(np.float64) - 1e-6
+        )
+
+    def test_total_bytes(self, nyx_small):
+        assert nyx_small.total_bytes() == 6 * 32**3 * 4
+
+    def test_table_ii_rows_complete(self):
+        rows = table_ii_rows()
+        assert len(rows) == 12
+        assert {r["dataset"] for r in rows} == {"HACC", "Nyx"}

@@ -1,0 +1,183 @@
+"""Tests for Friends-of-Friends and halo catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.fof import friends_of_friends
+from repro.cosmo.halos import (
+    build_halo_catalog,
+    find_halos,
+    halo_count_ratio,
+    halo_mass_function,
+)
+from repro.errors import AnalysisError, DataError
+
+
+def _clump(center, n, radius, rng):
+    return center + rng.standard_normal((n, 3)) * radius
+
+
+class TestFOF:
+    def test_two_separate_clumps(self):
+        rng = np.random.default_rng(0)
+        a = _clump(np.array([20.0, 20, 20]), 50, 0.1, rng)
+        b = _clump(np.array([80.0, 80, 80]), 30, 0.1, rng)
+        pos = np.vstack([a, b])
+        res = friends_of_friends(pos, 100.0, 1.0)
+        sizes = np.sort(res.group_sizes())[::-1]
+        assert sizes[0] == 50 and sizes[1] == 30
+
+    def test_chain_percolates(self):
+        # Particles in a line closer than ll form one group (FoF is
+        # transitive even when endpoints are far apart).
+        pos = np.zeros((20, 3))
+        pos[:, 0] = np.arange(20) * 0.9 + 10
+        res = friends_of_friends(pos, 100.0, 1.0)
+        assert res.group_sizes().max() == 20
+
+    def test_linking_across_periodic_boundary(self):
+        pos = np.array([[0.2, 50.0, 50.0], [99.9, 50.0, 50.0]])
+        res = friends_of_friends(pos, 100.0, 1.0)
+        assert res.n_groups == 1
+
+    def test_no_periodic_when_disabled(self):
+        pos = np.array([[0.2, 50.0, 50.0], [99.9, 50.0, 50.0]])
+        res = friends_of_friends(pos, 100.0, 1.0, periodic=False)
+        assert res.n_groups == 2
+
+    def test_isolated_particles_are_singletons(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((100, 3)) * 1000.0  # extremely sparse
+        res = friends_of_friends(pos, 1000.0, 0.5)
+        assert res.n_groups == 100
+
+    def test_pair_at_exactly_linking_length(self):
+        pos = np.array([[10.0, 10, 10], [11.0, 10, 10]])
+        res = friends_of_friends(pos, 100.0, 1.0)
+        assert res.n_groups == 1  # distance == ll counts as friends
+
+    def test_degrees_count_friends(self):
+        pos = np.array([[0.0, 0, 0], [0.5, 0, 0], [1.0, 0, 0], [50.0, 0, 0]])
+        res = friends_of_friends(pos + 10.0, 100.0, 0.6)
+        deg = res.degrees()
+        assert deg.tolist()[:3] == [1, 2, 1] and deg[3] == 0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            friends_of_friends(np.zeros((5, 2)), 10.0, 1.0)
+        with pytest.raises(DataError):
+            friends_of_friends(np.zeros((5, 3)), 10.0, 5.0)  # ll too big
+
+    def test_labels_partition_all_particles(self):
+        rng = np.random.default_rng(2)
+        pos = rng.random((500, 3)) * 20
+        res = friends_of_friends(pos, 20.0, 0.8)
+        assert res.labels.size == 500
+        assert res.labels.min() >= 0 and res.labels.max() == res.n_groups - 1
+
+
+class TestHaloCatalog:
+    def test_min_members_filter(self):
+        rng = np.random.default_rng(0)
+        big = _clump(np.array([20.0, 20, 20]), 50, 0.1, rng)
+        small = _clump(np.array([80.0, 80, 80]), 5, 0.1, rng)
+        pos = np.vstack([big, small])
+        fof = friends_of_friends(pos, 100.0, 1.0)
+        cat = build_halo_catalog(pos, fof, 100.0, min_members=10)
+        assert cat.n_halos == 1
+        assert cat.sizes[0] == 50
+
+    def test_center_near_clump_center(self):
+        rng = np.random.default_rng(1)
+        pos = _clump(np.array([30.0, 40, 50]), 100, 0.2, rng)
+        cat = find_halos(pos, 100.0, 1.5, min_members=10)
+        assert cat.n_halos == 1
+        assert np.allclose(cat.centers[0], [30, 40, 50], atol=0.5)
+
+    def test_center_wraps_periodic_clump(self):
+        rng = np.random.default_rng(2)
+        pos = np.mod(_clump(np.array([0.0, 50, 50]), 80, 0.3, rng), 100.0)
+        cat = find_halos(pos, 100.0, 2.0, min_members=10)
+        assert cat.n_halos == 1
+        cx = cat.centers[0][0]
+        assert cx < 2.0 or cx > 98.0
+
+    def test_mcp_is_central(self):
+        # An isothermal clump's most connected particle sits near center.
+        rng = np.random.default_rng(3)
+        r = rng.random(200) * 2.0
+        d = rng.standard_normal((200, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        pos = 50.0 + r[:, None] * d
+        cat = find_halos(pos, 100.0, 1.0, min_members=10)
+        mcp_pos = pos[cat.mcp[0]]
+        assert np.linalg.norm(mcp_pos - 50.0) < 1.2
+
+    def test_mbp_is_central(self):
+        rng = np.random.default_rng(4)
+        r = rng.random(200) * 2.0
+        d = rng.standard_normal((200, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        pos = 50.0 + r[:, None] * d
+        cat = find_halos(pos, 100.0, 1.0, min_members=10)
+        mbp_pos = pos[cat.mbp[0]]
+        assert np.linalg.norm(mbp_pos - 50.0) < 1.2
+
+    def test_particle_mass_scales_masses(self):
+        rng = np.random.default_rng(5)
+        pos = _clump(np.array([50.0, 50, 50]), 40, 0.1, rng)
+        cat = find_halos(pos, 100.0, 1.0, particle_mass=2.5, min_members=10)
+        assert cat.masses[0] == pytest.approx(100.0)
+
+    def test_min_members_validation(self):
+        with pytest.raises(DataError):
+            build_halo_catalog(
+                np.zeros((4, 3)),
+                friends_of_friends(np.zeros((4, 3)) + 5, 10.0, 1.0),
+                10.0,
+                min_members=1,
+            )
+
+
+class TestMassFunction:
+    def test_counts_sum_to_halos(self, hacc_small):
+        ll = 0.2 * hacc_small.box_size / 24
+        cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+        mf = halo_mass_function(cat, nbins=8)
+        assert mf.counts.sum() == cat.n_halos
+
+    def test_ratio_of_identical_catalogs_is_one(self, hacc_small):
+        ll = 0.2 * hacc_small.box_size / 24
+        cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+        mf = halo_mass_function(cat, nbins=8)
+        ratio = halo_count_ratio(mf, mf)
+        finite = np.isfinite(ratio)
+        assert np.allclose(ratio[finite], 1.0)
+
+    def test_empty_catalog_without_bins_raises(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((100, 3)) * 1000
+        cat = find_halos(pos, 1000.0, 0.5, min_members=10)
+        assert cat.n_halos == 0
+        with pytest.raises(AnalysisError):
+            halo_mass_function(cat)
+
+    def test_empty_catalog_with_bins_returns_zeros(self, hacc_small):
+        rng = np.random.default_rng(0)
+        ll = 0.2 * hacc_small.box_size / 24
+        cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+        mf = halo_mass_function(cat, nbins=6)
+        scattered = find_halos(
+            rng.random((500, 3)) * hacc_small.box_size, hacc_small.box_size, ll,
+            min_members=10,
+        )
+        mf_empty = halo_mass_function(scattered, bin_edges=mf.bin_edges)
+        assert mf_empty.counts.sum() == 0
+
+    def test_mismatched_bins_raise(self, hacc_small):
+        ll = 0.2 * hacc_small.box_size / 24
+        cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+        a = halo_mass_function(cat, nbins=6)
+        b = halo_mass_function(cat, nbins=8)
+        with pytest.raises(AnalysisError):
+            halo_count_ratio(a, b)

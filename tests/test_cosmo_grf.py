@@ -1,0 +1,108 @@
+"""Tests for Gaussian random fields, spectra, and displacement fields."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.grf import displacement_field, gaussian_random_field, wavenumber_grid
+from repro.cosmo.power_spectrum import power_spectrum
+from repro.cosmo.spectra import CosmoPowerSpectrum, power_law_spectrum
+from repro.errors import DataError
+
+
+class TestSpectra:
+    def test_transfer_function_limits(self):
+        spec = CosmoPowerSpectrum()
+        assert spec.transfer(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert spec.transfer(np.array([100.0]))[0] < 1e-3
+
+    def test_pk_zero_at_dc(self):
+        spec = CosmoPowerSpectrum()
+        assert spec(np.array([0.0]))[0] == 0.0
+
+    def test_pk_positive_and_finite(self):
+        spec = CosmoPowerSpectrum()
+        k = np.geomspace(1e-3, 1e2, 50)
+        pk = spec(k)
+        assert np.all(pk > 0) and np.all(np.isfinite(pk))
+
+    def test_pk_turnover_shape(self):
+        # Rises on large scales, falls on small scales.
+        spec = CosmoPowerSpectrum()
+        pk = spec(np.array([1e-3, 2e-2, 10.0]))
+        assert pk[1] > pk[0] and pk[1] > pk[2]
+
+    def test_velocity_spectrum_suppresses_small_scales(self):
+        spec = CosmoPowerSpectrum()
+        k = np.array([0.1, 1.0])
+        ratio = spec.velocity_spectrum(k) / spec(k)
+        assert ratio[0] > ratio[1]
+
+    def test_power_law_exact(self):
+        spec = power_law_spectrum(5.0, -1.0)
+        k = np.array([0.5, 2.0])
+        assert np.allclose(spec(k), 5.0 / k)
+
+
+class TestGRF:
+    def test_field_is_real_and_correct_shape(self):
+        rng = np.random.default_rng(0)
+        f = gaussian_random_field(16, 100.0, CosmoPowerSpectrum(), rng)
+        assert f.shape == (16, 16, 16)
+        assert f.dtype == np.float64
+
+    def test_measured_spectrum_matches_input(self):
+        # The generation/measurement conventions must agree: a power-law
+        # input spectrum should be recovered within cosmic variance.
+        rng = np.random.default_rng(1)
+        spec = power_law_spectrum(100.0, -1.5)
+        box = 100.0
+        ratios = []
+        for _ in range(4):
+            f = gaussian_random_field(32, box, spec, rng)
+            meas = power_spectrum(f, box, nbins=8)
+            ratios.append(meas.pk / spec(meas.k))
+        mean_ratio = np.mean(ratios, axis=0)
+        assert np.all(np.abs(mean_ratio[1:-1] - 1.0) < 0.5)
+
+    def test_seeded_reproducibility(self):
+        spec = CosmoPowerSpectrum()
+        f1 = gaussian_random_field(8, 50.0, spec, np.random.default_rng(7))
+        f2 = gaussian_random_field(8, 50.0, spec, np.random.default_rng(7))
+        assert np.array_equal(f1, f2)
+
+    def test_negative_spectrum_rejected(self):
+        with pytest.raises(DataError):
+            gaussian_random_field(8, 50.0, lambda k: -np.ones_like(k), np.random.default_rng(0))
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(DataError):
+            gaussian_random_field(1, 50.0, CosmoPowerSpectrum(), np.random.default_rng(0))
+
+    def test_wavenumber_grid_nyquist(self):
+        k = wavenumber_grid(8, 8.0)
+        assert k[0, 0, 0] == 0.0
+        assert k.max() == pytest.approx(np.sqrt(3) * np.pi, rel=1e-6)
+
+
+class TestDisplacement:
+    def test_zero_density_zero_displacement(self):
+        psi = displacement_field(np.zeros((8, 8, 8)), 100.0)
+        for p in psi:
+            assert np.allclose(p, 0.0)
+
+    def test_plane_wave_displacement_is_longitudinal(self):
+        # delta = cos(k x) => psi_x = -sin(k x)/k (toward overdensities),
+        # psi_y = psi_z = 0.
+        n, box = 32, 100.0
+        x = np.arange(n) * box / n
+        kx = 2 * np.pi / box * 2  # mode 2
+        delta = np.cos(kx * x)[:, None, None] * np.ones((1, n, n))
+        px, py, pz = displacement_field(delta, box)
+        assert np.allclose(py, 0, atol=1e-12)
+        assert np.allclose(pz, 0, atol=1e-12)
+        expected = -np.sin(kx * x) / kx
+        assert np.allclose(px[:, 0, 0], expected, atol=1e-10)
+
+    def test_non_cubic_rejected(self):
+        with pytest.raises(DataError):
+            displacement_field(np.zeros((4, 8, 8)), 10.0)

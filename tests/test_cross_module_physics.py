@@ -1,0 +1,99 @@
+"""Cross-module physics checks tying analyses to codec behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.rate_distortion import rate_distortion_curve
+from repro.analysis.rd_model import fit_rd_line
+from repro.compressors import SZCompressor
+from repro.cosmo.cic import cic_deposit, cic_gather
+from repro.cosmo.power_spectrum import power_spectrum
+
+_slow = settings(max_examples=15, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBlockingArtifact:
+    """Fig. 4a's low-bitrate drop comes from GPU-SZ's independent-block
+    decorrelation; smaller blocks must show a worse low-rate regime."""
+
+    def test_small_blocks_cost_bits_at_low_rate(self, smooth_field3d):
+        eb = float(smooth_field3d.std()) * 0.2  # loose bound = low bitrate
+        small = SZCompressor(block_side=4).compress(smooth_field3d, error_bound=eb)
+        large = SZCompressor(block_side=16).compress(smooth_field3d, error_bound=eb)
+        assert large.bitrate < small.bitrate
+
+    def test_rd_curves_converge_at_high_rate(self, smooth_field3d):
+        # At tight bounds the residual entropy dominates and the block
+        # border overhead washes out.
+        eb = float(smooth_field3d.std()) * 1e-4
+        small = SZCompressor(block_side=4).compress(smooth_field3d, error_bound=eb)
+        large = SZCompressor(block_side=16).compress(smooth_field3d, error_bound=eb)
+        assert small.bitrate < 1.3 * large.bitrate
+
+    def test_sz_high_rate_regime_is_linear(self, smooth_field3d):
+        sigma = float(smooth_field3d.std())
+        pts = rate_distortion_curve(
+            SZCompressor(), smooth_field3d, "error_bound",
+            [sigma * f for f in (1e-2, 3e-3, 1e-3, 3e-4)], "abs",
+        )
+        fit = fit_rd_line(pts)
+        # The paper's "similar slopes": close to the 6.02 dB/bit law.
+        assert 4.0 < fit.slope_db_per_bit < 9.0
+        assert fit.r_squared > 0.95
+
+
+class TestParsevalConsistency:
+    def test_total_power_equals_variance_for_bandlimited_field(self):
+        """Integral of the measured P(k) over modes reproduces the field
+        variance (Parseval) — validates the estimator normalization.
+        The estimator bins only up to the axis Nyquist, so the check uses
+        a band-limited field whose power all lies inside that sphere."""
+        from repro.cosmo.grf import gaussian_random_field
+
+        box = 10.0
+        n = 24
+        k_nyq = np.pi * n / box
+        rng = np.random.default_rng(0)
+
+        def band_limited(k):
+            return np.where((k > 0) & (k < 0.5 * k_nyq), 1.0, 0.0)
+
+        field = gaussian_random_field(n, box, band_limited, rng)
+        spec = power_spectrum(field, box, nbins=200)
+        total = float(np.nansum(spec.pk * spec.counts)) / box**3
+        assert total == pytest.approx(field.var(), rel=0.02)
+
+
+class TestCICProperties:
+    @given(st.integers(0, 40), st.integers(10, 300))
+    @_slow
+    def test_mass_conservation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3)) * 25.0
+        grid = cic_deposit(pos, 8, 25.0)
+        assert grid.sum() == pytest.approx(float(n), rel=1e-12)
+        assert grid.min() >= 0
+
+    @given(st.integers(0, 40))
+    @_slow
+    def test_gather_deposit_adjoint(self, seed):
+        """<gather(g, p), 1> == <g, deposit(p)> for any field and points."""
+        rng = np.random.default_rng(seed)
+        grid = rng.standard_normal((6, 6, 6))
+        pos = rng.random((50, 3)) * 12.0
+        lhs = cic_gather(grid, pos, 12.0).sum()
+        rhs = (grid * cic_deposit(pos, 6, 12.0)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-12)
+
+    @given(st.integers(0, 40))
+    @_slow
+    def test_gather_bounded_by_grid_extremes(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.standard_normal((6, 6, 6))
+        pos = rng.random((50, 3)) * 12.0
+        vals = cic_gather(grid, pos, 12.0)
+        assert vals.max() <= grid.max() + 1e-12
+        assert vals.min() >= grid.min() - 1e-12

@@ -1,0 +1,14 @@
+"""Run the docstring examples of modules that carry them."""
+
+import doctest
+
+import pytest
+
+import repro.lossless.pipeline
+
+
+@pytest.mark.parametrize("module", [repro.lossless.pipeline])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,46 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones run end to end in a
+subprocess so a broken public API surfaces here (the slower simulation
+examples are exercised piecemeal by their subsystem tests).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        names = {p.stem for p in ALL_EXAMPLES}
+        assert {
+            "quickstart",
+            "nyx_power_spectrum_study",
+            "hacc_halo_preservation",
+            "gpu_throughput_planning",
+            "foresight_workflow",
+            "decimation_vs_compression",
+            "insitu_simulation_loop",
+            "parallel_halo_pipeline",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("name", ["quickstart", "gpu_throughput_planning"])
+    def test_fast_examples_run(self, name):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / f"{name}.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()

@@ -1,0 +1,273 @@
+"""Tests for the per-figure experiment modules (shape claims of the paper).
+
+These assert the *qualitative* findings each figure supports, at the
+"small" profile — who wins, what is monotone, what degrades first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    PROFILES,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    run_all,
+    table1,
+    table2,
+)
+from repro.errors import ConfigError
+from repro.experiments.base import get_profile
+
+
+class TestInfrastructure:
+    def test_profiles_defined(self):
+        assert {"small", "default", "paper"} <= set(PROFILES)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ConfigError):
+            get_profile("huge")
+
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "fig1", "fig2_fig3", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9", "fig10", "guideline",
+        }
+
+    def test_run_all_selected(self):
+        res = run_all("small", only=["table1"])
+        assert list(res) == ["table1"]
+
+    def test_render_produces_table(self):
+        text = table1.run().render()
+        assert "Tesla V100" in text and "table1" in text
+
+
+class TestTable1:
+    def test_seven_rows_with_paper_values(self):
+        rows = table1.run().rows
+        assert len(rows) == 7
+        v100 = next(r for r in rows if "V100" in r["gpu"])
+        assert v100["shaders"] == "5120"
+        assert v100["mem_bw_gbps"] == 900.0
+
+
+class TestTable2:
+    def test_synthetic_ranges_within_paper_ranges(self):
+        rows = table2.run("small").rows
+        assert len(rows) == 12
+        assert all(r["in_range"] for r in rows)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run("small")
+
+    def test_visually_identical(self, result):
+        assert all(r["ssim_visual_proxy"] > 0.99 for r in result.rows)
+
+    def test_pk_deviation_ordering(self, result):
+        dev = {r["pw_rel"]: r["max_pk_deviation"] for r in result.rows}
+        assert dev[0.01] < dev[0.1] < dev[0.25]
+
+    def test_looser_bound_higher_ratio(self, result):
+        cr = {r["pw_rel"]: r["compression_ratio"] for r in result.rows}
+        assert cr[0.25] > cr[0.01]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig4.run("small").rows
+
+    def _curve(self, rows, dataset, field, compressor):
+        pts = [r for r in rows
+               if r["dataset"] == dataset and r["field"] == field
+               and r["compressor"] == compressor]
+        return sorted(pts, key=lambda r: r["bitrate"])
+
+    def test_psnr_increases_with_bitrate_everywhere(self, rows):
+        keys = {(r["dataset"], r["field"], r["compressor"]) for r in rows}
+        for d, f, c in keys:
+            curve = self._curve(rows, d, f, c)
+            psnrs = [p["psnr"] for p in curve]
+            # allow one local wiggle but require overall increase
+            assert psnrs[-1] > psnrs[0], (d, f, c)
+
+    def test_sz_beats_zfp_on_nyx_densities(self, rows):
+        # Paper: GPU-SZ generally above cuZFP at matched bitrate on Nyx.
+        for field in ("baryon_density", "dark_matter_density"):
+            sz = self._curve(rows, "nyx", field, "gpu-sz")
+            zfp = self._curve(rows, "nyx", field, "cuzfp")
+            # Compare PSNR at the closest bitrates around 4 bits/value.
+            sz_near = min(sz, key=lambda p: abs(p["bitrate"] - 4))
+            zfp_near = min(zfp, key=lambda p: abs(p["bitrate"] - 4))
+            psnr_per_bit_sz = sz_near["psnr"] / max(sz_near["bitrate"], 1e-9)
+            psnr_per_bit_zfp = zfp_near["psnr"] / max(zfp_near["bitrate"], 1e-9)
+            assert psnr_per_bit_sz > psnr_per_bit_zfp, field
+
+    def test_velocity_curves_nearly_identical(self, rows):
+        # Paper: the three Nyx velocity components behave alike.
+        curves = [
+            self._curve(rows, "nyx", f"velocity_{ax}", "cuzfp") for ax in "xyz"
+        ]
+        psnr_matrix = np.array([[p["psnr"] for p in c] for c in curves])
+        spread = psnr_matrix.max(axis=0) - psnr_matrix.min(axis=0)
+        assert np.median(spread) < 3.0  # dB
+
+    def test_hacc_velocity_uses_pwrel(self, rows):
+        assert any(
+            r["compressor"] == "gpu-sz(pw_rel)" and r["dataset"] == "hacc"
+            for r in rows
+        )
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run("small")
+
+    def test_six_panels_per_configuration(self, result):
+        panels = {r["panel"] for r in result.rows}
+        assert panels == {
+            "baryon_density", "dark_matter_density", "overall_density",
+            "temperature", "velocity_magnitude", "velocity_z",
+        }
+
+    def test_lower_rate_worse_pk(self, result):
+        rows = [r for r in result.rows
+                if r["compressor"] == "cuzfp" and r["panel"] == "baryon_density"]
+        by_rate = {r["parameter"]: r["max_pk_deviation"] for r in rows}
+        assert by_rate[1.0] > by_rate[8.0]
+
+    def test_sz_best_fit_beats_zfp(self, result):
+        # Paper: GPU-SZ's acceptable best fit compresses more than cuZFP's.
+        note = next(n for n in result.notes if "paper finding" in n)
+        assert "exceeds" in note
+
+    def test_acceptance_flags_consistent(self, result):
+        for r in result.rows:
+            assert r["acceptable"] == (r["max_pk_deviation"] <= 0.01 + 1e-12)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run("small")
+
+    def test_tightest_bound_preserves_halos(self, result):
+        sz = [r for r in result.rows if r["compressor"] == "gpu-sz"]
+        best = min(sz, key=lambda r: r["parameter"])
+        assert best["max_ratio_deviation"] < 0.2
+
+    def test_degradation_grows_with_bound(self, result):
+        sz = sorted(
+            (r for r in result.rows if r["compressor"] == "gpu-sz"),
+            key=lambda r: r["parameter"],
+        )
+        assert sz[-1]["max_ratio_deviation"] >= sz[0]["max_ratio_deviation"]
+
+    def test_cuzfp_needs_high_rate(self, result):
+        zfp = {r["parameter"]: r for r in result.rows if r["compressor"] == "cuzfp"}
+        assert zfp[16.0]["max_ratio_deviation"] <= zfp[4.0]["max_ratio_deviation"]
+
+    def test_notes_quote_overall_ratios(self, result):
+        assert any("4.25x" in n for n in result.notes)
+
+
+class TestFig7:
+    def test_breakdown_claims(self):
+        rows = fig7.run("small").rows
+        comp = [r for r in rows if r["direction"] == "compress"]
+        totals = [r["total_ms"] for r in sorted(comp, key=lambda r: r["bitrate"])]
+        assert totals == sorted(totals)  # time grows with bitrate
+        for r in comp:
+            assert r["total_ms"] < r["baseline_ms"]  # beats raw transfer
+
+
+class TestFig8:
+    def test_na_cell_and_gpu_dominance(self):
+        rows = fig8.run("small").rows
+        zfp20 = next(r for r in rows if r["platform"] == "ZFP CPU 20-core")
+        assert zfp20["decompress_gbps"] is None
+        gpu = next(r for r in rows if "incl. transfer" in r["platform"])
+        cpus = [r for r in rows if "CPU" in r["platform"]]
+        assert all(
+            gpu["compress_gbps"] > (r["compress_gbps"] or 0) for r in cpus
+        )
+
+
+class TestFig9:
+    def test_hardware_ordering(self):
+        rows = {r["gpu"]: r for r in fig9.run("small").rows}
+        assert (
+            rows["Nvidia Tesla V100"]["compress_kernel_gbps"]
+            > rows["Nvidia Tesla P100"]["compress_kernel_gbps"]
+            > rows["Nvidia Tesla K80"]["compress_kernel_gbps"]
+        )
+
+
+class TestFig2Fig3:
+    def test_dag_topology(self):
+        from repro.experiments import fig2_fig3
+
+        result = fig2_fig3.run("small")
+        by_job = {r["job"]: r for r in result.rows}
+        assert by_job["cbench"]["topological_position"] == 0
+        assert by_job["cinema"]["topological_position"] == 4
+        assert by_job["plots"]["topological_position"] > by_job["halo_finder"]["topological_position"]
+
+    def test_components_note_names_all_three(self):
+        from repro.experiments import fig2_fig3
+
+        result = fig2_fig3.run("small")
+        note = result.notes[0]
+        for comp in ("CBench", "PAT", "Cinema"):
+            assert comp in note
+
+
+class TestGuideline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import guideline
+        return guideline.run("small")
+
+    def test_best_fits_found_for_both_datasets(self, result):
+        notes = " | ".join(result.notes)
+        assert "Nyx best fit" in notes and "HACC best fit" in notes
+
+    def test_premise_holds(self, result):
+        premise = next(n for n in result.notes if "premise" in n)
+        assert "holds" in premise
+
+    def test_acceptability_monotone_in_bound(self, result):
+        # Among HACC rows, once a bound is acceptable every tighter one is.
+        hacc_rows = sorted(
+            (r for r in result.rows if r["dataset"] == "hacc"),
+            key=lambda r: r["error_bound"],
+        )
+        seen_acceptable = False
+        for r in reversed(hacc_rows):  # loosest -> tightest
+            if r["acceptable"]:
+                seen_acceptable = True
+            # no tightening should flip back to unacceptable after that
+        assert seen_acceptable
+        tight_ok = [r["acceptable"] for r in hacc_rows[:2]]
+        assert all(tight_ok)
+
+
+class TestFig10:
+    def test_monotone_throughput(self):
+        result = fig10.run("small")
+        assert "monotonically decreasing: True" in result.notes[0]
+        rows = result.rows
+        # Overall (with transfer) is always below kernel-only.
+        for r in rows:
+            assert r["compress_overall_gbps"] < r["compress_kernel_gbps"]

@@ -1,0 +1,204 @@
+"""Tests for the Foresight framework: config, CBench, Cinema, analyses."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataError
+from repro.foresight import (
+    CBench,
+    CinemaDatabase,
+    available_analyses,
+    get_analysis,
+    load_config,
+    register_analysis,
+)
+from repro.foresight.config import CompressorSweep
+
+VALID_CONFIG = {
+    "input": {
+        "dataset": "nyx",
+        "generator": {"grid_size": 16},
+        "fields": ["baryon_density"],
+    },
+    "compressors": [
+        {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [2, 4]}},
+        {
+            "name": "gpu-sz",
+            "mode": "abs",
+            "sweep": {"error_bound": {"baryon_density": [0.5]}},
+        },
+    ],
+    "analyses": ["distortion"],
+    "output": {"directory": "out"},
+}
+
+
+class TestConfig:
+    def test_load_from_dict(self):
+        cfg = load_config(VALID_CONFIG)
+        assert cfg.dataset == "nyx"
+        assert len(cfg.compressors) == 2
+        assert cfg.compressors[0].knob == "rate"
+
+    def test_load_from_file(self, tmp_path):
+        p = tmp_path / "cfg.json"
+        p.write_text(json.dumps(VALID_CONFIG))
+        assert load_config(p).dataset == "nyx"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_config(tmp_path / "missing.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ConfigError, match="JSON"):
+            load_config(p)
+
+    def test_unknown_dataset_raises(self):
+        bad = dict(VALID_CONFIG, input={"dataset": "illustris"})
+        with pytest.raises(ConfigError):
+            load_config(bad)
+
+    def test_unknown_compressor_raises(self):
+        bad = json.loads(json.dumps(VALID_CONFIG))
+        bad["compressors"][0]["name"] = "mgard"
+        with pytest.raises(ConfigError):
+            load_config(bad)
+
+    def test_mode_knob_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"error_bound": [1]})
+
+    def test_per_field_sweep_values(self):
+        cfg = load_config(VALID_CONFIG)
+        sz = cfg.compressors[1]
+        assert sz.values_for("baryon_density") == [0.5]
+        assert sz.values_for("temperature") == []
+
+    def test_scalar_sweep_promoted_to_list(self):
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": 4})
+        assert sweep.values_for("anything") == [4.0]
+
+    def test_nonpositive_knob_rejected(self):
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": [-1]})
+        with pytest.raises(ConfigError):
+            sweep.values_for("f")
+
+
+class TestCBench:
+    def test_sweep_produces_expected_records(self, nyx_small):
+        bench = CBench({"baryon_density": nyx_small.fields["baryon_density"]})
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": [2, 4]})
+        records = bench.run(sweep)
+        assert len(records) == 2
+        for rec in records:
+            assert rec.compression_ratio > 1
+            assert "psnr" in rec.metrics
+            assert rec.reconstruction is not None
+            assert rec.compress_seconds > 0
+
+    def test_sz_record_meta(self, nyx_small):
+        bench = CBench({"t": nyx_small.fields["temperature"]})
+        sweep = CompressorSweep(
+            name="sz", mode="abs", sweep={"error_bound": [100.0]}
+        )
+        rec = bench.run(sweep)[0]
+        assert rec.metrics["max_abs_error"] <= 100.0 * (1 + 1e-5)
+        assert "predictor_regression_fraction" in rec.meta
+
+    def test_to_row_is_flat(self, nyx_small):
+        bench = CBench({"f": nyx_small.fields["temperature"]})
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": [4]})
+        row = bench.run(sweep)[0].to_row()
+        assert all(not isinstance(v, (dict, np.ndarray)) for v in row.values())
+
+    def test_unknown_field_raises(self, nyx_small):
+        bench = CBench({"f": nyx_small.fields["temperature"]})
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": [4]})
+        with pytest.raises(DataError):
+            bench.run_one(sweep, "nope", 4.0)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(DataError):
+            CBench({})
+
+    def test_keep_reconstructions_false(self, nyx_small):
+        bench = CBench(
+            {"f": nyx_small.fields["temperature"]}, keep_reconstructions=False
+        )
+        sweep = CompressorSweep(name="cuzfp", mode="fixed_rate", sweep={"rate": [4]})
+        assert bench.run(sweep)[0].reconstruction is None
+
+
+class TestCinema:
+    def test_write_and_read(self, tmp_path):
+        db = CinemaDatabase(tmp_path / "study")
+        records = [{"a": 1, "b": 2.5}, {"a": 2, "b": 3.5}]
+        db.write(records)
+        back = db.read()
+        assert len(back) == 2
+        assert back[0]["a"] == "1"
+
+    def test_cdb_suffix_enforced(self, tmp_path):
+        db = CinemaDatabase(tmp_path / "study")
+        assert db.path.suffix == ".cdb"
+
+    def test_artifacts_written(self, tmp_path):
+        db = CinemaDatabase(tmp_path / "study")
+
+        def writer(rec, artifact_dir):
+            p = artifact_dir / f"r{rec['a']}.txt"
+            p.write_text(str(rec))
+            return f"artifacts/{p.name}"
+
+        db.write([{"a": 1}, {"a": 2}], artifact_writer=writer)
+        rows = db.read()
+        assert all((db.path / r["FILE"]).exists() for r in rows)
+
+    def test_heterogeneous_records_unioned(self, tmp_path):
+        db = CinemaDatabase(tmp_path / "h")
+        db.write([{"a": 1}, {"b": 2}])
+        rows = db.read()
+        assert set(rows[0]) == {"a", "b"}
+
+    def test_empty_records_raise(self, tmp_path):
+        with pytest.raises(DataError):
+            CinemaDatabase(tmp_path / "e").write([])
+
+
+class TestAnalysisRegistry:
+    def test_builtins_available(self):
+        names = available_analyses()
+        for expected in ("distortion", "power_spectrum", "halo_finder"):
+            assert expected in names
+
+    def test_distortion_analysis(self, nyx_small):
+        fn = get_analysis("distortion")
+        out = fn(nyx_small.fields["temperature"], nyx_small.fields["temperature"])
+        assert out["psnr"] == float("inf")
+
+    def test_power_spectrum_analysis(self, nyx_small):
+        fn = get_analysis("power_spectrum")
+        f = nyx_small.fields["dark_matter_density"]
+        out = fn(f, f, box_size=nyx_small.box_size)
+        assert out["within_band"] is True
+        assert out["max_deviation"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_halo_finder_analysis(self, hacc_small):
+        fn = get_analysis("halo_finder")
+        pos = hacc_small.positions
+        out = fn(pos, pos, box_size=hacc_small.box_size)
+        assert out["n_halos_original"] == out["n_halos_reconstructed"] > 0
+
+    def test_unknown_analysis_raises(self):
+        with pytest.raises(ConfigError):
+            get_analysis("lensing")
+
+    def test_custom_registration(self):
+        register_analysis("always-ok-test", lambda o, r, **k: {"ok": True})
+        assert get_analysis("always-ok-test")(None, None)["ok"]
+        with pytest.raises(ConfigError):
+            register_analysis("always-ok-test", lambda o, r, **k: {})

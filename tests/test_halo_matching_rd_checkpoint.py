@@ -1,0 +1,172 @@
+"""Tests for halo matching, RD-line modeling, checkpoints, and the
+experiments CLI."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.halo_matching import match_halo_catalogs
+from repro.analysis.rate_distortion import RDPoint, rate_distortion_curve
+from repro.analysis.rd_model import (
+    DB_PER_BIT_THEORY,
+    departure_bitrate,
+    fit_rd_line,
+)
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.cosmo.checkpoint import read_checkpoint, write_checkpoint
+from repro.cosmo.halos import find_halos
+from repro.cosmo.pm import zeldovich_initial_conditions
+from repro.errors import AnalysisError, CorruptStreamError, DataError
+from repro.experiments.__main__ import main as experiments_main
+
+
+@pytest.fixture(scope="module")
+def hacc_catalogs(hacc_small):
+    ll = 0.2 * hacc_small.box_size / 24
+    cat = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+    return hacc_small, ll, cat
+
+
+class TestHaloMatching:
+    def test_self_match_is_perfect(self, hacc_catalogs):
+        hacc, ll, cat = hacc_catalogs
+        m = match_halo_catalogs(cat, cat, hacc.box_size)
+        assert m.match_fraction == 1.0
+        assert m.spurious_fraction == 0.0
+        assert np.allclose(m.center_offsets, 0.0)
+        assert np.allclose(m.mass_ratios, 1.0)
+
+    def test_tight_compression_preserves_identity(self, hacc_catalogs):
+        hacc, ll, cat = hacc_catalogs
+        sz = SZCompressor()
+        pos = np.stack(
+            [sz.decompress(sz.compress(hacc.fields[k], error_bound=0.005))
+             for k in "xyz"], axis=1,
+        ).astype(np.float64)
+        cat_r = find_halos(np.mod(pos, hacc.box_size), hacc.box_size, ll, min_members=10)
+        m = match_halo_catalogs(cat, cat_r, hacc.box_size)
+        assert m.match_fraction > 0.9
+        assert float(np.median(m.center_offsets)) < ll
+        assert abs(float(np.median(m.mass_ratios)) - 1.0) < 0.1
+
+    def test_heavy_compression_loses_matches(self, hacc_catalogs):
+        hacc, ll, cat = hacc_catalogs
+        sz = SZCompressor()
+        pos = np.stack(
+            [sz.decompress(sz.compress(hacc.fields[k], error_bound=2.0))
+             for k in "xyz"], axis=1,
+        ).astype(np.float64)
+        cat_r = find_halos(np.mod(pos, hacc.box_size), hacc.box_size, ll, min_members=10)
+        m_tight = match_halo_catalogs(cat, cat_r, hacc.box_size)
+        assert m_tight.match_fraction < 1.0 or m_tight.summary()["median_center_offset"] > 0.01
+
+    def test_empty_reconstructed_catalog(self, hacc_catalogs):
+        hacc, ll, cat = hacc_catalogs
+        rng = np.random.default_rng(0)
+        scattered = rng.uniform(0, hacc.box_size, (500, 3))
+        cat_r = find_halos(scattered, hacc.box_size, ll, min_members=10)
+        m = match_halo_catalogs(cat, cat_r, hacc.box_size)
+        assert m.match_fraction == 0.0 or m.n_reconstructed == 0
+
+    def test_empty_original_raises(self, hacc_catalogs):
+        hacc, ll, cat = hacc_catalogs
+        rng = np.random.default_rng(1)
+        scattered = rng.uniform(0, hacc.box_size, (300, 3))
+        empty = find_halos(scattered, hacc.box_size, ll, min_members=10)
+        if empty.n_halos == 0:
+            with pytest.raises(AnalysisError):
+                match_halo_catalogs(empty, cat, hacc.box_size)
+
+
+class TestRDModel:
+    def test_zfp_slope_matches_theory(self, nyx_small):
+        pts = rate_distortion_curve(
+            ZFPCompressor(), nyx_small.fields["velocity_x"],
+            "rate", [4, 6, 8, 12, 16], "fixed_rate",
+        )
+        fit = fit_rd_line(pts)
+        assert fit.slope_db_per_bit == pytest.approx(DB_PER_BIT_THEORY, abs=0.5)
+        assert fit.r_squared > 0.99
+
+    def test_departure_detection_on_synthetic_curve(self):
+        # Linear above 2 bits, collapsed below (the Fig. 4a shape).
+        pts = [
+            RDPoint(parameter=0, bitrate=b,
+                    compression_ratio=32 / b,
+                    psnr=6.02 * b + 30 if b >= 2 else 6.02 * b + 10)
+            for b in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        fit = fit_rd_line(pts, min_bitrate=2.0)
+        dep = departure_bitrate(pts, fit, tolerance_db=6.0)
+        assert dep == 1.0
+
+    def test_no_departure_on_clean_line(self):
+        pts = [
+            RDPoint(parameter=0, bitrate=b, compression_ratio=32 / b,
+                    psnr=6.0 * b + 30)
+            for b in (1.0, 2.0, 4.0)
+        ]
+        fit = fit_rd_line(pts)
+        assert departure_bitrate(pts, fit) is None
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(AnalysisError):
+            fit_rd_line([RDPoint(0, 1.0, 32.0, 40.0)])
+
+
+class TestCheckpoint:
+    @pytest.fixture(scope="class")
+    def state(self):
+        s = zeldovich_initial_conditions(16, 32.0, seed=3)
+        s.velocities *= 50.0
+        return s
+
+    def test_round_trip_bounds(self, tmp_path, state):
+        path = tmp_path / "ckpt.gio"
+        stats = write_checkpoint(path, state, position_bound=1e-3,
+                                 velocity_pwrel=1e-3)
+        assert stats["compression_ratio"] > 1.0
+        back = read_checkpoint(path)
+        assert np.abs(back.positions - state.positions).max() <= 1e-3 + 1e-5
+        nz = state.velocities != 0
+        rel = np.abs(
+            (back.velocities[nz] - state.velocities[nz]) / state.velocities[nz]
+        )
+        assert rel.max() <= 1e-3 * (1 + 1e-3)
+        assert back.time == state.time
+
+    def test_restart_trajectory_stays_close(self, tmp_path, state):
+        from repro.cosmo.pm import ParticleMeshSolver
+
+        solver = ParticleMeshSolver(32.0, 16)
+        path = tmp_path / "restart.gio"
+        write_checkpoint(path, state, position_bound=1e-4, velocity_pwrel=1e-4)
+        restored = read_checkpoint(path)
+        a = solver.evolve(state, dt=0.05, n_steps=3)
+        b = solver.evolve(restored, dt=0.05, n_steps=3)
+        drift = np.abs(a.positions - b.positions)
+        drift = np.minimum(drift, 32.0 - drift)
+        assert drift.max() < 0.05  # bounded divergence over a short horizon
+
+    def test_corrupt_checkpoint_detected(self, tmp_path, state):
+        path = tmp_path / "bad.gio"
+        write_checkpoint(path, state)
+        from repro.io.genericio import write_genericio
+
+        write_genericio(path, {"x": np.zeros(4, dtype=np.uint8)})
+        with pytest.raises(CorruptStreamError):
+            read_checkpoint(path)
+
+    def test_invalid_bounds_rejected(self, tmp_path, state):
+        with pytest.raises(DataError):
+            write_checkpoint(tmp_path / "x.gio", state, position_bound=0.0)
+
+
+class TestExperimentsCLI:
+    def test_runs_selected(self, capsys):
+        assert experiments_main(["--profile", "small", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla V100" in out
+
+    def test_bad_choice_exits(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])

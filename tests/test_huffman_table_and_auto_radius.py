@@ -1,0 +1,90 @@
+"""Tests for the sparse Huffman length table and SZ auto-radius."""
+
+import numpy as np
+import pytest
+
+from conftest import ulp_tolerance
+from repro.compressors import SZCompressor
+from repro.errors import CorruptStreamError, DataError
+from repro.lossless.huffman import HuffmanCodec
+
+
+class TestSparseLengthTable:
+    def test_sparse_selected_for_tiny_used_set(self):
+        # Alphabet 10,000 but only 3 symbols used -> sparse table.
+        sym = np.resize([17, 4242, 9999], 5000)
+        codec = HuffmanCodec()
+        enc = codec.encode(sym, 10_000)
+        assert np.array_equal(codec.decode(enc), sym)
+        # Dense would need ceil(5*10000/8) = 6250 bytes of table alone.
+        assert len(enc.payload) < 3000
+
+    def test_dense_selected_for_saturated_alphabet(self):
+        rng = np.random.default_rng(0)
+        sym = rng.integers(0, 256, 20000)
+        codec = HuffmanCodec()
+        enc = codec.encode(sym, 256)
+        assert np.array_equal(codec.decode(enc), sym)
+
+    def test_both_formats_decode_identically(self):
+        # Same logical stream through both table encodings must agree.
+        sym = np.resize([0, 1], 1000)
+        codec = HuffmanCodec()
+        small = codec.encode(sym, 2)       # dense (tiny alphabet)
+        large = codec.encode(sym, 50_000)  # sparse (huge alphabet)
+        assert np.array_equal(codec.decode(small), codec.decode(large))
+
+    def test_corrupt_table_kind_rejected(self):
+        sym = np.resize([0, 1], 100)
+        codec = HuffmanCodec()
+        enc = bytearray(codec.encode(sym, 2).payload)
+        # Header is 32 bytes, then u32 table length, then the kind byte.
+        enc[36] = 7
+        with pytest.raises(CorruptStreamError):
+            codec.decode(bytes(enc))
+
+    def test_sparse_symbol_out_of_range_rejected(self):
+        sym = np.resize([40_000], 100)
+        codec = HuffmanCodec()
+        payload = bytearray(codec.encode(sym, 50_000).payload)
+        # Tamper: declared alphabet smaller than the sparse entry.
+        import struct
+        alphabet_pos = 4  # after magic
+        payload[alphabet_pos : alphabet_pos + 4] = struct.pack("<I", 10)
+        with pytest.raises(CorruptStreamError):
+            codec.decode(bytes(payload))
+
+
+class TestAutoRadius:
+    def test_bound_still_honored(self, smooth_field3d):
+        sz = SZCompressor(radius="auto")
+        for eb in (1e-1, 1e-3):
+            recon = sz.decompress(sz.compress(smooth_field3d, error_bound=eb))
+            err = np.abs(recon.astype(np.float64) - smooth_field3d).max()
+            assert err <= eb + ulp_tolerance(smooth_field3d)
+
+    def test_auto_ratio_at_least_close_to_fixed(self, smooth_field3d):
+        fixed = SZCompressor().compress(smooth_field3d, error_bound=1e-2)
+        auto = SZCompressor(radius="auto").compress(smooth_field3d, error_bound=1e-2)
+        assert auto.compression_ratio >= 0.9 * fixed.compression_ratio
+
+    def test_stream_self_describing_across_radius_settings(self, smooth_field3d):
+        # A default-configured decoder reads an auto-radius stream.
+        buf = SZCompressor(radius="auto").compress(smooth_field3d, error_bound=1e-2)
+        recon = SZCompressor(radius=512).decompress(buf)
+        assert np.abs(recon - smooth_field3d).max() <= 1e-2 + ulp_tolerance(smooth_field3d)
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(DataError):
+            SZCompressor(radius="automatic")
+        with pytest.raises(DataError):
+            SZCompressor(radius=1.5)
+
+    def test_auto_radius_power_of_two(self):
+        r = SZCompressor._auto_radius(np.array([0, 1, -1, 100], dtype=np.int64))
+        assert r & (r - 1) == 0  # power of two
+        assert r >= 100
+
+    def test_auto_radius_clamped(self):
+        r = SZCompressor._auto_radius(np.array([10**9], dtype=np.int64))
+        assert r == 32768

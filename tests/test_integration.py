@@ -1,0 +1,161 @@
+"""End-to-end integration tests: the full Foresight study pipeline.
+
+Mirrors the paper's workflow (Fig. 2/3): generate data -> CBench sweeps
+(via a PAT workflow on the SLURM simulator) -> domain analyses -> the
+Section V-D optimizer -> a Cinema database on disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.optimizer import ConfigCandidate, select_best_fit
+from repro.cosmo.power_spectrum import (
+    power_spectrum,
+    power_spectrum_ratio,
+    ratio_within_band,
+)
+from repro.foresight import CBench, CinemaDatabase, load_config
+from repro.foresight.pat import Job, JobState, SlurmSimulator, Workflow
+from repro.foresight.visualization import save_series_csv
+from repro.io import RecordStore
+
+
+@pytest.fixture(scope="module")
+def study_config():
+    return load_config(
+        {
+            "input": {
+                "dataset": "nyx",
+                "generator": {"grid_size": 32, "seed": 42},
+                "fields": ["dark_matter_density", "temperature"],
+            },
+            "compressors": [
+                {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [2, 4, 8]}},
+                {
+                    "name": "gpu-sz",
+                    "mode": "abs",
+                    "sweep": {
+                        "error_bound": {
+                            "dark_matter_density": [0.5, 0.05, 0.005],
+                            "temperature": [500.0, 50.0],
+                        }
+                    },
+                },
+            ],
+            "analyses": ["distortion", "power_spectrum"],
+            "output": {"directory": "study-out"},
+        }
+    )
+
+
+def test_full_study_pipeline(tmp_path, nyx_small, study_config):
+    fields = {name: nyx_small.fields[name] for name in study_config.fields}
+    bench = CBench(fields)
+
+    # Stage 1+2 as a PAT workflow on the simulated cluster.
+    state = {}
+
+    def run_cbench():
+        state["records"] = bench.run_all(study_config.compressors, study_config.fields)
+        return len(state["records"])
+
+    def run_pk_analysis():
+        out = []
+        for rec in state["records"]:
+            ref = power_spectrum(
+                fields[rec.field].astype(np.float64), nyx_small.box_size, nbins=10
+            )
+            spec = power_spectrum(
+                rec.reconstruction.astype(np.float64), nyx_small.box_size, nbins=10
+            )
+            ratio = power_spectrum_ratio(ref, spec)
+            out.append(
+                ConfigCandidate(
+                    field_name=rec.field,
+                    compressor=rec.compressor,
+                    mode=rec.mode,
+                    parameter=rec.parameter,
+                    compression_ratio=rec.compression_ratio,
+                    acceptable=ratio_within_band(ratio, 0.01),
+                    diagnostics={"max_dev": float(np.nanmax(np.abs(ratio - 1)))},
+                )
+            )
+        state["candidates"] = out
+        return len(out)
+
+    wf = Workflow("nyx-study")
+    wf.add_job(Job(name="cbench", action=run_cbench))
+    wf.add_job(Job(name="pk", action=run_pk_analysis, depends_on=["cbench"]))
+    records = SlurmSimulator(nodes=2).run(wf, raise_on_failure=True)
+    assert all(r.state is JobState.COMPLETED for r in records.values())
+
+    # Stage 3: the optimization guideline per compressor.
+    per_compressor = {}
+    for comp in ("cuzfp", "gpu-sz"):
+        subset = [c for c in state["candidates"] if c.compressor == comp]
+        try:
+            per_compressor[comp] = select_best_fit(subset)
+        except Exception:
+            pass
+    assert per_compressor, "at least one compressor must have an acceptable config"
+    for best in per_compressor.values():
+        assert best.overall_compression_ratio > 1.0
+
+    # Stage 4: persist records + Cinema database with artifacts.
+    store = RecordStore(tmp_path / "records.jsonl")
+    store.extend([r.to_row() for r in state["records"]])
+    assert len(store.load()) == len(state["records"])
+
+    def artifact(rec_row, artifact_dir):
+        name = f"{rec_row['compressor']}_{rec_row['field']}_{rec_row['parameter']}.csv"
+        save_series_csv(artifact_dir / name, [0, 1], {"psnr": [rec_row["psnr"]] * 2})
+        return f"artifacts/{name}"
+
+    db = CinemaDatabase(tmp_path / "study")
+    db.write([r.to_row() for r in state["records"]], artifact_writer=artifact)
+    rows = db.read()
+    assert len(rows) == len(state["records"])
+    assert all((db.path / r["FILE"]).exists() for r in rows)
+
+
+def test_hacc_end_to_end_halo_preservation(hacc_small):
+    """Compress HACC positions at the paper's chosen bound and verify the
+    halo catalog survives (the Fig. 6 conclusion, end to end)."""
+    from repro.compressors import SZCompressor
+    from repro.cosmo.halos import find_halos, halo_count_ratio, halo_mass_function
+
+    sz = SZCompressor()
+    recon = {}
+    for name in ("x", "y", "z"):
+        buf = sz.compress(hacc_small.fields[name], error_bound=0.005, mode="abs")
+        recon[name] = sz.decompress(buf)
+    ds2 = hacc_small.with_fields(recon)
+
+    ll = 0.2 * hacc_small.box_size / 24
+    cat_o = find_halos(hacc_small.positions, hacc_small.box_size, ll, min_members=10)
+    cat_r = find_halos(
+        np.mod(ds2.positions, hacc_small.box_size), hacc_small.box_size, ll,
+        min_members=10,
+    )
+    mf_o = halo_mass_function(cat_o, nbins=6)
+    mf_r = halo_mass_function(cat_r, bin_edges=mf_o.bin_edges)
+    ratio = halo_count_ratio(mf_o, mf_r)
+    finite = np.isfinite(ratio)
+    assert np.abs(ratio[finite] - 1.0).max() < 0.1
+
+
+def test_genericio_roundtrip_through_compression(tmp_path, hacc_small):
+    """Write a GenericIO snapshot, read it back, compress, verify bounds —
+    the storage-path integration the paper's pipeline implies."""
+    from repro.compressors import SZCompressor
+    from repro.io import read_genericio, write_genericio
+
+    path = tmp_path / "snap.gio"
+    write_genericio(path, hacc_small.fields)
+    loaded = read_genericio(path, variables=["x"])
+    sz = SZCompressor()
+    buf = sz.compress(loaded.variables["x"], error_bound=0.01)
+    recon = sz.decompress(buf)
+    assert np.abs(recon - hacc_small.fields["x"]).max() <= 0.01 + np.spacing(
+        np.float32(256.0)
+    )

@@ -1,0 +1,120 @@
+"""Tests for the GenericIO-like and HDF5-like containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptStreamError, DataError
+from repro.io import H5LikeFile, RecordStore, read_genericio, write_genericio
+
+
+class TestGenericIO:
+    def test_round_trip(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        back = read_genericio(path)
+        assert set(back.variables) == set(hacc_small.fields)
+        for k in hacc_small.fields:
+            assert np.array_equal(back.variables[k], hacc_small.fields[k])
+
+    def test_partial_read(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        back = read_genericio(path, variables=["x", "vx"])
+        assert set(back.variables) == {"x", "vx"}
+
+    def test_missing_variable_raises(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        with pytest.raises(DataError):
+            read_genericio(path, variables=["mass"])
+
+    def test_crc_detects_corruption(self, tmp_path):
+        path = tmp_path / "c.gio"
+        write_genericio(path, {"a": np.arange(100, dtype=np.float32)})
+        raw = bytearray(path.read_bytes())
+        raw[-5] ^= 0xFF  # flip a data byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CorruptStreamError, match="CRC"):
+            read_genericio(path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "x.gio"
+        path.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(CorruptStreamError):
+            read_genericio(path)
+
+    def test_rejects_nd_variables(self, tmp_path):
+        with pytest.raises(DataError):
+            write_genericio(tmp_path / "x.gio", {"a": np.zeros((2, 2))})
+
+    def test_dtype_preserved(self, tmp_path):
+        path = tmp_path / "d.gio"
+        write_genericio(path, {"a": np.arange(10, dtype=np.int64)})
+        assert read_genericio(path).variables["a"].dtype == np.int64
+
+
+class TestH5Like:
+    def test_round_trip_with_groups(self, tmp_path, nyx_small):
+        f = H5LikeFile()
+        for name, data in nyx_small.fields.items():
+            f.create_dataset(f"native_fields/{name}", data)
+        f.attrs["format"] = "nyx-lyaf"
+        f.attrs["size"] = 32
+        path = tmp_path / "nyx.h5l"
+        f.save(path)
+        back = H5LikeFile.load(path)
+        assert back.attrs["format"] == "nyx-lyaf"
+        assert "native_fields" in back.groups()
+        for name, data in nyx_small.fields.items():
+            assert np.array_equal(back[f"native_fields/{name}"], data)
+
+    def test_duplicate_dataset_raises(self):
+        f = H5LikeFile()
+        f.create_dataset("a/b", np.zeros(3))
+        with pytest.raises(DataError):
+            f.create_dataset("a/b", np.zeros(3))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            H5LikeFile()["nothing"]
+
+    def test_contains_and_keys(self):
+        f = H5LikeFile()
+        f.create_dataset("g/x", np.ones(2))
+        assert "g/x" in f and f.keys() == ["g/x"]
+
+    def test_bad_magic_raises(self, tmp_path):
+        p = tmp_path / "bad.h5l"
+        p.write_bytes(b"XXXX" + b"\x00" * 50)
+        with pytest.raises(CorruptStreamError):
+            H5LikeFile.load(p)
+
+    def test_shapes_and_dtypes_preserved(self, tmp_path):
+        f = H5LikeFile()
+        f.create_dataset("a", np.arange(24, dtype=np.float64).reshape(2, 3, 4))
+        p = tmp_path / "s.h5l"
+        f.save(p)
+        back = H5LikeFile.load(p)["a"]
+        assert back.shape == (2, 3, 4) and back.dtype == np.float64
+
+
+class TestRecordStore:
+    def test_append_and_load(self, tmp_path):
+        store = RecordStore(tmp_path / "r.jsonl")
+        store.append({"a": 1, "b": "x"})
+        store.extend([{"a": 2}, {"a": 3}])
+        records = store.load()
+        assert [r["a"] for r in records] == [1, 2, 3]
+
+    def test_numpy_values_serialized(self, tmp_path):
+        store = RecordStore(tmp_path / "np.jsonl")
+        store.append({"f": np.float32(1.5), "i": np.int64(2), "arr": np.arange(3)})
+        rec = store.load()[0]
+        assert rec["f"] == 1.5 and rec["i"] == 2 and rec["arr"] == [0, 1, 2]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert RecordStore(tmp_path / "none.jsonl").load() == []
+
+    def test_non_dict_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            RecordStore(tmp_path / "x.jsonl").append([1, 2])

@@ -1,0 +1,51 @@
+"""Unit tests for the LZSS dictionary coder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptStreamError
+from repro.lossless.lzss import MIN_MATCH, lzss_compress, lzss_decompress
+
+
+class TestLZSS:
+    def test_empty(self):
+        assert lzss_decompress(lzss_compress(b"")) == b""
+
+    def test_short_literal_only(self):
+        data = b"ab"
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"cosmology" * 500
+        comp = lzss_compress(data)
+        assert len(comp) < len(data) / 5
+        assert lzss_decompress(comp) == data
+
+    def test_incompressible_falls_back_to_stored(self):
+        rng = np.random.default_rng(0)
+        data = bytes(rng.integers(0, 256, 4096, dtype=np.uint8).tobytes())
+        comp = lzss_compress(data)
+        assert len(comp) <= len(data) + 16
+        assert lzss_decompress(comp) == data
+
+    def test_overlapping_match(self):
+        # 'aaaa...' forces matches overlapping their own output.
+        data = b"a" * 1000
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_round_trip_structured(self):
+        rng = np.random.default_rng(1)
+        data = bytes(rng.choice([65, 66, 67], 5000).astype(np.uint8).tobytes()) * 2
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(CorruptStreamError):
+            lzss_decompress(b"BAD!" + b"\x00" * 32)
+
+    def test_min_match_constant(self):
+        assert MIN_MATCH == 3
+
+    def test_small_window_parameters(self):
+        data = b"abcabcabc" * 100
+        comp = lzss_compress(data, offset_bits=8, length_bits=4)
+        assert lzss_decompress(comp) == data

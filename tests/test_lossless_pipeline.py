@@ -1,0 +1,43 @@
+"""Unit tests for composable lossless pipelines."""
+
+import pytest
+
+from repro.errors import ConfigError, CorruptStreamError
+from repro.lossless.pipeline import LosslessPipeline, register_stage
+
+
+class TestPipeline:
+    def test_identity_round_trip(self):
+        pipe = LosslessPipeline([])
+        assert pipe.decompress(pipe.compress(b"data")) == b"data"
+
+    def test_lzss_round_trip(self):
+        pipe = LosslessPipeline(["lzss"])
+        data = b"xyz" * 1000
+        assert pipe.decompress(pipe.compress(data)) == data
+
+    def test_stream_is_self_describing(self):
+        # A pipeline-agnostic decoder can unwind any stream.
+        data = b"hello world " * 50
+        stream = LosslessPipeline(["lzss"]).compress(data)
+        assert LosslessPipeline([]).decompress(stream) == data
+
+    def test_unknown_stage_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            LosslessPipeline(["zstd"])
+
+    def test_bad_magic_raises(self):
+        with pytest.raises(CorruptStreamError):
+            LosslessPipeline().decompress(b"NOPE....")
+
+    def test_custom_stage_registration(self):
+        register_stage("xor42-test", lambda b: bytes(x ^ 42 for x in b),
+                       lambda b: bytes(x ^ 42 for x in b))
+        pipe = LosslessPipeline(["xor42-test", "lzss"])
+        data = b"custom stage" * 20
+        assert pipe.decompress(pipe.compress(data)) == data
+
+    def test_duplicate_registration_raises(self):
+        register_stage("dup-test", lambda b: b, lambda b: b)
+        with pytest.raises(ConfigError):
+            register_stage("dup-test", lambda b: b, lambda b: b)

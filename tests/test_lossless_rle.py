@@ -1,0 +1,42 @@
+"""Unit tests for run-length coding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.lossless.rle import rle_decode, rle_encode
+
+
+class TestRLE:
+    def test_empty(self):
+        v, l = rle_encode(np.array([], dtype=np.int64))
+        assert v.size == 0 and l.size == 0
+        assert rle_decode(v, l).size == 0
+
+    def test_single_run(self):
+        v, l = rle_encode(np.full(100, 7))
+        assert v.tolist() == [7] and l.tolist() == [100]
+
+    def test_alternating_worst_case(self):
+        data = np.array([0, 1] * 50)
+        v, l = rle_encode(data)
+        assert v.size == 100 and np.all(l == 1)
+        assert np.array_equal(rle_decode(v, l), data)
+
+    def test_round_trip_random(self):
+        rng = np.random.default_rng(0)
+        data = rng.choice([0, 0, 0, 1, 5], size=10000)
+        v, l = rle_encode(data)
+        assert np.array_equal(rle_decode(v, l), data)
+        assert l.sum() == data.size
+
+    def test_float_values_supported(self):
+        data = np.array([1.5, 1.5, 2.5])
+        v, l = rle_encode(data)
+        assert np.array_equal(rle_decode(v, l), data)
+
+    def test_decode_validation(self):
+        with pytest.raises(DataError):
+            rle_decode(np.array([1]), np.array([1, 2]))
+        with pytest.raises(DataError):
+            rle_decode(np.array([1]), np.array([0]))

@@ -1,0 +1,112 @@
+"""Tests for the §V-C mitigation models plus assorted coverage fills."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import mitigation_study
+from repro.errors import (
+    AnalysisError,
+    CompressionError,
+    ConfigError,
+    CorruptStreamError,
+    DataError,
+    ReproError,
+    ScheduleError,
+    UnsupportedModeError,
+)
+from repro.experiments.runner import render_all, run_all
+from repro.gpu import NVLINK2, simulate_compression
+
+
+class TestMitigations:
+    def test_overlap_bounded_by_components(self):
+        run = simulate_compression(512**3, 4.0)
+        by = run.breakdown()
+        assert run.overlapped_total_seconds <= run.total_seconds
+        assert run.overlapped_total_seconds >= max(by["kernel"], by["memcpy"])
+
+    def test_overlap_helps_most_when_balanced(self):
+        # When memcpy ~ kernel the overlap saving approaches 2x on the
+        # variable part.
+        run = simulate_compression(512**3, 2.0)
+        saving = run.total_seconds / run.overlapped_total_seconds
+        assert saving > 1.2
+
+    def test_nvlink_reduces_memcpy(self):
+        pcie = simulate_compression(512**3, 8.0)
+        nvl = simulate_compression(512**3, 8.0, link=NVLINK2)
+        assert nvl.breakdown()["memcpy"] < pcie.breakdown()["memcpy"] / 3
+
+    def test_study_rows_consistent(self):
+        rows = mitigation_study(64**3, [2.0, 8.0])
+        assert len(rows) == 2
+        for r in rows:
+            assert r["nvlink_async_gbps"] >= r["pcie_gbps"]
+
+    def test_kernel_throughput_unchanged_by_link(self):
+        pcie = simulate_compression(512**3, 4.0)
+        nvl = simulate_compression(512**3, 4.0, link=NVLINK2)
+        assert pcie.kernel_throughput == nvl.kernel_throughput
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigError, CompressionError, DataError, ScheduleError,
+                    AnalysisError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(CorruptStreamError, CompressionError)
+        assert issubclass(UnsupportedModeError, CompressionError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise CorruptStreamError("x")
+
+
+class TestRunnerRendering:
+    def test_render_all_concatenates(self):
+        results = run_all("small", only=["table1", "fig9"])
+        text = render_all(results)
+        assert "table1" in text and "fig9" in text
+        assert text.count("==") >= 4  # two headers
+
+
+class TestCLIHaccPath:
+    def test_cli_runs_hacc_dataset(self, tmp_path, capsys):
+        import json
+
+        from repro.foresight.cli import main as cli_main
+
+        cfg = {
+            "input": {
+                "dataset": "hacc",
+                "generator": {"particles_per_side": 12, "seed": 1},
+                "fields": ["x", "vx"],
+            },
+            "compressors": [
+                {"name": "sz", "mode": "abs",
+                 "sweep": {"error_bound": {"x": [0.05], "vx": [5.0]}}},
+            ],
+            "analyses": ["distortion"],
+            "output": {"directory": str(tmp_path / "out")},
+        }
+        path = tmp_path / "hacc.json"
+        path.write_text(json.dumps(cfg))
+        assert cli_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "sz" in out
+
+
+class TestProfileScaling:
+    def test_model_experiments_profile_independent(self):
+        """Figs. 7-10 are model-driven: identical at every profile."""
+        from repro.experiments import fig9
+
+        small = fig9.run("small")
+        paper = fig9.run("paper")
+        assert small.rows == paper.rows
+
+    def test_profiles_monotone_in_size(self):
+        from repro.experiments.base import PROFILES
+
+        sizes = [PROFILES[p].nyx_grid for p in ("small", "default", "paper")]
+        assert sizes == sorted(sizes)

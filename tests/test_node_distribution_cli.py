@@ -1,0 +1,196 @@
+"""Tests for the node overhead model, error-distribution metrics, and the
+Foresight CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.errors import DataError
+from repro.foresight.cli import main as cli_main
+from repro.gpu import SUMMIT_NODE, NodeSpec, V100, node_insitu_overhead
+from repro.metrics.distribution import error_distribution
+
+
+class TestNodeOverhead:
+    def test_paper_summit_claim(self):
+        """CPU > several %, 6-GPU node < 0.3% — Section V-C's numbers."""
+        rows = node_insitu_overhead(2.5e12 / 1024, 10.0, bits_per_value=3.0)
+        cpu, gpu = rows
+        assert cpu.overhead_fraction > 0.05
+        assert gpu.overhead_fraction < 0.003
+        assert cpu.overhead_fraction / gpu.overhead_fraction > 40
+
+    def test_more_gpus_less_overhead(self):
+        one = NodeSpec("1gpu", gpu=V100, n_gpus=1, cpu_threads=40)
+        rows1 = node_insitu_overhead(2e9, 10.0, 4.0, node=one)
+        rows6 = node_insitu_overhead(2e9, 10.0, 4.0, node=SUMMIT_NODE)
+        assert rows6[1].overhead_fraction < rows1[1].overhead_fraction
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            node_insitu_overhead(0, 10.0, 4.0)
+        bad = NodeSpec("none", gpu=V100, n_gpus=0, cpu_threads=4)
+        with pytest.raises(DataError):
+            node_insitu_overhead(1e9, 10.0, 4.0, node=bad)
+
+
+class TestErrorDistribution:
+    def test_sz_abs_errors_are_uniform_like(self, smooth_field3d):
+        """CBench's observation: SZ ABS-mode error fills the bound range
+        evenly (uniform kurtosis is -1.2)."""
+        sz = SZCompressor()
+        recon = sz.decompress(sz.compress(smooth_field3d, error_bound=1e-2))
+        dist = error_distribution(smooth_field3d, recon, bound=1e-2)
+        assert dist.uniform_like
+        assert dist.excess_kurtosis == pytest.approx(-1.2, abs=0.25)
+
+    def test_zfp_errors_are_gaussian_like(self, smooth_field3d):
+        """The paper: "lossy compression — such as ZFP — provides a
+        Gaussian-like error distribution"."""
+        zfp = ZFPCompressor()
+        recon = zfp.decompress(zfp.compress(smooth_field3d, rate=8))
+        dist = error_distribution(smooth_field3d, recon)
+        assert dist.gaussian_like
+        assert not dist.uniform_like
+
+    def test_error_mean_near_zero(self, smooth_field3d):
+        sz = SZCompressor()
+        recon = sz.decompress(sz.compress(smooth_field3d, error_bound=1e-2))
+        dist = error_distribution(smooth_field3d, recon, bound=1e-2)
+        assert abs(dist.mean) < 1e-3
+
+    def test_histogram_sums_to_inrange_samples(self, smooth_field3d):
+        sz = SZCompressor()
+        recon = sz.decompress(sz.compress(smooth_field3d, error_bound=1e-2))
+        dist = error_distribution(smooth_field3d, recon, bound=2e-2)
+        assert dist.histogram.sum() == smooth_field3d.size
+
+    def test_exact_reconstruction_degenerate(self):
+        a = np.linspace(0, 1, 64).reshape(4, 4, 4)
+        dist = error_distribution(a, a)
+        assert dist.std == 0.0 and dist.skewness == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            error_distribution(np.zeros(4), np.zeros(5))
+        with pytest.raises(DataError):
+            error_distribution(np.zeros(4), np.zeros(4))
+
+
+class TestForesightCLI:
+    def _write_config(self, tmp_path, outdir):
+        cfg = {
+            "input": {
+                "dataset": "nyx",
+                "generator": {"grid_size": 16, "seed": 3},
+                "fields": ["temperature"],
+            },
+            "compressors": [
+                {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [4, 8]}},
+            ],
+            "analyses": ["distortion", "power_spectrum"],
+            "output": {"directory": str(outdir)},
+        }
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(cfg))
+        return path
+
+    def test_end_to_end(self, tmp_path, capsys):
+        outdir = tmp_path / "out"
+        cfg = self._write_config(tmp_path, outdir)
+        assert cli_main([str(cfg)]) == 0
+        assert (outdir / "records.jsonl").exists()
+        assert (outdir / "study.cdb" / "data.csv").exists()
+        records = [
+            json.loads(line)
+            for line in (outdir / "records.jsonl").read_text().splitlines()
+        ]
+        assert len(records) == 2
+        assert all("power_spectrum.within_band" in r for r in records)
+        out = capsys.readouterr().out
+        assert "cuzfp" in out
+
+    def test_quiet_flag(self, tmp_path, capsys):
+        outdir = tmp_path / "out2"
+        cfg = self._write_config(tmp_path, outdir)
+        assert cli_main([str(cfg), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_missing_config_errors(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_file_input_gio(self, tmp_path, hacc_small):
+        import json
+
+        from repro.io.genericio import write_genericio
+
+        snap = tmp_path / "snap.gio"
+        write_genericio(snap, hacc_small.fields)
+        cfg = {
+            "input": {"dataset": "hacc", "file": str(snap),
+                       "fields": ["x"], "box_size": hacc_small.box_size},
+            "compressors": [
+                {"name": "sz", "mode": "abs", "sweep": {"error_bound": [0.05]}}
+            ],
+            "analyses": ["distortion"],
+            "output": {"directory": str(tmp_path / "o")},
+        }
+        path = tmp_path / "file.json"
+        path.write_text(json.dumps(cfg))
+        assert cli_main([str(path), "--quiet"]) == 0
+        records = (tmp_path / "o" / "records.jsonl").read_text().splitlines()
+        assert len(records) == 1
+
+    def test_file_input_h5l(self, tmp_path, nyx_small):
+        import json
+
+        from repro.io.hdf5like import H5LikeFile
+
+        h5 = H5LikeFile()
+        for name, data in nyx_small.fields.items():
+            h5.create_dataset(f"native_fields/{name}", data)
+        snap = tmp_path / "nyx.h5l"
+        h5.save(snap)
+        cfg = {
+            "input": {"dataset": "nyx", "file": str(snap),
+                       "fields": ["temperature"], "box_size": nyx_small.box_size},
+            "compressors": [
+                {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [8]}}
+            ],
+            "analyses": ["distortion", "power_spectrum"],
+            "output": {"directory": str(tmp_path / "o2")},
+        }
+        path = tmp_path / "h5.json"
+        path.write_text(json.dumps(cfg))
+        assert cli_main([str(path), "--quiet"]) == 0
+
+    def test_file_and_generator_mutually_exclusive(self, tmp_path):
+        import json
+
+        from repro.errors import ConfigError
+        from repro.foresight.config import load_config
+
+        cfg = {
+            "input": {"dataset": "nyx", "file": "x.h5l", "generator": {}},
+            "compressors": [
+                {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [8]}}
+            ],
+        }
+        with pytest.raises(ConfigError):
+            load_config(cfg)
+
+    def test_bad_field_errors(self, tmp_path):
+        cfg = {
+            "input": {"dataset": "nyx", "generator": {"grid_size": 16},
+                       "fields": ["no_such_field"]},
+            "compressors": [
+                {"name": "cuzfp", "mode": "fixed_rate", "sweep": {"rate": [4]}}
+            ],
+            "output": {"directory": str(tmp_path / "o")},
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(cfg))
+        assert cli_main([str(path)]) == 2

@@ -1,0 +1,172 @@
+"""Tests for the simulated distributed substrate (decomposition, ghost
+exchange, distributed FoF, per-rank compression)."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.compressors import SZCompressor
+from repro.cosmo.fof import friends_of_friends
+from repro.errors import DataError
+from repro.parallel import (
+    CartesianDecomposition,
+    compress_distributed,
+    distributed_fof,
+)
+from repro.parallel.compression import decompress_distributed
+
+
+def _partition_signature(labels: np.ndarray):
+    groups = collections.defaultdict(list)
+    for i, l in enumerate(labels):
+        groups[int(l)].append(i)
+    return sorted(tuple(v) for v in groups.values())
+
+
+class TestDecomposition:
+    def test_rank_count(self):
+        d = CartesianDecomposition(100.0, (2, 3, 4))
+        assert d.n_ranks == 24
+
+    def test_every_particle_owned_once(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        owned = d.scatter(hacc_small.positions)
+        all_ids = np.concatenate(owned)
+        assert np.array_equal(np.sort(all_ids), np.arange(hacc_small.n_particles))
+
+    def test_rank_of_respects_bounds(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        pos = np.mod(hacc_small.positions, hacc_small.box_size)
+        ranks = d.rank_of(pos)
+        for r in range(d.n_ranks):
+            lo, hi = d.rank_bounds(r)
+            mine = pos[ranks == r]
+            assert np.all(mine >= lo - 1e-9) and np.all(mine <= hi + 1e-9)
+
+    def test_rank_bounds_validation(self):
+        d = CartesianDecomposition(10.0, (2, 2, 2))
+        with pytest.raises(DataError):
+            d.rank_bounds(8)
+
+    def test_invalid_dims(self):
+        with pytest.raises(DataError):
+            CartesianDecomposition(10.0, (0, 2, 2))
+
+
+class TestGhostExchange:
+    def test_ghosts_are_within_cutoff(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        cutoff = 2.0
+        ranks, _ = d.exchange_ghosts(hacc_small.positions, cutoff)
+        for rp in ranks:
+            if rp.n_ghost == 0:
+                continue
+            # Stored ghost positions are already in the local frame.
+            dist = d._distance_to_box(rp.positions[rp.n_owned :], rp.rank)
+            assert dist.max() <= cutoff + 1e-9
+
+    def test_ghost_positions_shifted_near_box(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        ranks, _ = d.exchange_ghosts(hacc_small.positions, 2.0)
+        for rp in ranks:
+            lo, hi = d.rank_bounds(rp.rank)
+            ghosts = rp.positions[rp.n_owned:]
+            if ghosts.size == 0:
+                continue
+            assert np.all(ghosts >= lo - 2.0 - 1e-9)
+            assert np.all(ghosts <= hi + 2.0 + 1e-9)
+
+    def test_communication_volume_recorded(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        _, ex = d.exchange_ghosts(hacc_small.positions, 2.0, bytes_per_particle=24)
+        assert ex.total_bytes > 0
+        assert ex.total_bytes % 24 == 0
+
+    def test_larger_cutoff_more_ghosts(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        _, ex1 = d.exchange_ghosts(hacc_small.positions, 1.0)
+        _, ex2 = d.exchange_ghosts(hacc_small.positions, 4.0)
+        assert ex2.total_bytes > ex1.total_bytes
+
+    def test_oversized_cutoff_rejected(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (4, 4, 4))
+        with pytest.raises(DataError):
+            d.exchange_ghosts(hacc_small.positions, hacc_small.box_size / 4)
+
+
+class TestDistributedFOF:
+    @pytest.mark.parametrize("dims", [(2, 2, 2), (1, 2, 4), (3, 1, 1)])
+    def test_matches_serial_partition(self, hacc_small, dims):
+        ll = 0.2 * hacc_small.box_size / 24
+        serial = friends_of_friends(hacc_small.positions, hacc_small.box_size, ll)
+        dist, stats = distributed_fof(
+            hacc_small.positions, hacc_small.box_size, ll, dims=dims
+        )
+        assert dist.n_groups == serial.n_groups
+        assert _partition_signature(dist.labels) == _partition_signature(serial.labels)
+        assert stats["n_ranks"] == int(np.prod(dims))
+
+    def test_cross_boundary_group(self):
+        # A clump straddling the rank boundary at x = 50.
+        rng = np.random.default_rng(0)
+        clump = np.array([50.0, 25.0, 25.0]) + rng.normal(0, 0.3, (60, 3))
+        spread = rng.uniform(0, 100, (200, 3))
+        pos = np.mod(np.vstack([clump, spread]), 100.0)
+        serial = friends_of_friends(pos, 100.0, 1.5)
+        dist, _ = distributed_fof(pos, 100.0, 1.5, dims=(2, 2, 2))
+        assert _partition_signature(dist.labels) == _partition_signature(serial.labels)
+
+    def test_periodic_boundary_group(self):
+        rng = np.random.default_rng(1)
+        clump = np.mod(np.array([0.0, 25.0, 25.0]) + rng.normal(0, 0.3, (40, 3)), 100.0)
+        pos = np.vstack([clump, rng.uniform(10, 90, (100, 3))])
+        serial = friends_of_friends(pos, 100.0, 1.5)
+        dist, _ = distributed_fof(pos, 100.0, 1.5, dims=(2, 1, 1))
+        assert _partition_signature(dist.labels) == _partition_signature(serial.labels)
+
+    def test_stats_accounting(self, hacc_small):
+        ll = 0.2 * hacc_small.box_size / 24
+        _, stats = distributed_fof(hacc_small.positions, hacc_small.box_size, ll)
+        assert sum(stats["owned_per_rank"]) == hacc_small.n_particles
+        assert stats["ghost_bytes"] > 0
+
+
+class TestDistributedCompression:
+    def test_global_bound_holds(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        sz = SZCompressor()
+        res = compress_distributed(
+            sz, hacc_small.fields["x"], hacc_small.positions, d,
+            error_bound=0.01, mode="abs",
+        )
+        recon = decompress_distributed(sz, res)
+        err = np.abs(recon - hacc_small.fields["x"]).max()
+        assert err <= 0.01 + np.spacing(np.float32(hacc_small.box_size))
+
+    def test_ratio_close_to_serial(self, hacc_small):
+        sz = SZCompressor()
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        res = compress_distributed(
+            sz, hacc_small.fields["x"], hacc_small.positions, d,
+            error_bound=0.01, mode="abs",
+        )
+        serial = sz.compress(hacc_small.fields["x"], error_bound=0.01)
+        assert res.compression_ratio > 0.5 * serial.compression_ratio
+
+    def test_per_rank_ratios_reported(self, hacc_small):
+        sz = SZCompressor()
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        res = compress_distributed(
+            sz, hacc_small.fields["x"], hacc_small.positions, d,
+            error_bound=0.01, mode="abs",
+        )
+        assert len(res.per_rank_ratios()) == len(res.buffers) <= 8
+
+    def test_value_shape_validated(self, hacc_small):
+        d = CartesianDecomposition(hacc_small.box_size, (2, 2, 2))
+        with pytest.raises(DataError):
+            compress_distributed(
+                SZCompressor(), hacc_small.fields["x"][:10], hacc_small.positions,
+                d, error_bound=0.01,
+            )

@@ -1,0 +1,139 @@
+"""Tests for PAT: Job, Workflow, and the SLURM simulator."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.foresight.pat import Job, JobState, SlurmSimulator, Workflow
+
+
+def _noop():
+    return "done"
+
+
+class TestJob:
+    def test_requires_action_or_command(self):
+        with pytest.raises(ScheduleError):
+            Job(name="empty")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ScheduleError):
+            Job(name="has space", action=_noop)
+        with pytest.raises(ScheduleError):
+            Job(name="", action=_noop)
+
+    def test_invalid_resources_rejected(self):
+        with pytest.raises(ScheduleError):
+            Job(name="j", action=_noop, nodes=0)
+
+    def test_sbatch_lines(self):
+        job = Job(name="pk", command="python pk.py", nodes=2,
+                  walltime_minutes=30, depends_on=["cbench"])
+        lines = job.sbatch_lines({"cbench": "1234"})
+        text = "\n".join(lines)
+        assert "--job-name=pk" in text
+        assert "--nodes=2" in text
+        assert "--dependency=afterok:1234" in text
+        assert "python pk.py" in text
+
+
+class TestWorkflow:
+    def test_duplicate_job_rejected(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="a", action=_noop))
+        with pytest.raises(ScheduleError):
+            wf.add_job(Job(name="a", action=_noop))
+
+    def test_unknown_dependency_rejected(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="a", action=_noop, depends_on=["ghost"]))
+        with pytest.raises(ScheduleError, match="unknown"):
+            wf.validate()
+
+    def test_cycle_detected(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="a", action=_noop, depends_on=["b"]))
+        wf.add_job(Job(name="b", action=_noop, depends_on=["a"]))
+        with pytest.raises(ScheduleError, match="cycle"):
+            wf.topological_order()
+
+    def test_topological_order_respects_deps(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="plot", action=_noop, depends_on=["pk", "halo"]))
+        wf.add_job(Job(name="pk", action=_noop, depends_on=["cbench"]))
+        wf.add_job(Job(name="halo", action=_noop, depends_on=["cbench"]))
+        wf.add_job(Job(name="cbench", action=_noop))
+        order = [j.name for j in wf.topological_order()]
+        assert order.index("cbench") < order.index("pk") < order.index("plot")
+        assert order.index("halo") < order.index("plot")
+
+    def test_submission_script_chains_sbatch(self, tmp_path):
+        wf = Workflow("study")
+        wf.add_job(Job(name="a", command="run_a"))
+        wf.add_job(Job(name="b", command="run_b", depends_on=["a"]))
+        text = wf.write_submission_script(tmp_path / "submit.sh")
+        assert text.count("sbatch --parsable") == 2
+        assert "afterok" in text
+        assert (tmp_path / "submit.sh").read_text() == text
+
+
+class TestSimulator:
+    def test_runs_dag_and_collects_results(self):
+        wf = Workflow("w")
+        results = []
+        wf.add_job(Job(name="first", action=lambda: results.append(1) or "r1"))
+        wf.add_job(Job(name="second", action=lambda: results.append(2) or "r2",
+                       depends_on=["first"]))
+        records = SlurmSimulator().run(wf)
+        assert results == [1, 2]
+        assert records["second"].result == "r2"
+        assert all(r.state is JobState.COMPLETED for r in records.values())
+
+    def test_failure_cascades_to_dependents(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="boom", action=lambda: 1 / 0))
+        wf.add_job(Job(name="after", action=_noop, depends_on=["boom"]))
+        wf.add_job(Job(name="independent", action=_noop))
+        records = SlurmSimulator().run(wf)
+        assert records["boom"].state is JobState.FAILED
+        assert "ZeroDivisionError" in records["boom"].error
+        assert records["after"].state is JobState.CANCELLED
+        assert records["independent"].state is JobState.COMPLETED
+
+    def test_raise_on_failure(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="boom", action=lambda: 1 / 0))
+        with pytest.raises(ScheduleError):
+            SlurmSimulator().run(wf, raise_on_failure=True)
+
+    def test_oversized_job_fails(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="big", action=_noop, nodes=100))
+        records = SlurmSimulator(nodes=4).run(wf)
+        assert records["big"].state is JobState.FAILED
+
+    def test_command_jobs_charged_walltime(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="shell", command="sleep 1", walltime_minutes=5))
+        records = SlurmSimulator().run(wf)
+        rec = records["shell"]
+        assert rec.state is JobState.COMPLETED
+        assert rec.end_time - rec.start_time == pytest.approx(300.0)
+
+    def test_job_ids_unique_and_increasing(self):
+        sim = SlurmSimulator()
+        wf1 = Workflow("a")
+        wf1.add_job(Job(name="x", action=_noop))
+        wf2 = Workflow("b")
+        wf2.add_job(Job(name="y", action=_noop))
+        id1 = sim.run(wf1)["x"].job_id
+        id2 = sim.run(wf2)["y"].job_id
+        assert id2 > id1
+
+    def test_args_kwargs_passed(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="add", action=lambda a, b=0: a + b, args=(2,), kwargs={"b": 3}))
+        assert SlurmSimulator().run(wf)["add"].result == 5
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ScheduleError):
+            SlurmSimulator(nodes=0)

@@ -1,0 +1,138 @@
+"""Tests for the particle-mesh gravity solver (HACC's long-range method)."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.cic import cic_deposit, cic_gather, density_contrast
+from repro.cosmo.pm import (
+    ParticleMeshSolver,
+    PMState,
+    zeldovich_initial_conditions,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return ParticleMeshSolver(box_size=32.0, mesh_size=32)
+
+
+def _lattice(n: int, box: float) -> np.ndarray:
+    g = (np.arange(n) + 0.5) * (box / n)
+    return np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+
+
+class TestCICGather:
+    def test_reads_linear_field_exactly(self):
+        n, box = 8, 8.0
+        grid = (np.arange(n)[:, None, None] * np.ones((1, n, n))).astype(float)
+        pts = np.array([[2.0, 3.0, 4.0], [5.5, 1.0, 1.0]])
+        out = cic_gather(grid, pts, box)
+        assert out == pytest.approx([2.0, 5.5])
+
+    def test_adjoint_consistency(self):
+        # sum(gather(grid, pts)) == sum(grid * deposit(pts)) for unit masses.
+        rng = np.random.default_rng(0)
+        grid = rng.standard_normal((8, 8, 8))
+        pts = rng.random((100, 3)) * 8.0
+        lhs = cic_gather(grid, pts, 8.0).sum()
+        rhs = (grid * cic_deposit(pts, 8, 8.0)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            cic_gather(np.zeros((4, 4)), np.zeros((1, 3)), 8.0)
+        with pytest.raises(DataError):
+            cic_gather(np.zeros((4, 4, 4)), np.zeros((1, 2)), 8.0)
+
+
+class TestForces:
+    def test_uniform_lattice_zero_force(self, solver):
+        acc = solver.acceleration(_lattice(16, 32.0))
+        assert np.abs(acc).max() < 1e-10
+
+    def test_attraction_toward_overdensity(self, solver):
+        center = np.full((500, 3), 16.0)
+        probes = np.array([[12.0, 16, 16], [20.0, 16, 16],
+                           [16.0, 12.0, 16], [16, 16, 20.0]])
+        acc = solver.acceleration(np.vstack([center, probes]))[-4:]
+        assert acc[0, 0] > 0  # left probe pulled right
+        assert acc[1, 0] < 0  # right probe pulled left
+        assert acc[2, 1] > 0
+        assert acc[3, 2] < 0
+
+    def test_force_decays_with_distance(self, solver):
+        center = np.full((500, 3), 16.0)
+        near = solver.acceleration(np.vstack([center, [[13.0, 16, 16]]]))[-1][0]
+        far = solver.acceleration(np.vstack([center, [[8.0, 16, 16]]]))[-1][0]
+        assert near > far > 0
+
+    def test_force_antisymmetry_two_clumps(self, solver):
+        rng = np.random.default_rng(0)
+        a = np.full((200, 3), 12.0) + rng.normal(0, 0.2, (200, 3))
+        b = np.full((200, 3), 20.0) + rng.normal(0, 0.2, (200, 3))
+        acc = solver.acceleration(np.vstack([a, b]))
+        # Total momentum change is ~zero (Newton's third law on the mesh).
+        assert np.abs(acc.sum(axis=0)).max() < 1e-8 * np.abs(acc).max() * 400
+
+    def test_periodic_wraparound_force(self, solver):
+        center = np.full((500, 3), 1.0)  # near the origin corner
+        probe = np.array([[30.0, 1.0, 1.0]])  # 3 units away through the wrap
+        acc = solver.acceleration(np.vstack([center, probe]))[-1]
+        assert acc[0] > 0  # pulled in +x, through the periodic boundary
+
+
+class TestIntegration:
+    def test_momentum_conserved(self):
+        solver = ParticleMeshSolver(32.0, 32)
+        state = zeldovich_initial_conditions(10, 32.0, seed=2)
+        p0 = state.velocities.sum(axis=0)
+        final = solver.evolve(state, dt=0.1, n_steps=5)
+        assert np.abs(final.velocities.sum(axis=0) - p0).max() < 1e-9
+
+    def test_structure_grows(self):
+        solver = ParticleMeshSolver(32.0, 32)
+        state = zeldovich_initial_conditions(12, 32.0, seed=3)
+        final = solver.evolve(state, dt=0.1, n_steps=10)
+        s0 = density_contrast(cic_deposit(state.positions, 32, 32.0)).std()
+        s1 = density_contrast(cic_deposit(final.positions, 32, 32.0)).std()
+        assert s1 > s0
+
+    def test_positions_stay_in_box(self):
+        solver = ParticleMeshSolver(32.0, 16)
+        state = zeldovich_initial_conditions(8, 32.0, seed=4, velocity_factor=5.0)
+        final = solver.evolve(state, dt=0.2, n_steps=5)
+        assert final.positions.min() >= 0 and final.positions.max() < 32.0
+
+    def test_callback_invoked_each_step(self):
+        solver = ParticleMeshSolver(32.0, 16)
+        state = zeldovich_initial_conditions(6, 32.0, seed=5)
+        steps = []
+        solver.evolve(state, dt=0.1, n_steps=4, callback=lambda i, s: steps.append(i))
+        assert steps == [0, 1, 2, 3]
+
+    def test_time_accumulates(self):
+        solver = ParticleMeshSolver(32.0, 16)
+        state = zeldovich_initial_conditions(6, 32.0, seed=6)
+        final = solver.evolve(state, dt=0.25, n_steps=4)
+        assert final.time == pytest.approx(1.0)
+
+    def test_validation(self):
+        solver = ParticleMeshSolver(32.0, 16)
+        state = zeldovich_initial_conditions(6, 32.0)
+        with pytest.raises(DataError):
+            solver.step(state, dt=0.0)
+        with pytest.raises(DataError):
+            solver.evolve(state, 0.1, 0)
+        with pytest.raises(DataError):
+            ParticleMeshSolver(32.0, 2)
+        with pytest.raises(DataError):
+            PMState(positions=np.zeros((3, 3)), velocities=np.zeros((4, 3)))
+        with pytest.raises(DataError):
+            zeldovich_initial_conditions(2, 32.0)
+
+    def test_potential_energy_proxy_negative_for_clustered(self):
+        solver = ParticleMeshSolver(32.0, 32)
+        rng = np.random.default_rng(7)
+        clustered = np.full((500, 3), 16.0) + rng.normal(0, 0.5, (500, 3))
+        assert solver.potential_energy_proxy(clustered) < 0

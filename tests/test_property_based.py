@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Each property is the contract a downstream user relies on: round-trip
+identity for lossless stages, error-bound satisfaction for lossy ones,
+and structural invariants of the analysis substrate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.compressors.sz.quantizer import (
+    _unzigzag,
+    _zigzag,
+    residuals_to_symbols,
+    symbols_to_residuals,
+)
+from repro.compressors.zfp.blockcodec import int_to_negabinary, negabinary_to_int
+from repro.compressors.zfp.transform import forward_transform, inverse_transform
+from repro.lossless.huffman import HuffmanCodec, canonical_codes, huffman_lengths
+from repro.lossless.lzss import lzss_compress, lzss_decompress
+from repro.lossless.rle import rle_decode, rle_encode
+from repro.util.bits import pack_varlen_codes, unpack_fixed_width
+from repro.util.blocks import block_partition, block_reassemble
+from repro.util.logtransform import LogTransform
+
+_slow = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBitPacking:
+    @given(
+        hnp.arrays(np.uint64, st.integers(1, 200),
+                   elements=st.integers(0, 2**20 - 1)),
+        st.integers(1, 20),
+    )
+    @_slow
+    def test_fixed_width_round_trip(self, values, width):
+        masked = values & np.uint64((1 << width) - 1)
+        payload, nbits = pack_varlen_codes(
+            masked, np.full(values.size, width, dtype=np.int64)
+        )
+        assert nbits == width * values.size
+        out = unpack_fixed_width(payload, width, values.size)
+        assert np.array_equal(out, masked)
+
+
+class TestLossless:
+    @given(hnp.arrays(np.int64, st.integers(0, 2000),
+                      elements=st.integers(0, 300)))
+    @_slow
+    def test_huffman_round_trip(self, symbols):
+        codec = HuffmanCodec(chunk_size=97)  # odd chunk: boundary coverage
+        out = codec.decode(codec.encode(symbols, 301))
+        assert np.array_equal(out, symbols)
+
+    @given(hnp.arrays(np.int64, st.integers(1, 500),
+                      elements=st.integers(0, 10**6)))
+    @_slow
+    def test_huffman_lengths_kraft(self, symbols):
+        freqs = np.bincount(symbols % 64, minlength=64)
+        lengths = huffman_lengths(freqs, max_len=16)
+        used = lengths[lengths > 0]
+        if used.size:
+            assert np.sum(2.0 ** (-used.astype(float))) <= 1.0 + 1e-9
+            canonical_codes(lengths)  # must not raise
+
+    @given(st.binary(max_size=3000))
+    @_slow
+    def test_lzss_round_trip(self, data):
+        assert lzss_decompress(lzss_compress(data)) == data
+
+    @given(hnp.arrays(np.int64, st.integers(0, 3000),
+                      elements=st.integers(-5, 5)))
+    @_slow
+    def test_rle_round_trip(self, data):
+        v, l = rle_decode, rle_encode
+        vals, runs = rle_encode(data)
+        assert np.array_equal(rle_decode(vals, runs), data)
+        # RLE never produces more runs than elements.
+        assert vals.size <= data.size
+
+
+class TestQuantizer:
+    @given(hnp.arrays(np.int64, st.integers(1, 500),
+                      elements=st.integers(-(10**9), 10**9)))
+    @_slow
+    def test_zigzag_bijection(self, v):
+        assert np.array_equal(_unzigzag(_zigzag(v)), v)
+
+    @given(
+        hnp.arrays(np.int64, st.integers(1, 500),
+                   elements=st.integers(-(10**6), 10**6)),
+        st.integers(2, 2048),
+    )
+    @_slow
+    def test_symbols_round_trip(self, residuals, radius):
+        sym, out = residuals_to_symbols(residuals, radius)
+        assert np.array_equal(symbols_to_residuals(sym, out, radius), residuals)
+        assert sym.min() >= 0 and sym.max() < 2 * radius
+
+
+class TestNegabinaryAndTransform:
+    @given(hnp.arrays(np.int64, st.integers(1, 300),
+                      elements=st.integers(-(2**50), 2**50)))
+    @_slow
+    def test_negabinary_bijection(self, v):
+        assert np.array_equal(negabinary_to_int(int_to_negabinary(v)), v)
+
+    @given(hnp.arrays(np.int64, (5, 4, 4, 4),
+                      elements=st.integers(-(2**30), 2**30)))
+    @_slow
+    def test_transform_rounding_bounded(self, blocks):
+        out = inverse_transform(forward_transform(blocks))
+        assert np.abs(out - blocks).max() <= 24
+
+
+class TestBlocks:
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(1, 20), st.integers(1, 20)),
+                   elements=st.floats(-1e6, 1e6)),
+        st.integers(2, 7),
+    )
+    @_slow
+    def test_partition_reassemble_identity(self, data, side):
+        blocks, grid, orig = block_partition(data, (side, side))
+        assert np.array_equal(block_reassemble(blocks, grid, orig), data)
+
+
+class TestLogTransform:
+    @given(hnp.arrays(np.float64, st.integers(1, 300),
+                      elements=st.floats(-1e8, 1e8, allow_nan=False)))
+    @_slow
+    def test_forward_backward_identity(self, data):
+        logmag, xform = LogTransform.forward(data)
+        out = xform.backward(logmag)
+        assert np.allclose(out, data, rtol=1e-9, atol=1e-300)
+
+
+class TestCompressorContracts:
+    @given(
+        hnp.arrays(np.float32, st.tuples(st.integers(6, 24), st.integers(6, 24)),
+                   elements=st.floats(-1e4, 1e4, width=32)),
+        st.sampled_from([1e-1, 1e-2, 1e-3]),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sz_abs_error_bound_always_holds(self, data, eb):
+        sz = SZCompressor()
+        recon = sz.decompress(sz.compress(data, error_bound=eb))
+        tol = float(np.spacing(np.abs(data).max())) if data.size else 0.0
+        err = np.abs(recon.astype(np.float64) - data.astype(np.float64)).max()
+        assert err <= eb + tol
+
+    @given(
+        hnp.arrays(np.float32, st.tuples(st.integers(4, 16), st.integers(4, 16)),
+                   elements=st.floats(-1e6, 1e6, width=32)),
+        st.sampled_from([4.0, 8.0, 16.0]),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_zfp_round_trip_shape_and_rate(self, data, rate):
+        zfp = ZFPCompressor()
+        buf = zfp.compress(data, rate=rate)
+        recon = zfp.decompress(buf)
+        assert recon.shape == data.shape
+        # Fixed-rate invariant: payload is exactly maxbits per (padded) block.
+        nblocks = int(np.prod([-(-s // 4) for s in data.shape]))
+        body_bits = nblocks * buf.meta["maxbits_per_block"]
+        assert len(buf.payload) * 8 >= body_bits
+
+    @given(
+        hnp.arrays(np.float32, st.integers(10, 500),
+                   elements=st.floats(-1e5, 1e5, width=32).filter(lambda x: x == 0 or abs(x) > 1e-20)),
+    )
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_sz_pwrel_bound_always_holds(self, data):
+        sz = SZCompressor()
+        recon = sz.decompress(sz.compress(data, pwrel=0.05, mode="pw_rel"))
+        nz = data != 0
+        if nz.any():
+            rel = np.abs(
+                (recon[nz].astype(np.float64) - data[nz]) / data[nz].astype(np.float64)
+            )
+            assert rel.max() <= 0.05 * (1 + 1e-4)
+        assert np.all(recon[~nz] == 0)

@@ -1,0 +1,134 @@
+"""Second round of property-based tests: cross-module invariants.
+
+These pin down structural guarantees the first property suite doesn't:
+FoF's refinement ordering in the linking length, SZ's idempotence on the
+quantization lattice, fixed-rate seekability, and permutation covariance
+of the group finder.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import SZCompressor, ZFPCompressor
+from repro.cosmo.fof import friends_of_friends
+from repro.lossless.fpc import fpc_compress, fpc_decompress
+
+_slow = settings(max_examples=12, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _positions(seed: int, n: int, box: float) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Mix of clumps and background so groups actually exist.
+    n_clump = n // 2
+    centers = rng.uniform(0, box, (max(1, n // 40), 3))
+    which = rng.integers(0, centers.shape[0], n_clump)
+    clump = centers[which] + rng.normal(0, box / 60, (n_clump, 3))
+    spread = rng.uniform(0, box, (n - n_clump, 3))
+    return np.mod(np.vstack([clump, spread]), box)
+
+
+class TestFOFProperties:
+    @given(st.integers(0, 50))
+    @_slow
+    def test_smaller_linking_length_refines_partition(self, seed):
+        """Groups at ll1 < ll2 are subsets of groups at ll2."""
+        pos = _positions(seed, 300, 100.0)
+        fine = friends_of_friends(pos, 100.0, 1.0)
+        coarse = friends_of_friends(pos, 100.0, 2.5)
+        # Every fine group must live inside exactly one coarse group.
+        for g in range(fine.n_groups):
+            members = np.flatnonzero(fine.labels == g)
+            assert np.unique(coarse.labels[members]).size == 1
+
+    @given(st.integers(0, 50))
+    @_slow
+    def test_permutation_covariance(self, seed):
+        """Relabeling particles permutes labels consistently."""
+        pos = _positions(seed, 200, 100.0)
+        rng = np.random.default_rng(seed + 1)
+        perm = rng.permutation(pos.shape[0])
+        a = friends_of_friends(pos, 100.0, 1.5)
+        b = friends_of_friends(pos[perm], 100.0, 1.5)
+        assert b.n_groups == a.n_groups
+        # Same-group relation must be preserved under the permutation.
+        la = a.labels[perm]
+        lb = b.labels
+        # Build canonical forms: map first occurrence order to ids.
+        def canonical(labels):
+            seen: dict[int, int] = {}
+            out = np.empty_like(labels)
+            for i, l in enumerate(labels):
+                out[i] = seen.setdefault(int(l), len(seen))
+            return out
+        assert np.array_equal(canonical(la), canonical(lb))
+
+    @given(st.integers(0, 30))
+    @_slow
+    def test_translation_invariance(self, seed):
+        """Periodic translation must not change the partition."""
+        pos = _positions(seed, 200, 100.0)
+        shift = np.array([37.0, 91.5, 3.25])
+        a = friends_of_friends(pos, 100.0, 1.5)
+        b = friends_of_friends(np.mod(pos + shift, 100.0), 100.0, 1.5)
+        assert a.n_groups == b.n_groups
+        assert np.array_equal(np.sort(a.group_sizes()), np.sort(b.group_sizes()))
+
+
+class TestCompressorInvariants:
+    @given(st.integers(0, 20), st.sampled_from([1e-1, 1e-2]))
+    @_slow
+    def test_sz_lorenzo_idempotent_on_reconstruction(self, seed, eb):
+        """Recompressing a Lorenzo-path reconstruction at the same bound
+        is lossless: reconstructed values already sit on the quantization
+        lattice, so dual quantization reproduces them exactly.  (This is
+        a Lorenzo/dual-quantization property; regression reconstructions
+        are not lattice points.)"""
+        rng = np.random.default_rng(seed)
+        data = (rng.standard_normal((12, 12)) * 10).astype(np.float64)
+        sz = SZCompressor(predictor="lorenzo")
+        once = sz.decompress(sz.compress(data, error_bound=eb))
+        twice = sz.decompress(sz.compress(once, error_bound=eb))
+        assert np.array_equal(once, twice)
+
+    @given(st.integers(0, 20))
+    @_slow
+    def test_zfp_streams_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((8, 8, 8)).astype(np.float32)
+        zfp = ZFPCompressor()
+        a = zfp.compress(data, rate=6)
+        b = zfp.compress(data.copy(), rate=6)
+        assert a.payload == b.payload
+
+    @given(st.integers(0, 20))
+    @_slow
+    def test_zfp_fixed_rate_block_seekability(self, seed):
+        """Decoding a stream whose later blocks are zeroed must leave the
+        earlier blocks' reconstruction untouched (per-block independence —
+        what GPU parallel decode relies on)."""
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((8, 4, 4)).astype(np.float32)  # 2 blocks
+        zfp = ZFPCompressor()
+        buf = zfp.compress(data, rate=16)
+        full = zfp.decompress(buf)
+        maxbits = buf.meta["maxbits_per_block"]
+        # Zero out the second block's bits.
+        payload = bytearray(buf.payload)
+        body_start = len(payload) - (2 * maxbits + 7) // 8
+        first_block_bytes = maxbits // 8
+        for i in range(body_start + first_block_bytes + 1, len(payload)):
+            payload[i] = 0
+        damaged = zfp.decompress(bytes(payload))
+        # First block decodes identically.
+        assert np.array_equal(damaged[:4], full[:4])
+
+    @given(st.integers(0, 30))
+    @_slow
+    def test_fpc_bijective(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(257).astype(np.float64)
+        back = fpc_decompress(fpc_compress(data))
+        assert np.array_equal(back.view(np.uint64), data.view(np.uint64))

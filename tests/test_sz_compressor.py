@@ -1,0 +1,186 @@
+"""Integration-level tests for the SZ compressor."""
+
+import numpy as np
+import pytest
+
+from conftest import ulp_tolerance
+from repro.compressors import CompressorMode, SZCompressor
+from repro.errors import CorruptStreamError, DataError, UnsupportedModeError
+
+
+@pytest.fixture(scope="module")
+def sz():
+    return SZCompressor()
+
+
+class TestABSMode:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_error_bound_honored_3d(self, sz, smooth_field3d, eb):
+        buf = sz.compress(smooth_field3d, error_bound=eb)
+        recon = sz.decompress(buf)
+        err = np.abs(recon.astype(np.float64) - smooth_field3d.astype(np.float64)).max()
+        assert err <= eb + ulp_tolerance(smooth_field3d)
+
+    def test_error_bound_honored_1d(self, sz):
+        rng = np.random.default_rng(0)
+        data = (rng.standard_normal(5000) * 100).astype(np.float32)
+        buf = sz.compress(data, error_bound=0.5)
+        recon = sz.decompress(buf)
+        assert np.abs(recon - data).max() <= 0.5 + ulp_tolerance(data)
+
+    def test_error_bound_honored_2d(self, sz, smooth_field3d):
+        data = smooth_field3d[0]
+        buf = sz.compress(data, error_bound=1e-2)
+        recon = sz.decompress(buf)
+        assert np.abs(recon - data).max() <= 1e-2 + ulp_tolerance(data)
+
+    def test_float64_input(self, sz, smooth_field3d):
+        data = smooth_field3d.astype(np.float64)
+        buf = sz.compress(data, error_bound=1e-6)
+        recon = sz.decompress(buf)
+        assert recon.dtype == np.float64
+        assert np.abs(recon - data).max() <= 1e-6 * (1 + 1e-9)
+
+    def test_smooth_compresses_better_than_noise(self, sz, smooth_field3d, rough_field3d):
+        b1 = sz.compress(smooth_field3d, error_bound=1e-2)
+        b2 = sz.compress(rough_field3d, error_bound=1e-2)
+        assert b1.compression_ratio > b2.compression_ratio
+
+    def test_looser_bound_higher_ratio(self, sz, smooth_field3d):
+        ratios = [
+            sz.compress(smooth_field3d, error_bound=eb).compression_ratio
+            for eb in (1e-3, 1e-2, 1e-1)
+        ]
+        assert ratios == sorted(ratios)
+
+    def test_constant_field_compresses_hugely(self, sz):
+        data = np.full((24, 24, 24), 3.25, dtype=np.float32)
+        buf = sz.compress(data, error_bound=1e-4)
+        # ~1-2 bits/value from Huffman alone (the per-block DC corners are
+        # escape-coded outliers); the LZSS stage pushes far beyond.
+        assert buf.compression_ratio > 15
+        assert np.abs(sz.decompress(buf) - data).max() <= 1e-4 + ulp_tolerance(data)
+        with_dict = SZCompressor(lossless=["lzss"]).compress(data, error_bound=1e-4)
+        assert with_dict.compression_ratio > 100
+
+    def test_shape_not_multiple_of_block(self, sz):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((13, 17, 11)).astype(np.float32)
+        buf = sz.compress(data, error_bound=1e-2)
+        recon = sz.decompress(buf)
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= 1e-2 + ulp_tolerance(data)
+
+    def test_extreme_magnitudes(self, sz):
+        data = (np.linspace(-1e8, 1e8, 4096).reshape(16, 16, 16)).astype(np.float32)
+        buf = sz.compress(data, error_bound=10.0)
+        assert np.abs(sz.decompress(buf).astype(np.float64) - data).max() <= 10.0 + ulp_tolerance(data)
+
+    def test_buffer_metadata(self, sz, smooth_field3d):
+        buf = sz.compress(smooth_field3d, error_bound=1e-2)
+        assert buf.original_shape == smooth_field3d.shape
+        assert buf.original_dtype == np.float32
+        assert buf.mode is CompressorMode.ABS
+        assert buf.parameter == 1e-2
+        assert 0.0 <= buf.meta["predictor_regression_fraction"] <= 1.0
+        assert buf.bitrate == pytest.approx(
+            8 * buf.compressed_nbytes / smooth_field3d.size
+        )
+
+
+class TestPWRELMode:
+    def test_pointwise_relative_bound(self, sz):
+        rng = np.random.default_rng(0)
+        data = (rng.standard_normal(20000) * 3000).astype(np.float32)
+        buf = sz.compress(data, pwrel=0.01, mode="pw_rel")
+        recon = sz.decompress(buf)
+        nz = data != 0
+        rel = np.abs((recon[nz].astype(np.float64) - data[nz]) / data[nz])
+        assert rel.max() <= 0.01 * (1 + 1e-5)
+
+    def test_zeros_preserved_exactly(self, sz):
+        data = np.array([0.0, 1.0, -2.0, 0.0, 5.0] * 100, dtype=np.float32)
+        buf = sz.compress(data, pwrel=0.1, mode="pw_rel")
+        recon = sz.decompress(buf)
+        assert np.all(recon[data == 0] == 0)
+
+    def test_signs_preserved(self, sz):
+        rng = np.random.default_rng(1)
+        data = (rng.standard_normal(5000) * 100).astype(np.float32)
+        recon = sz.decompress(sz.compress(data, pwrel=0.05, mode="pw_rel"))
+        assert np.array_equal(np.sign(recon), np.sign(data))
+
+    def test_missing_pwrel_raises(self, sz, smooth_field3d):
+        with pytest.raises(DataError):
+            sz.compress(smooth_field3d, mode="pw_rel")
+
+
+class TestValidation:
+    def test_nan_rejected(self, sz):
+        data = np.array([1.0, np.nan, 2.0], dtype=np.float32)
+        with pytest.raises(DataError):
+            sz.compress(data, error_bound=0.1)
+
+    def test_inf_rejected(self, sz):
+        data = np.array([1.0, np.inf], dtype=np.float32)
+        with pytest.raises(DataError):
+            sz.compress(data, error_bound=0.1)
+
+    def test_integer_dtype_rejected(self, sz):
+        with pytest.raises(DataError):
+            sz.compress(np.arange(100), error_bound=0.1)
+
+    def test_missing_bound_raises(self, sz, smooth_field3d):
+        with pytest.raises(DataError):
+            sz.compress(smooth_field3d)
+
+    def test_unknown_mode_raises(self, sz, smooth_field3d):
+        with pytest.raises(DataError):
+            sz.compress(smooth_field3d, error_bound=1.0, mode="nonsense")
+
+    def test_fixed_rate_unsupported(self, sz, smooth_field3d):
+        with pytest.raises(UnsupportedModeError):
+            sz.compress(smooth_field3d, error_bound=1.0, mode="fixed_rate")
+
+    def test_bad_magic_raises(self, sz):
+        with pytest.raises(CorruptStreamError):
+            sz.decompress(b"JUNKJUNKJUNK" * 10)
+
+    def test_constructor_validation(self):
+        with pytest.raises(DataError):
+            SZCompressor(block_side=1)
+        with pytest.raises(DataError):
+            SZCompressor(radius=1)
+        with pytest.raises(DataError):
+            SZCompressor(radius=10**6)
+
+
+class TestOptions:
+    def test_lossless_pipeline_round_trip(self, smooth_field3d):
+        sz = SZCompressor(lossless=["lzss"])
+        buf = sz.compress(smooth_field3d, error_bound=1e-2)
+        recon = sz.decompress(buf)
+        assert np.abs(recon - smooth_field3d).max() <= 1e-2 + ulp_tolerance(smooth_field3d)
+
+    def test_plain_decoder_reads_pipelined_stream(self, smooth_field3d):
+        # Stream self-description: decoder configuration doesn't matter.
+        buf = SZCompressor(lossless=["lzss"]).compress(smooth_field3d, error_bound=1e-2)
+        recon = SZCompressor().decompress(buf)
+        assert np.abs(recon - smooth_field3d).max() <= 1e-2 + ulp_tolerance(smooth_field3d)
+
+    def test_custom_block_side(self, smooth_field3d):
+        sz = SZCompressor(block_side=8)
+        buf = sz.compress(smooth_field3d, error_bound=1e-2)
+        assert np.abs(sz.decompress(buf) - smooth_field3d).max() <= 1e-2 + ulp_tolerance(smooth_field3d)
+
+    def test_small_radius_forces_outliers(self, smooth_field3d):
+        sz = SZCompressor(radius=4)
+        buf = sz.compress(smooth_field3d, error_bound=1e-4)
+        assert buf.meta["outlier_count"] > 0
+        recon = sz.decompress(buf)
+        assert np.abs(recon - smooth_field3d).max() <= 1e-4 + ulp_tolerance(smooth_field3d)
+
+    def test_roundtrip_helper(self, sz, smooth_field3d):
+        recon, buf = sz.roundtrip(smooth_field3d, error_bound=1e-2)
+        assert recon.shape == smooth_field3d.shape
+        assert buf.compression_ratio > 1

@@ -1,0 +1,62 @@
+"""Tests for the GPU-SZ facade's paper-documented restrictions."""
+
+import numpy as np
+import pytest
+
+from conftest import ulp_tolerance
+from repro.compressors import GPUSZ, CompressorMode
+from repro.errors import DataError, UnsupportedModeError
+from repro.util.dims import convert_1d_to_3d, convert_3d_to_1d
+
+
+@pytest.fixture(scope="module")
+def gpusz():
+    return GPUSZ()
+
+
+class TestRestrictions:
+    def test_rejects_1d_input(self, gpusz):
+        with pytest.raises(DataError, match="3-D"):
+            gpusz.compress(np.ones(100, dtype=np.float32), error_bound=0.1)
+
+    def test_rejects_2d_input(self, gpusz):
+        with pytest.raises(DataError, match="3-D"):
+            gpusz.compress(np.ones((10, 10), dtype=np.float32), error_bound=0.1)
+
+    def test_rejects_pw_rel_mode(self, gpusz, smooth_field3d):
+        with pytest.raises(UnsupportedModeError):
+            gpusz.compress(smooth_field3d, error_bound=0.1, mode="pw_rel")
+
+    def test_abs_mode_works(self, gpusz, smooth_field3d):
+        buf = gpusz.compress(smooth_field3d, error_bound=1e-2)
+        assert buf.mode is CompressorMode.ABS
+        recon = gpusz.decompress(buf)
+        assert np.abs(recon - smooth_field3d).max() <= 1e-2 + ulp_tolerance(smooth_field3d)
+
+
+class TestPaperWorkflow:
+    def test_1d_via_dimension_conversion(self, gpusz):
+        """The full Section IV-B-4 path: 1-D -> 3-D -> GPU-SZ -> 1-D."""
+        rng = np.random.default_rng(0)
+        data = (rng.random(3000) * 256).astype(np.float32)
+        parts, n = convert_1d_to_3d(data, (8, 8, 8))
+        recon_parts = np.stack(
+            [gpusz.decompress(gpusz.compress(p, error_bound=0.005)) for p in parts]
+        )
+        recon = convert_3d_to_1d(recon_parts, n)
+        assert recon.shape == data.shape
+        assert np.abs(recon - data).max() <= 0.005 + ulp_tolerance(data)
+
+    def test_pwrel_via_log_workaround(self, gpusz):
+        """The paper's velocity-field recipe: log transform + ABS mode."""
+        rng = np.random.default_rng(1)
+        vel = (rng.standard_normal((12, 12, 12)) * 1000).astype(np.float32)
+        buf = gpusz.compress_pwrel_via_log(vel, pwrel=0.025)
+        recon = gpusz.decompress(buf)
+        nz = vel != 0
+        rel = np.abs((recon[nz].astype(np.float64) - vel[nz]) / vel[nz])
+        assert rel.max() <= 0.025 * (1 + 1e-5)
+
+    def test_pwrel_via_log_requires_3d(self, gpusz):
+        with pytest.raises(DataError):
+            gpusz.compress_pwrel_via_log(np.ones(10, dtype=np.float32), 0.1)

@@ -1,0 +1,97 @@
+"""Tests for snapshot time series, decimation, and the §I comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decimation_study import decimation_vs_compression
+from repro.compressors.decimation import DecimatedSeries, decimate
+from repro.cosmo.timeseries import SnapshotSeries, make_nyx_series
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def series():
+    return make_nyx_series(grid_size=16, n_snapshots=6, seed=4)
+
+
+class TestSeriesGenerator:
+    def test_shape_and_count(self, series):
+        assert series.n_snapshots == 6
+        for snap in series.snapshots:
+            assert snap.grid_size == 16
+            assert len(snap.fields) == 6
+
+    def test_snapshots_are_correlated(self, series):
+        a = series.snapshots[0].fields["dark_matter_density"].ravel()
+        b = series.snapshots[1].fields["dark_matter_density"].ravel()
+        assert np.corrcoef(a, b)[0, 1] > 0.8
+
+    def test_structure_grows_with_time(self, series):
+        # Later snapshots are more clustered: larger density variance.
+        stds = [s.fields["dark_matter_density"].std() for s in series.snapshots]
+        assert stds[-1] > stds[0]
+
+    def test_velocities_scale_with_growth_rate(self, series):
+        v0 = np.abs(series.snapshots[0].fields["velocity_x"]).max()
+        v1 = np.abs(series.snapshots[-1].fields["velocity_x"]).max()
+        assert v1 > v0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            make_nyx_series(grid_size=16, n_snapshots=1)
+        with pytest.raises(DataError):
+            SnapshotSeries(times=np.array([0.0, 0.0]), snapshots=[None, None])
+
+
+class TestDecimation:
+    def test_kept_snapshots_bit_exact(self, series):
+        dec = decimate(series, keep_every=2)
+        recon = dec.reconstruct()
+        for i in dec.kept_indices:
+            for name in series.field_names:
+                assert np.array_equal(
+                    recon[i].fields[name], series.snapshots[i].fields[name]
+                )
+
+    def test_last_snapshot_always_kept(self, series):
+        dec = decimate(series, keep_every=4)
+        assert dec.kept_indices[-1] == series.n_snapshots - 1
+
+    def test_storage_ratio(self, series):
+        dec = decimate(series, keep_every=2)
+        assert dec.storage_ratio == series.n_snapshots / dec.kept_indices.size
+
+    def test_linear_beats_nearest_on_smooth_growth(self, series):
+        from repro.metrics.error import psnr
+
+        lin = decimate(series, keep_every=2, interpolation="linear").reconstruct()
+        near = decimate(series, keep_every=2, interpolation="nearest").reconstruct()
+        i = 1  # a dropped snapshot
+        orig = series.snapshots[i].fields["dark_matter_density"]
+        assert psnr(orig, lin[i].fields["dark_matter_density"]) >= psnr(
+            orig, near[i].fields["dark_matter_density"]
+        )
+
+    def test_reconstruction_count_and_dtype(self, series):
+        recon = decimate(series, keep_every=3).reconstruct()
+        assert len(recon) == series.n_snapshots
+        assert recon[1].fields["temperature"].dtype == np.float32
+
+    def test_validation(self, series):
+        with pytest.raises(DataError):
+            decimate(series, keep_every=1)
+        with pytest.raises(DataError):
+            decimate(series, interpolation="cubic")
+
+
+class TestDecimationVsCompression:
+    def test_compression_dominates(self, series):
+        rows = decimation_vs_compression(series, keep_everies=(2,))
+        dec, sz = rows
+        assert sz["worst_psnr_db"] > dec["worst_psnr_db"]
+        assert sz["worst_pk_deviation"] <= dec["worst_pk_deviation"]
+
+    def test_storage_budgets_comparable(self, series):
+        rows = decimation_vs_compression(series, keep_everies=(2,))
+        dec, sz = rows
+        assert sz["storage_ratio"] >= 0.7 * dec["storage_ratio"]

@@ -1,0 +1,59 @@
+"""Unit tests for the HACC 1-D <-> 3-D conversion (paper Section IV-B-4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.util.dims import (
+    HACC_PARTITION_ELEMS,
+    SHAPE_CUBE,
+    SHAPE_SLAB,
+    convert_1d_to_3d,
+    convert_3d_to_1d,
+)
+
+
+class TestConstants:
+    def test_partition_is_2_to_27(self):
+        assert HACC_PARTITION_ELEMS == 2**27 == 512**3
+
+    def test_paper_shapes_match_partition(self):
+        assert np.prod(SHAPE_CUBE) == HACC_PARTITION_ELEMS
+        assert np.prod(SHAPE_SLAB) == HACC_PARTITION_ELEMS
+
+
+class TestConversion:
+    def test_exact_multiple_round_trip(self):
+        data = np.arange(2 * 4 * 4 * 4, dtype=np.float32)
+        parts, n = convert_1d_to_3d(data, (4, 4, 4))
+        assert parts.shape == (2, 4, 4, 4) and n == data.size
+        assert np.array_equal(convert_3d_to_1d(parts, n), data)
+
+    def test_padding_with_zeros(self):
+        data = np.ones(10, dtype=np.float32)
+        parts, n = convert_1d_to_3d(data, (2, 2, 2))
+        assert parts.shape == (2, 2, 2, 2)
+        flat = parts.reshape(-1)
+        assert flat[10:].sum() == 0
+        assert np.array_equal(convert_3d_to_1d(parts, n), data)
+
+    def test_paperlike_odd_length(self):
+        # The real dataset is 1,073,726,359 = 8 * 2^27 - padding's worth.
+        data = np.arange(1000, dtype=np.float32)
+        parts, n = convert_1d_to_3d(data, (8, 8, 8))
+        assert parts.shape[0] == 2  # ceil(1000/512)
+        assert np.array_equal(convert_3d_to_1d(parts, n), data)
+
+    def test_shape_product_mismatch_raises(self):
+        with pytest.raises(DataError):
+            convert_1d_to_3d(np.ones(8), (2, 2, 2), partition_elems=16)
+
+    def test_non_1d_input_raises(self):
+        with pytest.raises(DataError):
+            convert_1d_to_3d(np.ones((2, 2)), (2, 2, 1))
+
+    def test_back_conversion_validates(self):
+        with pytest.raises(DataError):
+            convert_3d_to_1d(np.ones((2, 2, 2)), 4)  # ndim != 4
+        with pytest.raises(DataError):
+            convert_3d_to_1d(np.ones((1, 2, 2, 2)), 100)  # too long

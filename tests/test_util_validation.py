@@ -1,0 +1,51 @@
+"""Unit tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.util.validation import check_dtype, check_positive, check_shape_nd
+
+
+class TestCheckDtype:
+    def test_accepts_listed(self):
+        check_dtype(np.zeros(3, np.float32), [np.float32, np.float64])
+
+    def test_rejects_other(self):
+        with pytest.raises(DataError, match="dtype"):
+            check_dtype(np.zeros(3, np.int32), [np.float32])
+
+
+class TestCheckPositive:
+    def test_strict(self):
+        check_positive(1.5)
+        with pytest.raises(DataError):
+            check_positive(0.0)
+
+    def test_nonstrict_allows_zero(self):
+        check_positive(0.0, strict=False)
+        with pytest.raises(DataError):
+            check_positive(-1.0, strict=False)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(DataError):
+            check_positive(float("nan"))
+        with pytest.raises(DataError):
+            check_positive(float("inf"))
+
+
+class TestCheckShapeNd:
+    def test_single_rank(self):
+        check_shape_nd(np.zeros((2, 2)), 2)
+        with pytest.raises(DataError):
+            check_shape_nd(np.zeros(4), 2)
+
+    def test_multiple_ranks(self):
+        check_shape_nd(np.zeros(4), (1, 3))
+        check_shape_nd(np.zeros((2, 2, 2)), (1, 3))
+        with pytest.raises(DataError):
+            check_shape_nd(np.zeros((2, 2)), (1, 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            check_shape_nd(np.zeros(0), 1)

@@ -1,0 +1,74 @@
+"""Tests for the text-mode visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.foresight.visualization import (
+    format_table,
+    render_ascii_plot,
+    save_series_csv,
+)
+
+
+class TestAsciiPlot:
+    def test_contains_all_series_glyphs(self):
+        x = np.linspace(1, 10, 20)
+        text = render_ascii_plot(x, {"a": x, "b": x**2}, title="T")
+        assert "T" in text
+        assert "o a" in text and "x b" in text
+
+    def test_log_x_axis(self):
+        x = np.geomspace(1, 1e4, 10)
+        text = render_ascii_plot(x, {"s": np.ones(10)}, logx=True)
+        assert "(log x)" in text
+
+    def test_nan_values_skipped(self):
+        x = np.arange(5.0) + 1
+        y = np.array([1.0, np.nan, 3.0, np.nan, 5.0])
+        text = render_ascii_plot(x, {"s": y})
+        assert "s" in text
+
+    def test_constant_series_does_not_crash(self):
+        x = np.arange(3.0)
+        assert render_ascii_plot(x, {"c": np.ones(3)})
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            render_ascii_plot([], {"s": []})
+        with pytest.raises(DataError):
+            render_ascii_plot([1, 2], {"s": [1]})
+        with pytest.raises(DataError):
+            render_ascii_plot([1, 2], {"s": [np.nan, np.nan]})
+
+
+class TestSeriesCSV:
+    def test_written_columns(self, tmp_path):
+        p = save_series_csv(
+            tmp_path / "s.csv", [1, 2], {"a": [3, 4], "b": [5, 6]}, x_name="k"
+        )
+        lines = p.read_text().strip().splitlines()
+        assert lines[0] == "k,a,b"
+        assert lines[1] == "1,3,5"
+
+    def test_length_mismatch_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            save_series_csv(tmp_path / "x.csv", [1, 2], {"a": [1]})
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "bb", "value": 2.0}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert len(lines) == 4  # header, sep, 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError):
+            format_table([])

@@ -1,0 +1,91 @@
+"""Unit tests for the ZFP lifting transform and coefficient ordering."""
+
+import numpy as np
+import pytest
+
+from repro.compressors.zfp.transform import (
+    forward_transform,
+    inverse_sequency_order,
+    inverse_transform,
+    sequency_order,
+)
+from repro.errors import DataError
+
+
+class TestLifting:
+    @pytest.mark.parametrize("ndim,slack", [(1, 2), (2, 8), (3, 24)])
+    def test_round_trip_within_lifting_rounding(self, ndim, slack):
+        # zfp's integer lifting discards low bits (x >>= 1), so the
+        # inverse recovers the input only up to a few ULPs of the integer
+        # lattice — that rounding is part of ZFP's loss budget and is
+        # negligible against the 2^(P-2) fixed-point scale.
+        rng = np.random.default_rng(0)
+        shape = (100,) + (4,) * ndim
+        blocks = rng.integers(-(2**40), 2**40, shape).astype(np.int64)
+        out = inverse_transform(forward_transform(blocks))
+        assert np.abs(out - blocks).max() <= slack
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_round_trip_relative_error_tiny(self, ndim):
+        rng = np.random.default_rng(3)
+        shape = (50,) + (4,) * ndim
+        blocks = rng.integers(2**38, 2**40, shape).astype(np.int64)
+        out = inverse_transform(forward_transform(blocks))
+        rel = np.abs((out - blocks) / blocks.astype(np.float64)).max()
+        assert rel < 1e-10
+
+    def test_constant_block_energy_compacts_to_dc(self):
+        blocks = np.full((1, 4, 4, 4), 1 << 20, dtype=np.int64)
+        coeffs = forward_transform(blocks)
+        flat = coeffs.reshape(-1)
+        dc = flat[0]
+        assert abs(dc) > 0
+        assert np.count_nonzero(flat) == 1  # everything else exactly zero
+
+    def test_linear_ramp_mostly_low_frequency(self):
+        i = np.arange(4, dtype=np.int64) << 16
+        blocks = (i[None, :, None, None] + i[None, None, :, None] + i[None, None, None, :]).copy()
+        coeffs = forward_transform(blocks).reshape(-1)
+        order = sequency_order(3)
+        energy = np.abs(coeffs[order]).astype(np.float64)
+        # Over 99% of L1 energy in the first sequency octant.
+        assert energy[:8].sum() / max(energy.sum(), 1) > 0.99
+
+    def test_l1_gain_bounded(self):
+        # Forward rows have L1 norm <= 1 => max|coef| never grows.
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(-(2**30), 2**30, (50, 4, 4, 4)).astype(np.int64)
+        coeffs = forward_transform(blocks)
+        assert np.abs(coeffs).max() <= np.abs(blocks).max() + 4  # rounding slack
+
+    def test_input_validation(self):
+        with pytest.raises(DataError):
+            forward_transform(np.zeros((2, 4, 4), dtype=np.int32))
+        with pytest.raises(DataError):
+            inverse_transform(np.zeros((2, 5, 4), dtype=np.int64))
+
+
+class TestSequencyOrder:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_is_permutation(self, ndim):
+        perm = sequency_order(ndim)
+        assert sorted(perm.tolist()) == list(range(4**ndim))
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_inverse_undoes(self, ndim):
+        perm = sequency_order(ndim)
+        inv = inverse_sequency_order(ndim)
+        assert np.array_equal(perm[inv], np.arange(4**ndim))
+
+    def test_dc_first(self):
+        assert sequency_order(3)[0] == 0
+
+    def test_total_sequency_nondecreasing(self):
+        perm = sequency_order(3)
+        coords = np.stack(np.unravel_index(perm, (4, 4, 4)), axis=1)
+        sums = coords.sum(axis=1)
+        assert np.all(np.diff(sums) >= 0)
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(DataError):
+            sequency_order(4)
