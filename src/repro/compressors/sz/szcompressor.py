@@ -28,6 +28,7 @@ from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
 from repro.compressors.sz import predictor as P
 from repro.compressors.sz import quantizer as Q
 from repro.errors import CorruptStreamError, DataError
+from repro.telemetry import DEFAULT_BYTE_BUCKETS, get_telemetry
 from repro.lossless.huffman import HuffmanCodec
 from repro.lossless.pipeline import LosslessPipeline
 from repro.util.blocks import block_partition, block_reassemble
@@ -158,51 +159,59 @@ class SZCompressor(Compressor):
     # -- ABS path -----------------------------------------------------------
 
     def _compress_abs(self, data: np.ndarray, eb: float) -> tuple[bytes, dict]:
+        tm = get_telemetry()
         block = (self.block_side,) * data.ndim
         blocks, grid, orig_shape = block_partition(data, block, mode="edge")
         nblocks = blocks.shape[0]
         baxes = tuple(range(1, data.ndim + 1))
 
         # Lorenzo on the prequantized lattice (dual quantization).
-        if self.predictor != "regression":
-            q = Q.prequantize(blocks, eb)
-            res_lorenzo = P.lorenzo_residual(q)
-        else:
-            res_lorenzo = None
+        with tm.span("sz.prequant", bytes=data.nbytes, nblocks=nblocks):
+            if self.predictor != "regression":
+                q = Q.prequantize(blocks, eb)
+                res_lorenzo = P.lorenzo_residual(q)
+            else:
+                res_lorenzo = None
 
-        # Regression with stored-coefficient feedback.
-        if self.predictor != "lorenzo":
-            coefs = P.regression_fit(blocks)
-            pred = P.regression_predict(coefs, block)
-            res_reg_f = np.rint((blocks.astype(np.float64) - pred) / (2.0 * eb))
-            res_reg = np.clip(res_reg_f, -(2**62), 2**62).astype(np.int64)
-        else:
-            coefs = np.zeros((nblocks, data.ndim + 1), dtype=np.float32)
-            res_reg = None
+        with tm.span("sz.predict", bytes=data.nbytes, predictor=self.predictor):
+            # Regression with stored-coefficient feedback.
+            if self.predictor != "lorenzo":
+                coefs = P.regression_fit(blocks)
+                pred = P.regression_predict(coefs, block)
+                res_reg_f = np.rint((blocks.astype(np.float64) - pred) / (2.0 * eb))
+                res_reg = np.clip(res_reg_f, -(2**62), 2**62).astype(np.int64)
+            else:
+                coefs = np.zeros((nblocks, data.ndim + 1), dtype=np.float32)
+                res_reg = None
 
-        if self.predictor == "lorenzo":
-            use_reg = np.zeros(nblocks, dtype=bool)
-            residual = res_lorenzo
-        elif self.predictor == "regression":
-            use_reg = np.ones(nblocks, dtype=bool)
-            residual = res_reg
-        else:
-            cost_l = P.estimate_code_bits(res_lorenzo, baxes)
-            cost_r = P.estimate_code_bits(res_reg, baxes) + 32.0 * (data.ndim + 1)
-            use_reg = cost_r < cost_l
-            sel_shape = (nblocks,) + (1,) * data.ndim
-            residual = np.where(use_reg.reshape(sel_shape), res_reg, res_lorenzo)
+            if self.predictor == "lorenzo":
+                use_reg = np.zeros(nblocks, dtype=bool)
+                residual = res_lorenzo
+            elif self.predictor == "regression":
+                use_reg = np.ones(nblocks, dtype=bool)
+                residual = res_reg
+            else:
+                cost_l = P.estimate_code_bits(res_lorenzo, baxes)
+                cost_r = P.estimate_code_bits(res_reg, baxes) + 32.0 * (data.ndim + 1)
+                use_reg = cost_r < cost_l
+                sel_shape = (nblocks,) + (1,) * data.ndim
+                residual = np.where(use_reg.reshape(sel_shape), res_reg, res_lorenzo)
 
-        radius = self.radius if self.radius is not None else self._auto_radius(residual)
-        symbols, outliers = Q.residuals_to_symbols(residual, radius)
-        # Serialize only the used prefix of the alphabet: the code-length
-        # table costs 5 bits/symbol, which dominates small inputs if the
-        # full 2*radius alphabet is always written.
-        alphabet = int(symbols.max()) + 1 if symbols.size else 1
-        enc = self.huffman.encode(symbols, alphabet)
-        huff_payload = enc.payload
-        if self.pipeline is not None:
-            huff_payload = self.pipeline.compress(huff_payload)
+        with tm.span("sz.huffman", bytes=data.nbytes) as huff_span:
+            radius = self.radius if self.radius is not None else self._auto_radius(residual)
+            symbols, outliers = Q.residuals_to_symbols(residual, radius)
+            # Serialize only the used prefix of the alphabet: the code-length
+            # table costs 5 bits/symbol, which dominates small inputs if the
+            # full 2*radius alphabet is always written.
+            alphabet = int(symbols.max()) + 1 if symbols.size else 1
+            enc = self.huffman.encode(symbols, alphabet)
+            huff_span.attrs["alphabet"] = alphabet
+            huff_span.attrs["outliers"] = int(outliers.size)
+        with tm.span("sz.lossless", bytes=len(enc.payload),
+                     stages=0 if self.pipeline is None else len(self.pipeline.stages)):
+            huff_payload = enc.payload
+            if self.pipeline is not None:
+                huff_payload = self.pipeline.compress(huff_payload)
         out = Q.OutlierSection.encode(outliers)
         mode_bits = np.packbits(use_reg.astype(np.uint8), bitorder="big").tobytes()
         reg_coefs = coefs[use_reg].tobytes()
@@ -231,6 +240,11 @@ class SZCompressor(Compressor):
             "outlier_count": int(out.count),
             "huffman_bits_per_symbol": 8.0 * len(enc.payload) / symbols.size,
         }
+        tm.count("sz.bytes_in", data.nbytes)
+        tm.count("sz.bytes_out", len(payload))
+        tm.count("sz.outliers", out.count)
+        tm.observe("sz.huffman_alphabet", alphabet)
+        tm.observe("sz.payload_bytes", len(payload), bounds=DEFAULT_BYTE_BUCKETS)
         return payload, meta
 
     def _decompress_abs(self, payload: bytes) -> np.ndarray:
@@ -278,28 +292,32 @@ class SZCompressor(Compressor):
         pos += huff_len
         out_payload = payload[pos:]
 
-        if has_pipeline:
-            huff_payload = LosslessPipeline().decompress(huff_payload)
-        symbols = self.huffman.decode(huff_payload)
-        outliers = Q.OutlierSection(
-            payload=out_payload, count=out_count, width=out_width
-        ).decode()
-        residual = Q.symbols_to_residuals(symbols, outliers, radius)
+        tm = get_telemetry()
+        with tm.span("sz.lossless", bytes=len(huff_payload), direction="decompress"):
+            if has_pipeline:
+                huff_payload = LosslessPipeline().decompress(huff_payload)
+        with tm.span("sz.huffman", bytes=len(huff_payload), direction="decompress"):
+            symbols = self.huffman.decode(huff_payload)
+            outliers = Q.OutlierSection(
+                payload=out_payload, count=out_count, width=out_width
+            ).decode()
+            residual = Q.symbols_to_residuals(symbols, outliers, radius)
 
-        block = (block_side,) * ndim
-        grid = tuple(-(-s // block_side) for s in shape)
-        residual = residual.reshape((nblocks,) + block)
+        with tm.span("sz.predict", bytes=residual.nbytes, direction="decompress"):
+            block = (block_side,) * ndim
+            grid = tuple(-(-s // block_side) for s in shape)
+            residual = residual.reshape((nblocks,) + block)
 
-        recon = np.empty(residual.shape, dtype=np.float64)
-        lor = ~use_reg
-        if lor.any():
-            q = P.lorenzo_reconstruct(residual[lor])
-            recon[lor] = q.astype(np.float64) * (2.0 * eb)
-        if use_reg.any():
-            pred = P.regression_predict(coefs, block)
-            recon[use_reg] = pred + residual[use_reg].astype(np.float64) * (2.0 * eb)
+            recon = np.empty(residual.shape, dtype=np.float64)
+            lor = ~use_reg
+            if lor.any():
+                q = P.lorenzo_reconstruct(residual[lor])
+                recon[lor] = q.astype(np.float64) * (2.0 * eb)
+            if use_reg.any():
+                pred = P.regression_predict(coefs, block)
+                recon[use_reg] = pred + residual[use_reg].astype(np.float64) * (2.0 * eb)
 
-        arr = block_reassemble(recon, grid, shape)
+            arr = block_reassemble(recon, grid, shape)
         return arr.astype(dtype)
 
     # -- PW_REL path --------------------------------------------------------

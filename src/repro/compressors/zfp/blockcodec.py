@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
+from repro.telemetry import get_telemetry
 from repro.util.bits import pack_varlen_codes
 
 #: Negabinary conversion mask (alternating bits), as in zfp's NBMASK.
@@ -90,6 +91,7 @@ class _Emitter:
             nbits -= chunk
 
     def pack(self) -> tuple[bytes, int]:
+        get_telemetry().count("zfp.emitted_bits", self.nbits)
         codes = np.array(self.codes, dtype=np.uint64)
         lengths = np.array(self.lengths, dtype=np.int64)
         return pack_varlen_codes(codes, lengths)

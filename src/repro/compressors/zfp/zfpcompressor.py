@@ -38,6 +38,7 @@ from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
 from repro.compressors.zfp import blockcodec as BC
 from repro.compressors.zfp import transform as T
 from repro.errors import CorruptStreamError, DataError
+from repro.telemetry import DEFAULT_BYTE_BUCKETS, get_telemetry
 from repro.util.blocks import block_partition, block_reassemble
 from repro.util.validation import check_dtype, check_shape_nd
 
@@ -131,51 +132,66 @@ class ZFPCompressor(Compressor):
             maxbits = 0
             parameter = float(tolerance)
 
-        blocks, grid, _ = block_partition(data, (4,) * data.ndim, mode="edge")
-        nblocks = blocks.shape[0]
-        flat = blocks.reshape(nblocks, size).astype(np.float64)
+        tm = get_telemetry()
+        with tm.span("zfp.transform", bytes=data.nbytes):
+            blocks, grid, _ = block_partition(data, (4,) * data.ndim, mode="edge")
+            nblocks = blocks.shape[0]
+            flat = blocks.reshape(nblocks, size).astype(np.float64)
 
-        amax = np.abs(flat).max(axis=1)
-        nonzero = amax > 0
-        e = np.zeros(nblocks, dtype=np.int64)
-        _, e_nz = np.frexp(amax[nonzero])
-        e[nonzero] = e_nz  # amax < 2**e
-        scale_exp = (planes - 2) - e
-        ints = np.rint(np.ldexp(flat, scale_exp[:, None])).astype(np.int64)
+            amax = np.abs(flat).max(axis=1)
+            nonzero = amax > 0
+            e = np.zeros(nblocks, dtype=np.int64)
+            _, e_nz = np.frexp(amax[nonzero])
+            e[nonzero] = e_nz  # amax < 2**e
+            scale_exp = (planes - 2) - e
+            ints = np.rint(np.ldexp(flat, scale_exp[:, None])).astype(np.int64)
 
-        coeffs = T.forward_transform(ints.reshape(blocks.shape))
-        perm = T.sequency_order(data.ndim)
-        ordered = coeffs.reshape(nblocks, size)[:, perm]
-        u = BC.int_to_negabinary(ordered)
-        words = BC.plane_words(u, planes)
-        words_list = words.tolist()
+            coeffs = T.forward_transform(ints.reshape(blocks.shape))
+        with tm.span("zfp.reorder", bytes=data.nbytes):
+            perm = T.sequency_order(data.ndim)
+            ordered = coeffs.reshape(nblocks, size)[:, perm]
+            u = BC.int_to_negabinary(ordered)
 
-        emitter = BC._Emitter()
         fixed_rate = mode is CompressorMode.FIXED_RATE
-        offsets = np.zeros(nblocks + 1, dtype=np.uint64)
-        for b in range(nblocks):
-            offsets[b] = emitter.nbits
-            if not nonzero[b]:
-                emitter.emit_msb(0, 1)
+        with tm.span("zfp.bitplane", bytes=data.nbytes, nblocks=nblocks,
+                     mode=mode.value):
+            words = BC.plane_words(u, planes)
+            words_list = words.tolist()
+
+            emitter = BC._Emitter()
+            used_bits = np.zeros(nblocks, dtype=np.int64)
+            offsets = np.zeros(nblocks + 1, dtype=np.uint64)
+            for b in range(nblocks):
+                offsets[b] = emitter.nbits
+                if not nonzero[b]:
+                    emitter.emit_msb(0, 1)
+                    if fixed_rate:
+                        emitter.emit_msb(0, maxbits - 1)
+                    continue
+                emitter.emit_msb(1, 1)
+                emitter.emit_msb(int(e[b]) + BC.EBIAS, BC.EBITS)
                 if fixed_rate:
-                    emitter.emit_msb(0, maxbits - 1)
-                continue
-            emitter.emit_msb(1, 1)
-            emitter.emit_msb(int(e[b]) + BC.EBIAS, BC.EBITS)
-            if fixed_rate:
-                budget, kmin = maxbits - header_bits, 0
-            elif mode is CompressorMode.FIXED_PRECISION:
-                budget, kmin = _UNBOUNDED, planes - int(precision)
-            else:
-                budget = _UNBOUNDED
-                kmin = _accuracy_kmin(parameter, int(e[b]), planes, data.ndim)
-            BC.encode_block_planes(
-                emitter, words_list[b], size, budget, kmin=kmin, pad=fixed_rate
-            )
-        offsets[nblocks] = emitter.nbits
-        body, nbits = emitter.pack()
-        if fixed_rate and nbits != nblocks * maxbits:
-            raise AssertionError("fixed-rate invariant violated")
+                    budget, kmin = maxbits - header_bits, 0
+                elif mode is CompressorMode.FIXED_PRECISION:
+                    budget, kmin = _UNBOUNDED, planes - int(precision)
+                else:
+                    budget = _UNBOUNDED
+                    kmin = _accuracy_kmin(parameter, int(e[b]), planes, data.ndim)
+                used_bits[b] = header_bits + BC.encode_block_planes(
+                    emitter, words_list[b], size, budget, kmin=kmin, pad=fixed_rate
+                )
+            offsets[nblocks] = emitter.nbits
+            body, nbits = emitter.pack()
+            if fixed_rate and nbits != nblocks * maxbits:
+                raise AssertionError("fixed-rate invariant violated")
+        # Bit-plane truncation stats: bits each block actually coded (before
+        # any fixed-rate zero padding) — the quantity Fig. 10's rate knob
+        # trades against error.
+        tm.observe_many("zfp.block_used_bits", used_bits[nonzero])
+        if fixed_rate:
+            tm.count("zfp.padding_bits",
+                     int((np.int64(maxbits) - used_bits[nonzero]).sum()))
+        tm.count("zfp.zero_blocks", int((~nonzero).sum()))
 
         header = struct.pack(
             _HDR,
@@ -192,6 +208,9 @@ class ZFPCompressor(Compressor):
         shape_bytes = struct.pack(f"<{data.ndim}Q", *data.shape)
         offset_bytes = b"" if fixed_rate else offsets.tobytes()
         payload = header + shape_bytes + offset_bytes + body
+        tm.count("zfp.bytes_in", data.nbytes)
+        tm.count("zfp.bytes_out", len(payload))
+        tm.observe("zfp.payload_bytes", len(payload), bounds=DEFAULT_BYTE_BUCKETS)
         return CompressedBuffer(
             payload=payload,
             original_shape=data.shape,
@@ -243,46 +262,51 @@ class ZFPCompressor(Compressor):
             raise CorruptStreamError("ZFP stream truncated (body)")
         bits = np.unpackbits(body, count=total_bits, bitorder="big")
 
-        words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
-        e = np.zeros(nblocks, dtype=np.int64)
-        nonzero = np.zeros(nblocks, dtype=bool)
-        for b in range(nblocks):
-            lo, hi = int(offsets[b]), int(offsets[b + 1])
-            span = hi - lo
-            if span <= 0:
-                raise CorruptStreamError("non-increasing ZFP block offsets")
-            chunk = bits[lo:hi]
-            pad = (-span) % 8
-            if pad:
-                chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint8)])
-            value = int.from_bytes(np.packbits(chunk, bitorder="big").tobytes(), "big") >> pad
-            reader = BC._BlockReader(value, span)
-            if not reader.read_bit():
-                continue
-            nonzero[b] = True
-            e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
-            if fixed_rate:
-                budget, kmin = maxbits - header_bits, 0
-            elif mode is CompressorMode.FIXED_PRECISION:
-                budget, kmin = span - header_bits, planes - int(parameter)
-            else:
-                budget = span - header_bits
-                kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
-            words_mat[b] = BC.decode_block_planes(
-                reader, planes, size, budget, kmin=kmin
-            )
-        u = BC.words_matrix_to_coeffs(words_mat, size)
+        tm = get_telemetry()
+        with tm.span("zfp.bitplane", bytes=len(payload), nblocks=nblocks,
+                     direction="decompress"):
+            words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
+            e = np.zeros(nblocks, dtype=np.int64)
+            nonzero = np.zeros(nblocks, dtype=bool)
+            for b in range(nblocks):
+                lo, hi = int(offsets[b]), int(offsets[b + 1])
+                span = hi - lo
+                if span <= 0:
+                    raise CorruptStreamError("non-increasing ZFP block offsets")
+                chunk = bits[lo:hi]
+                pad = (-span) % 8
+                if pad:
+                    chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint8)])
+                value = int.from_bytes(np.packbits(chunk, bitorder="big").tobytes(), "big") >> pad
+                reader = BC._BlockReader(value, span)
+                if not reader.read_bit():
+                    continue
+                nonzero[b] = True
+                e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
+                if fixed_rate:
+                    budget, kmin = maxbits - header_bits, 0
+                elif mode is CompressorMode.FIXED_PRECISION:
+                    budget, kmin = span - header_bits, planes - int(parameter)
+                else:
+                    budget = span - header_bits
+                    kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
+                words_mat[b] = BC.decode_block_planes(
+                    reader, planes, size, budget, kmin=kmin
+                )
+            u = BC.words_matrix_to_coeffs(words_mat, size)
 
-        ordered = BC.negabinary_to_int(u)
-        inv_perm = T.inverse_sequency_order(ndim)
-        coeffs = ordered[:, inv_perm].reshape((nblocks,) + (4,) * ndim)
-        ints = T.inverse_transform(coeffs)
-        scale_exp = -((planes - 2) - e)
-        flat = np.ldexp(ints.reshape(nblocks, size).astype(np.float64), scale_exp[:, None])
-        flat[~nonzero] = 0.0
+        with tm.span("zfp.reorder", direction="decompress"):
+            ordered = BC.negabinary_to_int(u)
+            inv_perm = T.inverse_sequency_order(ndim)
+            coeffs = ordered[:, inv_perm].reshape((nblocks,) + (4,) * ndim)
+        with tm.span("zfp.transform", direction="decompress"):
+            ints = T.inverse_transform(coeffs)
+            scale_exp = -((planes - 2) - e)
+            flat = np.ldexp(ints.reshape(nblocks, size).astype(np.float64), scale_exp[:, None])
+            flat[~nonzero] = 0.0
 
-        grid = tuple(-(-s // 4) for s in shape)
-        arr = block_reassemble(flat.reshape((nblocks,) + (4,) * ndim), grid, shape)
+            grid = tuple(-(-s // 4) for s in shape)
+            arr = block_reassemble(flat.reshape((nblocks,) + (4,) * ndim), grid, shape)
         return arr.astype(dtype)
 
     @staticmethod

@@ -20,6 +20,7 @@ from repro.compressors.registry import get_compressor
 from repro.errors import DataError
 from repro.foresight.config import CompressorSweep
 from repro.metrics.error import evaluate_distortion
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -79,12 +80,39 @@ class CBench:
         data = self.fields[field_name]
         compressor = get_compressor(sweep.name, **sweep.options)
 
+        tm = get_telemetry()
+        # High-water mark so the cell's whole span subtree (including the
+        # codec-internal stage spans) can be attached to the record below.
+        mark = tm.tracer.last_span_id() if tm.enabled else 0
+
         kwargs: dict[str, Any] = {"mode": sweep.mode, sweep.knob: value}
-        t0 = time.perf_counter()
-        buf: CompressedBuffer = compressor.compress(data, **kwargs)
-        t1 = time.perf_counter()
-        recon = compressor.decompress(buf)
-        t2 = time.perf_counter()
+        with tm.span(
+            "cbench.run_one",
+            compressor=sweep.name,
+            field=field_name,
+            mode=sweep.mode,
+            parameter=float(value),
+            bytes=data.nbytes,
+        ):
+            t0 = time.perf_counter()
+            with tm.span("cbench.compress", bytes=data.nbytes, compressor=sweep.name):
+                buf: CompressedBuffer = compressor.compress(data, **kwargs)
+            t1 = time.perf_counter()
+            with tm.span("cbench.decompress", bytes=data.nbytes, compressor=sweep.name):
+                recon = compressor.decompress(buf)
+            t2 = time.perf_counter()
+            with tm.span("cbench.metrics", bytes=data.nbytes):
+                distortion = evaluate_distortion(data, recon)
+
+        meta = dict(buf.meta)
+        if tm.enabled:
+            tm.count("cbench.cells")
+            tm.count("cbench.bytes_in", data.nbytes)
+            tm.count("cbench.bytes_out", buf.compressed_nbytes)
+            meta["telemetry"] = {
+                "spans": [s.to_dict() for s in tm.tracer.drain(mark)],
+                "compression_ratio": buf.compression_ratio,
+            }
 
         return CBenchRecord(
             compressor=sweep.name,
@@ -93,10 +121,10 @@ class CBench:
             parameter=value,
             compression_ratio=buf.compression_ratio,
             bitrate=buf.bitrate,
-            metrics=evaluate_distortion(data, recon),
+            metrics=distortion,
             compress_seconds=t1 - t0,
             decompress_seconds=t2 - t1,
-            meta=dict(buf.meta),
+            meta=meta,
             reconstruction=recon if self.keep_reconstructions else None,
         )
 

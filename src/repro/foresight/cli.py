@@ -8,18 +8,27 @@ JSON-lines record file into the output directory.
 
 Usage::
 
-    python -m repro.foresight.cli config.json [--nodes 4] [--quiet]
+    python -m repro.foresight.cli config.json [--nodes 4] [-v | --quiet]
+                                  [--trace-out trace.jsonl]
+
+Progress goes through the ``repro.foresight`` logger (stderr); only the
+final result table is written to stdout.  ``--trace-out`` enables the
+telemetry subsystem for the run and writes every span (CBench cells,
+codec pipeline stages, PAT jobs) to a trace file readable with
+``python -m repro.telemetry report``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.cosmo.hacc import make_hacc_dataset
 from repro.cosmo.nyx import make_nyx_dataset
 from repro.errors import ReproError
@@ -30,6 +39,25 @@ from repro.foresight.config import ForesightConfig, load_config
 from repro.foresight.pat import Job, SlurmSimulator, Workflow
 from repro.foresight.visualization import format_table
 from repro.io.json_records import RecordStore
+from repro.telemetry.export import write_chrome, write_jsonl
+
+logger = logging.getLogger("repro.foresight")
+
+
+def configure_logging(verbosity: int = 0, quiet: bool = False) -> None:
+    """Wire the ``repro.foresight`` logger hierarchy to stderr.
+
+    ``quiet`` shows warnings only; default shows INFO; ``-v`` adds DEBUG
+    (including per-job PAT scheduler transitions).
+    """
+    level = logging.WARNING if quiet else (
+        logging.DEBUG if verbosity > 0 else logging.INFO
+    )
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.handlers[:] = [handler]
+    root.setLevel(level)
 
 
 def _load_fields_from_file(cfg: ForesightConfig) -> tuple[dict[str, np.ndarray], float]:
@@ -71,9 +99,40 @@ def _build_fields(cfg: ForesightConfig) -> tuple[dict[str, np.ndarray], float]:
     return {n: ds.fields[n] for n in names}, ds.box_size
 
 
-def run_study(cfg: ForesightConfig, nodes: int = 4, verbose: bool = True) -> list[dict]:
-    """Execute a full Foresight study; returns the flat result rows."""
+def run_study(
+    cfg: ForesightConfig,
+    nodes: int = 4,
+    verbose: bool = True,
+    trace_out: Path | str | None = None,
+) -> list[dict]:
+    """Execute a full Foresight study; returns the flat result rows.
+
+    ``trace_out`` enables telemetry for the study and writes the span
+    trace there afterwards — ``.json`` gets Chrome trace-event format,
+    anything else JSONL.
+    """
+    tm_prev = None
+    if trace_out is not None:
+        tm_prev = telemetry.set_telemetry(telemetry.Telemetry("foresight"))
+    try:
+        return _run_study(cfg, nodes, verbose)
+    finally:
+        if tm_prev is not None:
+            tm = telemetry.set_telemetry(tm_prev)
+            path = Path(trace_out)
+            spans = tm.tracer.finished_spans()
+            if path.suffix == ".json":
+                write_chrome(path, spans)
+            else:
+                write_jsonl(path, spans)
+            logger.info("wrote telemetry trace %s (%d spans)", path, len(spans))
+
+
+def _run_study(cfg: ForesightConfig, nodes: int, verbose: bool) -> list[dict]:
     fields, box_size = _build_fields(cfg)
+    logger.info(
+        "loaded %d field(s): %s", len(fields), ", ".join(sorted(fields))
+    )
     bench = CBench(fields)
     state: dict = {}
 
@@ -110,11 +169,12 @@ def run_study(cfg: ForesightConfig, nodes: int = 4, verbose: bool = True) -> lis
     outdir.mkdir(parents=True, exist_ok=True)
     RecordStore(outdir / "records.jsonl").extend(state["rows"])
     CinemaDatabase(outdir / "study").write(state["rows"])
+    logger.info("wrote %s and %s", outdir / "records.jsonl", outdir / "study.cdb")
     if verbose:
+        # The result table is the study's product — it stays on stdout.
         cols = [c for c in ("compressor", "field", "parameter",
                             "compression_ratio", "psnr") if any(c in r for r in state["rows"])]
         print(format_table(state["rows"], cols))
-        print(f"\nwrote {outdir / 'records.jsonl'} and {outdir / 'study.cdb'}")
     return state["rows"]
 
 
@@ -125,11 +185,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("config", help="JSON configuration file")
     parser.add_argument("--nodes", type=int, default=4,
                         help="simulated cluster size (default 4)")
-    parser.add_argument("--quiet", action="store_true")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the result table and progress logging")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug-level progress logging")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable telemetry; write the span trace here "
+                             "(.json = Chrome trace format, else JSONL)")
     args = parser.parse_args(argv)
+    configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
         cfg = load_config(Path(args.config))
-        run_study(cfg, nodes=args.nodes, verbose=not args.quiet)
+        run_study(cfg, nodes=args.nodes, verbose=not args.quiet,
+                  trace_out=args.trace_out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

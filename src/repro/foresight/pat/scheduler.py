@@ -11,6 +11,7 @@ behaviour the generated sbatch scripts would have.
 from __future__ import annotations
 
 import enum
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -18,6 +19,9 @@ from typing import Any
 from repro.errors import ScheduleError
 from repro.foresight.pat.job import Job
 from repro.foresight.pat.workflow import Workflow
+from repro.telemetry import get_telemetry
+
+logger = logging.getLogger("repro.foresight.pat")
 
 
 class JobState(enum.Enum):
@@ -53,11 +57,20 @@ class SlurmSimulator:
         """Execute ``workflow``; returns per-job records keyed by name."""
         workflow.validate()
         order = workflow.topological_order()
+        # perf_counter keeps submit stamps on the same monotonic clock as
+        # every duration in the simulator (never wall-clock epochs).
         records = {
-            job.name: JobRecord(job=job, job_id=self._next_id + i, submit_time=time.time())
+            job.name: JobRecord(
+                job=job, job_id=self._next_id + i, submit_time=time.perf_counter()
+            )
             for i, job in enumerate(order)
         }
         self._next_id += len(order)
+        tm = get_telemetry()
+        logger.info(
+            "workflow %s: %d jobs submitted on %d nodes",
+            workflow.name, len(order), self.nodes,
+        )
 
         clock = 0.0  # simulated seconds for command-only jobs
         for job in order:
@@ -67,19 +80,23 @@ class SlurmSimulator:
                 rec.error = (
                     f"requested {job.nodes} nodes but the cluster has {self.nodes}"
                 )
+                logger.warning("job %s (%d): %s", job.name, rec.job_id, rec.error)
                 self._cascade_cancel(job.name, records)
                 continue
             dep_states = [records[d].state for d in job.depends_on]
             if any(s is not JobState.COMPLETED for s in dep_states):
                 rec.state = JobState.CANCELLED
                 rec.error = "dependency not satisfied (afterok)"
+                logger.warning("job %s (%d): cancelled — %s", job.name, rec.job_id, rec.error)
                 continue
             rec.state = JobState.RUNNING
             rec.start_time = clock
+            logger.debug("job %s (%d): RUNNING", job.name, rec.job_id)
             if job.action is not None:
                 t0 = time.perf_counter()
                 try:
-                    rec.result = job.action(*job.args, **job.kwargs)
+                    with tm.span("pat.job", job=job.name, job_id=rec.job_id):
+                        rec.result = job.action(*job.args, **job.kwargs)
                     rec.state = JobState.COMPLETED
                 except Exception as exc:  # action failures become job failures
                     rec.state = JobState.FAILED
@@ -91,7 +108,13 @@ class SlurmSimulator:
                 rec.state = JobState.COMPLETED
             rec.end_time = clock
             if rec.state is JobState.FAILED:
+                logger.warning("job %s (%d): FAILED — %s", job.name, rec.job_id, rec.error)
                 self._cascade_cancel(job.name, records)
+            else:
+                logger.info(
+                    "job %s (%d): %s in %.3fs",
+                    job.name, rec.job_id, rec.state.value, rec.end_time - rec.start_time,
+                )
 
         if raise_on_failure:
             failed = [n for n, r in records.items() if r.state is JobState.FAILED]

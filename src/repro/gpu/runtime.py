@@ -20,10 +20,14 @@ data across PCIe with no compression at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.gpu.device import GPUSpec, V100
 from repro.gpu.kernel import kernel_time
 from repro.gpu.pcie import Interconnect, PCIE3_X16, transfer_time
+from repro.telemetry import get_telemetry
+from repro.telemetry.export import chrome_event
+from repro.telemetry.spans import Span, Tracer
 from repro.util.validation import check_positive
 
 #: Fixed driver-side costs (cudaMalloc/cudaFree/param upload), seconds.
@@ -108,6 +112,72 @@ class GPUCompressionRun:
     def breakdown(self) -> dict[str, float]:
         """Stage name -> seconds, in timeline order."""
         return {s.name: s.seconds for s in self.stages}
+
+    # -- telemetry bridging -------------------------------------------------
+    #
+    # The simulated Fig. 7 timeline and the measured Python spans share one
+    # trace format, so a single chrome://tracing view (or one
+    # ``repro.telemetry report`` table) can hold both.
+
+    def trace_events(
+        self, start_s: float = 0.0, pid: int = 0, tid: int = 0
+    ) -> list[dict[str, Any]]:
+        """The run's stages as Chrome trace-event dicts, laid end to end
+        starting at ``start_s`` (seconds)."""
+        prefix = f"gpu.{self.codec}.{self.direction}"
+        events = []
+        t = start_s
+        for stage in self.stages:
+            nbytes = (
+                self.compressed_bytes if stage.name == "memcpy" else self.original_bytes
+            )
+            events.append(
+                chrome_event(
+                    f"{prefix}.{stage.name}",
+                    t,
+                    stage.seconds,
+                    pid=pid,
+                    tid=tid,
+                    args={
+                        "bytes": int(nbytes),
+                        "device": self.device.name,
+                        "simulated": True,
+                    },
+                )
+            )
+            t += stage.seconds
+        return events
+
+    def record(self, tracer: Tracer | None = None, start_s: float = 0.0) -> list[Span]:
+        """Replay the simulated stages into ``tracer`` as synthetic spans.
+
+        Defaults to the active telemetry's tracer; a no-op (returning
+        ``[]``) when telemetry is disabled and no tracer is given.
+        """
+        if tracer is None:
+            tm = get_telemetry()
+            if not tm.enabled:
+                return []
+            tracer = tm.tracer
+        prefix = f"gpu.{self.codec}.{self.direction}"
+        spans = []
+        t = start_s
+        for stage in self.stages:
+            nbytes = (
+                self.compressed_bytes if stage.name == "memcpy" else self.original_bytes
+            )
+            spans.append(
+                tracer.add_span(
+                    f"{prefix}.{stage.name}",
+                    t,
+                    t + stage.seconds,
+                    bytes=int(nbytes),
+                    device=self.device.name,
+                    simulated=True,
+                )
+            )
+            t += stage.seconds
+        return spans
 
 
 def _make_run(

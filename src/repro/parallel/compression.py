@@ -11,6 +11,7 @@ survives the decomposition (it must: ABS bounds compose trivially).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
@@ -19,6 +20,7 @@ import numpy as np
 from repro.compressors.base import CompressedBuffer, Compressor
 from repro.errors import DataError
 from repro.parallel.decomposition import CartesianDecomposition
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -50,19 +52,44 @@ def compress_distributed(
     values: np.ndarray,
     positions: np.ndarray,
     decomp: CartesianDecomposition,
+    max_workers: int | None = None,
     **params: Any,
 ) -> DistributedCompressionResult:
-    """Compress ``values`` (one per particle) rank by rank."""
+    """Compress ``values`` (one per particle) rank by rank.
+
+    ``max_workers`` > 1 compresses the ranks on a thread pool (each rank
+    is independent, like the MPI processes it models); the buffer order
+    still follows rank order either way.  Every rank is wrapped in a
+    ``parallel.rank_compress`` span, so a trace shows the per-rank
+    timeline — concurrent ranks land on distinct ``thread_id``s.
+    """
     values = np.asarray(values)
     if values.ndim != 1 or values.shape[0] != positions.shape[0]:
         raise DataError("values must be 1-D with one entry per particle")
     owned = decomp.scatter(positions)
-    buffers = []
-    for ids in owned:
-        if ids.size == 0:
-            continue
-        buffers.append(compressor.compress(values[ids], **params))
-    kept_ids = [ids for ids in owned if ids.size]
+    tm = get_telemetry()
+
+    def _one(rank: int, ids: np.ndarray) -> CompressedBuffer:
+        chunk = values[ids]
+        with tm.span(
+            "parallel.rank_compress",
+            rank=rank,
+            particles=int(ids.size),
+            bytes=chunk.nbytes,
+        ):
+            buf = compressor.compress(chunk, **params)
+        tm.count("parallel.rank_cells")
+        tm.count("parallel.bytes_in", chunk.nbytes)
+        tm.count("parallel.bytes_out", buf.compressed_nbytes)
+        return buf
+
+    work = [(rank, ids) for rank, ids in enumerate(owned) if ids.size]
+    if max_workers is not None and max_workers > 1 and len(work) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            buffers = list(pool.map(lambda w: _one(*w), work))
+    else:
+        buffers = [_one(rank, ids) for rank, ids in work]
+    kept_ids = [ids for _, ids in work]
     return DistributedCompressionResult(
         buffers=buffers, owned_ids=kept_ids, n_total=values.shape[0]
     )
@@ -74,9 +101,15 @@ def decompress_distributed(
     dtype: np.dtype | None = None,
 ) -> np.ndarray:
     """Reassemble the global field from per-rank buffers."""
+    tm = get_telemetry()
     out: np.ndarray | None = None
-    for buf, ids in zip(result.buffers, result.owned_ids):
-        chunk = compressor.decompress(buf)
+    for rank, (buf, ids) in enumerate(zip(result.buffers, result.owned_ids)):
+        with tm.span(
+            "parallel.rank_decompress",
+            rank=rank,
+            bytes=buf.original_nbytes,
+        ):
+            chunk = compressor.decompress(buf)
         if out is None:
             out = np.empty(result.n_total, dtype=dtype or chunk.dtype)
         out[ids] = chunk

@@ -1,0 +1,57 @@
+"""Telemetry command line: ``python -m repro.telemetry report <trace>``.
+
+Subcommands:
+
+* ``report <trace> [--filter SUBSTR]`` — per-stage time/throughput table
+  for a JSONL or Chrome-format trace.
+* ``convert <trace> -o out.json`` — rewrite a JSONL trace as a Chrome
+  trace-event file loadable in chrome://tracing / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.telemetry.export import load_trace, write_chrome
+from repro.telemetry.report import report_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect repro telemetry traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="summarize a trace per stage")
+    p_report.add_argument("trace", help="JSONL or Chrome trace file")
+    p_report.add_argument("--filter", default=None,
+                          help="keep only span names containing this substring")
+
+    p_convert = sub.add_parser("convert", help="JSONL trace -> Chrome trace JSON")
+    p_convert.add_argument("trace", help="input trace file")
+    p_convert.add_argument("-o", "--output", required=True,
+                           help="output Chrome trace-event JSON path")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "report":
+            print(report_file(args.trace, name_filter=args.filter))
+        else:
+            events = load_trace(args.trace)
+            write_chrome(Path(args.output), events)
+            print(f"wrote {args.output} ({len(events)} events)")
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

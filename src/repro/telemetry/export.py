@@ -1,0 +1,167 @@
+"""Trace export/import: JSONL span records and Chrome trace-event JSON.
+
+Two on-disk formats, one logical schema:
+
+* **JSONL** — one :meth:`Span.to_dict` object per line, durations in
+  seconds.  Greppable, streamable, the format ``repro.telemetry report``
+  reads natively.
+* **Chrome trace-event** — ``{"traceEvents": [...]}`` with complete
+  ("ph": "X") events in microseconds, loadable in ``chrome://tracing`` /
+  Perfetto.  The :mod:`repro.gpu` simulated timelines emit the same event
+  shape, so measured Python spans and modeled Fig. 7 GPU stages can be
+  concatenated into a single viewable timeline.
+
+Both loaders normalize back to the JSONL span schema, so the reporter
+does not care which file it was handed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.errors import DataError
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "chrome_event",
+    "write_jsonl",
+    "write_chrome",
+    "load_trace",
+]
+
+
+def spans_to_jsonl(spans: Iterable[Span | dict[str, Any]]) -> str:
+    """Serialize spans (or pre-built span dicts) to JSON-lines text."""
+    lines = []
+    for sp in spans:
+        record = sp.to_dict() if isinstance(sp, Span) else sp
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_event(
+    name: str,
+    start_s: float,
+    duration_s: float,
+    pid: int = 0,
+    tid: int = 0,
+    args: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One complete ("X") Chrome trace event; timestamps in microseconds."""
+    return {
+        "name": name,
+        "ph": "X",
+        "ts": start_s * 1e6,
+        "dur": duration_s * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": dict(args or {}),
+    }
+
+
+def spans_to_chrome(
+    spans: Iterable[Span | dict[str, Any]],
+    extra_events: Sequence[dict[str, Any]] = (),
+) -> dict[str, Any]:
+    """Build a Chrome trace-event document from spans.
+
+    ``extra_events`` lets callers merge already-built events (e.g.
+    :meth:`repro.gpu.runtime.GPUCompressionRun.trace_events`) into the
+    same timeline.
+    """
+    events = []
+    for sp in spans:
+        record = sp.to_dict() if isinstance(sp, Span) else sp
+        args = dict(record.get("attrs") or {})
+        args["span_id"] = record.get("span_id")
+        if record.get("parent_id") is not None:
+            args["parent_id"] = record["parent_id"]
+        if record.get("status", "ok") != "ok":
+            args["status"] = record["status"]
+        events.append(
+            chrome_event(
+                record["name"],
+                float(record.get("start") or 0.0),
+                float(record.get("duration") or 0.0),
+                tid=int(record.get("thread_id") or 0),
+                args=args,
+            )
+        )
+    events.extend(extra_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_jsonl(path: str | Path, spans: Iterable[Span | dict[str, Any]]) -> Path:
+    path = Path(path)
+    path.write_text(spans_to_jsonl(spans))
+    return path
+
+
+def write_chrome(
+    path: str | Path,
+    spans: Iterable[Span | dict[str, Any]],
+    extra_events: Sequence[dict[str, Any]] = (),
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(spans_to_chrome(spans, extra_events), sort_keys=True))
+    return path
+
+
+def _normalize_chrome_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    out = []
+    for ev in events:
+        if ev.get("ph", "X") != "X":
+            continue  # only complete events carry durations
+        args = dict(ev.get("args") or {})
+        out.append(
+            {
+                "name": ev.get("name", "?"),
+                "span_id": args.pop("span_id", None),
+                "parent_id": args.pop("parent_id", None),
+                "thread_id": ev.get("tid", 0),
+                "start": float(ev.get("ts", 0.0)) / 1e6,
+                "end": (float(ev.get("ts", 0.0)) + float(ev.get("dur", 0.0))) / 1e6,
+                "duration": float(ev.get("dur", 0.0)) / 1e6,
+                "status": args.pop("status", "ok"),
+                "attrs": args,
+            }
+        )
+    return out
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL or Chrome-format trace into span dicts.
+
+    Format is sniffed from the content, not the extension: a JSON document
+    with ``traceEvents`` (or a bare JSON array of events) is Chrome
+    format; anything else is treated as JSON-lines.
+    """
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return _normalize_chrome_events(doc["traceEvents"])
+        if isinstance(doc, list):
+            return _normalize_chrome_events(doc)
+    spans = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise DataError(f"{path}:{lineno}: not valid trace JSONL: {exc}") from exc
+        record.setdefault("attrs", {})
+        record.setdefault("duration",
+                          (record.get("end") or 0.0) - (record.get("start") or 0.0))
+        spans.append(record)
+    return spans

@@ -1,0 +1,124 @@
+"""Trace summarizer: per-stage wall time and throughput table.
+
+Aggregates a trace (JSONL or Chrome format, see
+:mod:`repro.telemetry.export`) by span name and renders the table the
+paper's Fig. 7/8 discussion is built on: how long each stage took, how
+often it ran, and the effective MB/s where spans carry a ``bytes``
+attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.telemetry.export import load_trace
+
+__all__ = ["StageSummary", "summarize", "render_report", "report_file"]
+
+_MB = 1e6
+
+
+@dataclass
+class StageSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    min_seconds: float
+    max_seconds: float
+    total_bytes: int
+    errors: int
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def mb_per_s(self) -> float | None:
+        """Throughput over the stage's own wall time (None without bytes)."""
+        if not self.total_bytes or self.total_seconds <= 0:
+            return None
+        return self.total_bytes / _MB / self.total_seconds
+
+
+def summarize(spans: Iterable[dict[str, Any]]) -> list[StageSummary]:
+    """Group span dicts by name; ordered by total time, largest first."""
+    acc: dict[str, StageSummary] = {}
+    for sp in spans:
+        name = sp.get("name", "?")
+        dur = float(sp.get("duration") or 0.0)
+        attrs = sp.get("attrs") or {}
+        nbytes = attrs.get("bytes", 0)
+        nbytes = int(nbytes) if isinstance(nbytes, (int, float)) else 0
+        err = 1 if sp.get("status", "ok") != "ok" else 0
+        cur = acc.get(name)
+        if cur is None:
+            acc[name] = StageSummary(
+                name=name, count=1, total_seconds=dur, min_seconds=dur,
+                max_seconds=dur, total_bytes=nbytes, errors=err,
+            )
+        else:
+            cur.count += 1
+            cur.total_seconds += dur
+            cur.min_seconds = min(cur.min_seconds, dur)
+            cur.max_seconds = max(cur.max_seconds, dur)
+            cur.total_bytes += nbytes
+            cur.errors += err
+    return sorted(acc.values(), key=lambda s: -s.total_seconds)
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    return f"{s * 1e6:.1f} us"
+
+
+def render_report(summaries: list[StageSummary], title: str | None = None) -> str:
+    """Fixed-width per-stage table (time, share, throughput)."""
+    headers = ["stage", "count", "total", "mean", "share", "MB", "MB/s", "errors"]
+    grand_total = sum(s.total_seconds for s in summaries) or 1.0
+    rows = []
+    for s in summaries:
+        mbps = s.mb_per_s
+        rows.append([
+            s.name,
+            str(s.count),
+            _fmt_seconds(s.total_seconds),
+            _fmt_seconds(s.mean_seconds),
+            f"{100.0 * s.total_seconds / grand_total:.1f}%",
+            f"{s.total_bytes / _MB:.2f}" if s.total_bytes else "-",
+            f"{mbps:.2f}" if mbps is not None else "-",
+            str(s.errors) if s.errors else "-",
+        ])
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    if not rows:
+        lines.append("(trace contains no spans)")
+    return "\n".join(lines)
+
+
+def report_file(path: str | Path, name_filter: str | None = None) -> str:
+    """Load ``path`` and render its per-stage summary table.
+
+    ``name_filter`` keeps only span names containing the substring
+    (e.g. ``"sz."`` to look at one codec's pipeline).
+    """
+    spans = load_trace(path)
+    if name_filter:
+        spans = [s for s in spans if name_filter in s.get("name", "")]
+    summaries = summarize(spans)
+    nspans = sum(s.count for s in summaries)
+    title = f"{path} — {nspans} spans, {len(summaries)} stages"
+    return render_report(summaries, title=title)

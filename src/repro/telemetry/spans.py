@@ -1,0 +1,195 @@
+"""Structured tracing: nested spans with a thread-safe tracer.
+
+A :class:`Span` is one timed region of work (a compression stage, a
+CBench cell, a per-rank compress).  Spans nest: each thread keeps its own
+stack, so concurrent ranks in :mod:`repro.parallel.compression` produce
+independent, correctly-parented subtrees instead of interleaving.
+
+Two entry points::
+
+    with tracer.span("sz.huffman", bytes=n):   # context manager
+        ...
+
+    @tracer.trace("cbench.run_one")            # decorator
+    def run_one(...): ...
+
+Timing uses :func:`time.perf_counter` (monotonic, the resolution the
+paper's per-stage breakdowns need); wall-clock epochs never enter a
+duration.  Finished spans accumulate on the tracer and are exported by
+:mod:`repro.telemetry.export`.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    thread_id: int
+    start: float  # perf_counter seconds, relative to the tracer epoch
+    end: float | None = None
+    status: str = "ok"  # "ok" or "error"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready flat record (the JSONL line schema)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Thread-safe producer of nested :class:`Span` trees.
+
+    The per-thread span stack lives in a ``threading.local``; the finished
+    span list is guarded by a lock.  Span ids are globally unique within
+    the tracer so parent/child edges survive export and merging.
+    """
+
+    def __init__(self, name: str = "repro") -> None:
+        self.name = name
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+
+    # -- internals ----------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- span production ----------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; exceptions mark it ``status="error"`` and
+        propagate, with the parent span restored either way."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            thread_id=threading.get_ident(),
+            start=self._now(),
+            attrs=dict(attrs),
+        )
+        stack.append(sp)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.status = "error"
+            sp.attrs.setdefault("exception", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            sp.end = self._now()
+            stack.pop()
+            with self._lock:
+                self._finished.append(sp)
+
+    def trace(self, name: str | None = None, **attrs: Any) -> Callable:
+        """Decorator form of :meth:`span` (span named after the function
+        unless ``name`` is given)."""
+
+        def deco(fn: Callable) -> Callable:
+            span_name = name or f"{fn.__module__}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                with self.span(span_name, **attrs):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return deco
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a synthetic span with explicit timestamps.
+
+        Used to merge *simulated* timelines (the :mod:`repro.gpu` runtime's
+        Fig. 7 stage breakdowns) into the same trace as measured spans.
+        """
+        if parent is None:
+            stack = self._stack()
+            parent = stack[-1] if stack else None
+        sp = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent else None,
+            thread_id=threading.get_ident(),
+            start=start,
+            end=end,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._finished.append(sp)
+        return sp
+
+    # -- inspection ---------------------------------------------------------
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on *this* thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished_spans(self) -> list[Span]:
+        """Snapshot of completed spans (oldest first)."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self, since_id: int = 0) -> list[Span]:
+        """Finished spans with ``span_id > since_id`` (for incremental
+        collection, e.g. attaching one CBench cell's subtree to its record)."""
+        with self._lock:
+            return [s for s in self._finished if s.span_id > since_id]
+
+    def last_span_id(self) -> int:
+        """High-water mark for a later :meth:`drain` call."""
+        with self._lock:
+            return self._finished[-1].span_id if self._finished else 0
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        with self._lock:
+            self._finished.clear()
