@@ -1,0 +1,24 @@
+"""Content-addressed result cache (fast-path engine layer 3).
+
+See :mod:`repro.cache.store` for the key scheme and on-disk layout, and
+``docs/PERFORMANCE.md`` for how :class:`repro.foresight.cbench.CBench`
+uses it to memoize sweep cells.
+"""
+
+from repro.cache.store import (
+    CACHE_DIR_ENV,
+    SCHEMA_VERSION,
+    CacheStats,
+    ResultCache,
+    data_digest,
+    make_key,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "data_digest",
+    "make_key",
+]

@@ -1,0 +1,183 @@
+"""Content-addressed result cache for CBench cells.
+
+A cache entry is keyed by *what was computed*, never by when or where:
+the key digests the compressor name, its constructor options, the knob
+(mode + value), a schema version, and a content digest of the input
+array.  Re-running a figure script therefore hits for every cell already
+computed — and sweeping a superset of error bounds only computes the
+delta — while any change to the data, the knob, or the codec options
+changes the key and transparently invalidates the entry.
+
+Key scheme (documented in ``docs/PERFORMANCE.md``)::
+
+    data_digest = sha256(dtype || shape || raw bytes)
+    key         = sha256(canonical_json({
+        "schema": SCHEMA_VERSION, "compressor": name, "options": {...},
+        "mode": mode, "knob": knob, "value": value, "data": data_digest,
+    }))
+
+Entries are pickles under ``root/<key[:2]>/<key>.pkl`` (two-level fanout
+keeps directories small).  Writes go through a temporary file in the
+same directory followed by ``os.replace`` so concurrent writers — the
+process-parallel sweep workers — can only ever race to an *identical*
+complete entry, never a torn one.  Unreadable entries count as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.telemetry import get_telemetry
+
+#: Environment variable providing a default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bumped whenever the cached record layout changes incompatibly —
+#: invalidates every existing entry at once.
+SCHEMA_VERSION = 1
+
+
+def data_digest(data: np.ndarray) -> str:
+    """Content digest of an array: dtype, shape, and raw bytes."""
+    data = np.ascontiguousarray(data)
+    h = hashlib.sha256()
+    h.update(data.dtype.str.encode())
+    h.update(repr(data.shape).encode())
+    h.update(data.tobytes())
+    return h.hexdigest()
+
+
+def make_key(
+    compressor: str,
+    options: dict[str, Any],
+    mode: str,
+    knob: str,
+    value: float,
+    digest: str,
+) -> str:
+    """Cache key for one (compressor, configuration, data) cell."""
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "compressor": compressor,
+        "options": options,
+        "mode": mode,
+        "knob": knob,
+        "value": value,
+        "data": digest,
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    put_bytes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "put_bytes": self.put_bytes,
+        }
+
+
+@dataclass
+class ResultCache:
+    """On-disk content-addressed store of picklable values.
+
+    >>> cache = ResultCache("/tmp/repro-cache")         # doctest: +SKIP
+    >>> cache.put("a" * 64, {"answer": 42})             # doctest: +SKIP
+    >>> cache.get("a" * 64)                             # doctest: +SKIP
+    {'answer': 42}
+
+    Stats are per-instance (worker processes carry their own copy), so
+    parent-side counters reflect parent-side lookups only.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """Cache at ``$REPRO_CACHE_DIR``, or ``None`` when unset/empty."""
+        raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+        return cls(raw) if raw else None
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Stored value, or ``None`` on miss (or unreadable entry)."""
+        path = self.path_for(key)
+        tm = get_telemetry()
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # A truncated or corrupt entry can surface as almost any
+            # exception from the unpickler (ValueError for a bad
+            # protocol byte, UnpicklingError, EOFError, AttributeError
+            # for a renamed class, ...).  All of them mean the same
+            # thing for a cache: treat it as a miss and recompute.
+            self.stats.misses += 1
+            tm.count("cache.misses")
+            return None
+        self.stats.hits += 1
+        tm.count("cache.hits")
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically store ``value`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        self.stats.put_bytes += len(blob)
+        tm = get_telemetry()
+        tm.count("cache.puts")
+        tm.count("cache.put_bytes", len(blob))
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.pkl"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -81,7 +81,7 @@ class SZCompressor(Compressor):
         block_side: int = 6,
         radius: int | str = 1024,
         lossless: list[str] | None = None,
-        huffman_chunk: int = 4096,
+        huffman_chunk: int = 1024,
         predictor: str = "adaptive",
     ) -> None:
         if not 2 <= block_side <= 255:

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
 from repro.telemetry import get_telemetry
-from repro.util.bits import pack_varlen_codes
+from repro.util.bits import _use_scalar, pack_varlen_codes
 
 #: Negabinary conversion mask (alternating bits), as in zfp's NBMASK.
 NBMASK = np.uint64(0xAAAAAAAAAAAAAAAA)
@@ -40,10 +40,30 @@ def negabinary_to_int(u: np.ndarray) -> np.ndarray:
 
 def plane_words(u: np.ndarray, nplanes: int) -> np.ndarray:
     """Bit-plane words: ``words[b, k]`` has bit ``i`` = bit ``k`` of
-    coefficient ``i`` of block ``b``.  Vectorized per plane across blocks."""
+    coefficient ``i`` of block ``b``.
+
+    The fast path does the (size x nplanes) bit transpose with one
+    ``unpackbits``/``packbits`` round trip per batch — constant cost in
+    ``nplanes`` instead of one pass per plane.  Little-endian byte order
+    makes bit ``k`` of a uint64 land at flat position ``k`` after
+    ``unpackbits(..., bitorder="little")``, so the transpose is a plain
+    axis swap between the coefficient and plane axes.
+    """
     nblocks, size = u.shape
     if size > 64:
         raise DataError("plane words require block size <= 64 coefficients")
+    if not _use_scalar():
+        u = np.ascontiguousarray(u)
+        bits = np.unpackbits(
+            u.view(np.uint8).reshape(nblocks, size, 8), axis=2, bitorder="little"
+        )[:, :, :nplanes]
+        t = np.ascontiguousarray(bits.transpose(0, 2, 1))
+        if size < 64:
+            t = np.concatenate(
+                [t, np.zeros((nblocks, nplanes, 64 - size), dtype=np.uint8)], axis=2
+            )
+        packed = np.packbits(t, axis=2, bitorder="little")
+        return packed.reshape(nblocks, nplanes * 8).view(np.uint64).copy()
     weights = np.uint64(1) << np.arange(size, dtype=np.uint64)
     words = np.empty((nblocks, nplanes), dtype=np.uint64)
     for k in range(nplanes):
@@ -219,6 +239,22 @@ def words_matrix_to_coeffs(words: np.ndarray, size: int) -> np.ndarray:
     negabinary coefficients.
     """
     nblocks, nplanes = words.shape
+    if not _use_scalar():
+        # Same unpackbits/packbits transpose as :func:`plane_words`, in
+        # the other direction: plane axis in, coefficient axis out.
+        words = np.ascontiguousarray(words)
+        bits = np.unpackbits(
+            words.view(np.uint8).reshape(nblocks, nplanes, 8),
+            axis=2,
+            bitorder="little",
+        )[:, :, :size]
+        t = np.ascontiguousarray(bits.transpose(0, 2, 1))
+        if nplanes < 64:
+            t = np.concatenate(
+                [t, np.zeros((nblocks, size, 64 - nplanes), dtype=np.uint8)], axis=2
+            )
+        packed = np.packbits(t, axis=2, bitorder="little")
+        return packed.reshape(nblocks, size * 8).view(np.uint64).copy()
     u = np.zeros((nblocks, size), dtype=np.uint64)
     idx = np.arange(size, dtype=np.uint64)
     for k in range(nplanes):

@@ -29,12 +29,14 @@ cuZFP.  Variable-rate streams carry an explicit per-block offset table
 from __future__ import annotations
 
 import math
+import os
 import struct
 from typing import Any
 
 import numpy as np
 
 from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
+from repro.compressors.zfp import batch as B
 from repro.compressors.zfp import blockcodec as BC
 from repro.compressors.zfp import transform as T
 from repro.errors import CorruptStreamError, DataError
@@ -75,6 +77,58 @@ def _accuracy_kmin(tolerance: float, e: int, planes: int, ndim: int) -> int:
     return max(0, min(planes, kmin))
 
 
+def _accuracy_kmin_array(
+    tolerance: float, e: np.ndarray, planes: int, ndim: int
+) -> np.ndarray:
+    """Vectorized :func:`_accuracy_kmin` over per-block exponents."""
+    base = math.floor(math.log2(tolerance)) - 2 * ndim + (planes - 2)
+    return np.clip(base - e, 0, planes).astype(np.int64)
+
+
+def _encode_blocks_scalar(
+    words: np.ndarray,
+    nonzero: np.ndarray,
+    e: np.ndarray,
+    size: int,
+    planes: int,
+    budgets: np.ndarray,
+    kmins: np.ndarray,
+    maxbits: int = 0,
+) -> tuple[bytes, int, np.ndarray, np.ndarray]:
+    """Seed per-block reference loop; same contract as
+    :func:`repro.compressors.zfp.batch.encode_blocks`."""
+    nblocks = words.shape[0]
+    header_bits = 1 + BC.EBITS
+    fixed_rate = maxbits > 0
+    words_list = words.tolist()
+    emitter = BC._Emitter()
+    used_bits = np.zeros(nblocks, dtype=np.int64)
+    offsets = np.zeros(nblocks + 1, dtype=np.uint64)
+    for b in range(nblocks):
+        offsets[b] = emitter.nbits
+        if not nonzero[b]:
+            emitter.emit_msb(0, 1)
+            if fixed_rate:
+                emitter.emit_msb(0, maxbits - 1)
+            continue
+        emitter.emit_msb(1, 1)
+        emitter.emit_msb(int(e[b]) + BC.EBIAS, BC.EBITS)
+        used_bits[b] = header_bits + BC.encode_block_planes(
+            emitter, words_list[b], size, int(budgets[b]),
+            kmin=int(kmins[b]), pad=fixed_rate,
+        )
+    offsets[nblocks] = emitter.nbits
+    body, nbits = emitter.pack()
+    return body, nbits, offsets, used_bits
+
+
+def _batched_default() -> bool:
+    """Batched kernels unless ``REPRO_SCALAR_CODECS`` opts out."""
+    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    )
+
+
 class ZFPCompressor(Compressor):
     """Transform-based lossy compressor (ZFP family).
 
@@ -83,6 +137,13 @@ class ZFPCompressor(Compressor):
     * ``rate`` — bits per value; exact, data-independent ratio.
     * ``precision`` — bit planes kept per block (variable rate).
     * ``tolerance`` — absolute error bound (variable rate).
+
+    ``batched`` selects the bit-plane coder: the vectorized all-blocks
+    kernels of :mod:`repro.compressors.zfp.batch` (default) or the
+    scalar per-block reference loops.  Both produce **byte-identical**
+    streams; ``batched=None`` defers to the ``REPRO_SCALAR_CODECS``
+    environment variable (set → scalar), the knob
+    ``benchmarks/bench_fastpath.py`` uses to measure the seed path.
     """
 
     name = "zfp"
@@ -91,6 +152,9 @@ class ZFPCompressor(Compressor):
         CompressorMode.FIXED_PRECISION,
         CompressorMode.FIXED_ACCURACY,
     )
+
+    def __init__(self, batched: bool | None = None) -> None:
+        self.batched = _batched_default() if batched is None else bool(batched)
 
     def compress(
         self,
@@ -153,35 +217,28 @@ class ZFPCompressor(Compressor):
             u = BC.int_to_negabinary(ordered)
 
         fixed_rate = mode is CompressorMode.FIXED_RATE
+        if fixed_rate:
+            budgets = np.full(nblocks, maxbits - header_bits, dtype=np.int64)
+            kmins = np.zeros(nblocks, dtype=np.int64)
+        elif mode is CompressorMode.FIXED_PRECISION:
+            budgets = np.full(nblocks, _UNBOUNDED, dtype=np.int64)
+            kmins = np.full(nblocks, planes - int(precision), dtype=np.int64)
+        else:
+            budgets = np.full(nblocks, _UNBOUNDED, dtype=np.int64)
+            kmins = _accuracy_kmin_array(parameter, e, planes, data.ndim)
         with tm.span("zfp.bitplane", bytes=data.nbytes, nblocks=nblocks,
-                     mode=mode.value):
+                     mode=mode.value, batched=self.batched):
             words = BC.plane_words(u, planes)
-            words_list = words.tolist()
-
-            emitter = BC._Emitter()
-            used_bits = np.zeros(nblocks, dtype=np.int64)
-            offsets = np.zeros(nblocks + 1, dtype=np.uint64)
-            for b in range(nblocks):
-                offsets[b] = emitter.nbits
-                if not nonzero[b]:
-                    emitter.emit_msb(0, 1)
-                    if fixed_rate:
-                        emitter.emit_msb(0, maxbits - 1)
-                    continue
-                emitter.emit_msb(1, 1)
-                emitter.emit_msb(int(e[b]) + BC.EBIAS, BC.EBITS)
-                if fixed_rate:
-                    budget, kmin = maxbits - header_bits, 0
-                elif mode is CompressorMode.FIXED_PRECISION:
-                    budget, kmin = _UNBOUNDED, planes - int(precision)
-                else:
-                    budget = _UNBOUNDED
-                    kmin = _accuracy_kmin(parameter, int(e[b]), planes, data.ndim)
-                used_bits[b] = header_bits + BC.encode_block_planes(
-                    emitter, words_list[b], size, budget, kmin=kmin, pad=fixed_rate
+            if self.batched:
+                body, nbits, offsets, used_bits = B.encode_blocks(
+                    words, nonzero, e, size, planes, budgets, kmins,
+                    maxbits=maxbits if fixed_rate else 0,
                 )
-            offsets[nblocks] = emitter.nbits
-            body, nbits = emitter.pack()
+            else:
+                body, nbits, offsets, used_bits = _encode_blocks_scalar(
+                    words, nonzero, e, size, planes, budgets, kmins,
+                    maxbits=maxbits if fixed_rate else 0,
+                )
             if fixed_rate and nbits != nblocks * maxbits:
                 raise AssertionError("fixed-rate invariant violated")
         # Bit-plane truncation stats: bits each block actually coded (before
@@ -264,35 +321,65 @@ class ZFPCompressor(Compressor):
 
         tm = get_telemetry()
         with tm.span("zfp.bitplane", bytes=len(payload), nblocks=nblocks,
-                     direction="decompress"):
-            words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
-            e = np.zeros(nblocks, dtype=np.int64)
-            nonzero = np.zeros(nblocks, dtype=bool)
-            for b in range(nblocks):
-                lo, hi = int(offsets[b]), int(offsets[b + 1])
-                span = hi - lo
-                if span <= 0:
-                    raise CorruptStreamError("non-increasing ZFP block offsets")
-                chunk = bits[lo:hi]
-                pad = (-span) % 8
-                if pad:
-                    chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint8)])
-                value = int.from_bytes(np.packbits(chunk, bitorder="big").tobytes(), "big") >> pad
-                reader = BC._BlockReader(value, span)
-                if not reader.read_bit():
-                    continue
-                nonzero[b] = True
-                e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
+                     direction="decompress", batched=self.batched):
+            if self.batched:
+                nonzero, e = B.read_block_headers(bits, offsets)
+                spans = offsets[1:] - offsets[:-1]
                 if fixed_rate:
-                    budget, kmin = maxbits - header_bits, 0
+                    budgets = np.full(
+                        nblocks, maxbits - header_bits, dtype=np.int64
+                    )
+                    kmins = np.zeros(nblocks, dtype=np.int64)
                 elif mode is CompressorMode.FIXED_PRECISION:
-                    budget, kmin = span - header_bits, planes - int(parameter)
+                    budgets = spans - header_bits
+                    kmins = np.full(
+                        nblocks, planes - int(parameter), dtype=np.int64
+                    )
                 else:
-                    budget = span - header_bits
-                    kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
-                words_mat[b] = BC.decode_block_planes(
-                    reader, planes, size, budget, kmin=kmin
+                    budgets = spans - header_bits
+                    kmins = _accuracy_kmin_array(parameter, e, planes, ndim)
+                # Trailing zero padding so decode window gathers stay in
+                # range; per-block budgets guarantee it is never decoded.
+                padded = np.concatenate([bits, np.zeros(128, dtype=np.uint8)])
+                words_mat = B.decode_blocks(
+                    padded, offsets, nonzero, planes, size, budgets, kmins
                 )
+            else:
+                words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
+                e = np.zeros(nblocks, dtype=np.int64)
+                nonzero = np.zeros(nblocks, dtype=bool)
+                for b in range(nblocks):
+                    lo, hi = int(offsets[b]), int(offsets[b + 1])
+                    span = hi - lo
+                    if span <= 0:
+                        raise CorruptStreamError(
+                            "non-increasing ZFP block offsets"
+                        )
+                    chunk = bits[lo:hi]
+                    pad = (-span) % 8
+                    if pad:
+                        chunk = np.concatenate(
+                            [chunk, np.zeros(pad, dtype=np.uint8)]
+                        )
+                    value = int.from_bytes(
+                        np.packbits(chunk, bitorder="big").tobytes(), "big"
+                    ) >> pad
+                    reader = BC._BlockReader(value, span)
+                    if not reader.read_bit():
+                        continue
+                    nonzero[b] = True
+                    e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
+                    if fixed_rate:
+                        budget, kmin = maxbits - header_bits, 0
+                    elif mode is CompressorMode.FIXED_PRECISION:
+                        budget = span - header_bits
+                        kmin = planes - int(parameter)
+                    else:
+                        budget = span - header_bits
+                        kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
+                    words_mat[b] = BC.decode_block_planes(
+                        reader, planes, size, budget, kmin=kmin
+                    )
             u = BC.words_matrix_to_coeffs(words_mat, size)
 
         with tm.span("zfp.reorder", direction="decompress"):

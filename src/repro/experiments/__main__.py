@@ -36,9 +36,19 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(PROFILES),
         help="dataset scale (default: small)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: $REPRO_WORKERS or serial; "
+             "0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
     try:
-        results = run_all(args.profile, only=args.experiments or None)
+        results = run_all(
+            args.profile, only=args.experiments or None, workers=args.workers
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
+
+from repro.parallel.executor import process_map
 
 from repro.experiments import (
     fig1,
@@ -36,10 +39,28 @@ ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_all(profile: str = "small", only: list[str] | None = None) -> dict[str, ExperimentResult]:
-    """Run every (or selected) experiments at the given profile."""
+def _run_one_experiment(profile: str, name: str) -> ExperimentResult:
+    """Module-level (picklable) worker: run one experiment."""
+    return ALL_EXPERIMENTS[name](profile=profile)
+
+
+def run_all(
+    profile: str = "small",
+    only: list[str] | None = None,
+    workers: int | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every (or selected) experiments at the given profile.
+
+    ``workers`` fans the experiments out over worker processes
+    (``None`` → ``REPRO_WORKERS`` env, 0 → one per CPU); one experiment
+    per process task, since runtimes vary by an order of magnitude.
+    """
     names = only or list(ALL_EXPERIMENTS)
-    return {name: ALL_EXPERIMENTS[name](profile=profile) for name in names}
+    results = process_map(
+        partial(_run_one_experiment, profile), names,
+        workers=workers, chunk_size=1,
+    )
+    return dict(zip(names, results))
 
 
 def render_all(results: dict[str, ExperimentResult]) -> str:

@@ -5,22 +5,38 @@ CBench takes fields and compressor sweeps and produces one record per
 distortion metric set, wall-clock timings of this Python implementation
 (labelled as such — GPU throughput comes from :mod:`repro.gpu`), and
 optionally the reconstructed array for downstream domain analyses.
+
+Fast-path engine hooks:
+
+* ``workers`` on :meth:`CBench.run` / :meth:`CBench.run_all` fans the
+  cells out over worker *processes* (:mod:`repro.parallel.executor`);
+  record order matches the serial loop, and per-cell telemetry spans
+  produced in workers ride home in ``CBenchRecord.meta["telemetry"]``.
+* ``cache`` on :class:`CBench` memoizes cells on disk
+  (:mod:`repro.cache`): a hit skips compress/decompress/metrics entirely
+  and is marked ``meta["cache"] == "hit"`` (timings are the original
+  run's — records are otherwise identical).
 """
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import partial
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.cache import ResultCache, data_digest, make_key
 from repro.compressors.base import CompressedBuffer
 from repro.compressors.registry import get_compressor
 from repro.errors import DataError
 from repro.foresight.config import CompressorSweep
 from repro.metrics.error import evaluate_distortion
-from repro.telemetry import get_telemetry
+from repro.parallel.executor import process_map
+from repro.telemetry import enabled_telemetry, get_telemetry
 
 
 @dataclass
@@ -55,18 +71,66 @@ class CBenchRecord:
         return row
 
 
+def _run_cell(
+    bench: "CBench",
+    telem: bool,
+    parent_pid: int,
+    task: tuple[CompressorSweep, str, float],
+) -> CBenchRecord:
+    """Module-level (picklable) worker for one sweep cell.
+
+    When the parent had telemetry enabled, a worker process (detected by
+    pid — a forked child inherits the parent's enabled telemetry) runs
+    the cell under a fresh local telemetry so the span subtree is
+    captured into the record's meta and pickled back; the parent then
+    re-ingests it into its own tracer.
+    """
+    sweep, field_name, value = task
+    if telem and os.getpid() != parent_pid:
+        with enabled_telemetry():
+            record = bench.run_one(sweep, field_name, value)
+        info = record.meta.get("telemetry")
+        if isinstance(info, dict):
+            info["remote"] = True
+        return record
+    return bench.run_one(sweep, field_name, value)
+
+
 class CBench:
     """Benchmark executor.
 
     >>> bench = CBench({"rho": some_field})
     >>> records = bench.run(sweep)            # doctest: +SKIP
+
+    ``cache`` (a :class:`repro.cache.ResultCache` or a directory path)
+    memoizes cells across runs; ``None`` falls back to the
+    ``REPRO_CACHE_DIR`` environment variable (unset → no caching).
     """
 
-    def __init__(self, fields: dict[str, np.ndarray], keep_reconstructions: bool = True) -> None:
+    def __init__(
+        self,
+        fields: dict[str, np.ndarray],
+        keep_reconstructions: bool = True,
+        cache: ResultCache | Path | str | None = None,
+    ) -> None:
         if not fields:
             raise DataError("CBench needs at least one field")
         self.fields = fields
         self.keep_reconstructions = keep_reconstructions
+        if cache is None:
+            cache = ResultCache.from_env()
+        elif not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self._digests: dict[str, str] = {}
+
+    def _cell_key(self, sweep: CompressorSweep, field_name: str, value: float) -> str:
+        digest = self._digests.get(field_name)
+        if digest is None:
+            digest = self._digests[field_name] = data_digest(self.fields[field_name])
+        return make_key(
+            sweep.name, sweep.options, sweep.mode, sweep.knob, float(value), digest
+        )
 
     def run_one(
         self,
@@ -78,6 +142,19 @@ class CBench:
         if field_name not in self.fields:
             raise DataError(f"unknown field {field_name!r}")
         data = self.fields[field_name]
+
+        key = None
+        if self.cache is not None:
+            key = self._cell_key(sweep, field_name, value)
+            hit = self.cache.get(key)
+            if hit is not None:
+                record, buf = hit
+                record = replace(record, meta={**record.meta, "cache": "hit"})
+                if self.keep_reconstructions:
+                    compressor = get_compressor(sweep.name, **sweep.options)
+                    record.reconstruction = compressor.decompress(buf)
+                return record
+
         compressor = get_compressor(sweep.name, **sweep.options)
 
         tm = get_telemetry()
@@ -114,7 +191,7 @@ class CBench:
                 "compression_ratio": buf.compression_ratio,
             }
 
-        return CBenchRecord(
+        record = CBenchRecord(
             compressor=sweep.name,
             field=field_name,
             mode=sweep.mode,
@@ -127,18 +204,57 @@ class CBench:
             meta=meta,
             reconstruction=recon if self.keep_reconstructions else None,
         )
+        if self.cache is not None and key is not None:
+            # The reconstruction is re-derivable from the buffer and the
+            # telemetry subtree belongs to the original run only; cache
+            # the record without them plus the compressed stream itself.
+            cache_meta = {k: v for k, v in meta.items() if k != "telemetry"}
+            self.cache.put(
+                key, (replace(record, reconstruction=None, meta=cache_meta), buf)
+            )
+        return record
 
-    def run(self, sweep: CompressorSweep, fields: list[str] | None = None) -> list[CBenchRecord]:
-        """Run a full sweep over the requested fields."""
-        out = []
-        for name in fields or list(self.fields):
-            for value in sweep.values_for(name):
-                out.append(self.run_one(sweep, name, value))
-        return out
+    def _tasks(
+        self, sweeps: list[CompressorSweep], fields: list[str] | None
+    ) -> list[tuple[CompressorSweep, str, float]]:
+        return [
+            (sweep, name, value)
+            for sweep in sweeps
+            for name in (fields or list(self.fields))
+            for value in sweep.values_for(name)
+        ]
 
-    def run_all(self, sweeps: list[CompressorSweep], fields: list[str] | None = None) -> list[CBenchRecord]:
-        """Run several compressor sweeps back to back."""
-        out: list[CBenchRecord] = []
-        for sweep in sweeps:
-            out.extend(self.run(sweep, fields))
-        return out
+    def run(
+        self,
+        sweep: CompressorSweep,
+        fields: list[str] | None = None,
+        workers: int | None = None,
+    ) -> list[CBenchRecord]:
+        """Run a full sweep over the requested fields.
+
+        ``workers`` follows :func:`repro.parallel.executor.resolve_workers`
+        (``None`` → ``REPRO_WORKERS`` env, 0 → one per CPU); the record
+        order is identical to the serial loop regardless.
+        """
+        return self.run_all([sweep], fields, workers=workers)
+
+    def run_all(
+        self,
+        sweeps: list[CompressorSweep],
+        fields: list[str] | None = None,
+        workers: int | None = None,
+    ) -> list[CBenchRecord]:
+        """Run several compressor sweeps back to back (see :meth:`run`)."""
+        tasks = self._tasks(sweeps, fields)
+        tm = get_telemetry()
+        worker = partial(_run_cell, self, tm.enabled, os.getpid())
+        records = process_map(worker, tasks, workers=workers)
+        if tm.enabled:
+            # Re-adopt span subtrees captured in worker processes so the
+            # parent trace shows every cell (serial cells traced directly).
+            for rec in records:
+                info = rec.meta.get("telemetry")
+                if isinstance(info, dict) and info.pop("remote", False):
+                    if info.get("spans"):
+                        tm.tracer.ingest(info["spans"])
+        return records

@@ -10,6 +10,7 @@ Usage::
 
     python -m repro.foresight.cli config.json [--nodes 4] [-v | --quiet]
                                   [--trace-out trace.jsonl]
+                                  [--workers N] [--cache DIR]
 
 Progress goes through the ``repro.foresight`` logger (stderr); only the
 final result table is written to stdout.  ``--trace-out`` enables the
@@ -104,18 +105,23 @@ def run_study(
     nodes: int = 4,
     verbose: bool = True,
     trace_out: Path | str | None = None,
+    workers: int | None = None,
+    cache: Path | str | None = None,
 ) -> list[dict]:
     """Execute a full Foresight study; returns the flat result rows.
 
     ``trace_out`` enables telemetry for the study and writes the span
     trace there afterwards — ``.json`` gets Chrome trace-event format,
-    anything else JSONL.
+    anything else JSONL.  ``workers`` fans the CBench cells out over
+    worker processes (``None`` → ``REPRO_WORKERS`` env, 0 → one per
+    CPU); ``cache`` memoizes cells in the given directory (``None`` →
+    ``REPRO_CACHE_DIR`` env, unset → no caching).
     """
     tm_prev = None
     if trace_out is not None:
         tm_prev = telemetry.set_telemetry(telemetry.Telemetry("foresight"))
     try:
-        return _run_study(cfg, nodes, verbose)
+        return _run_study(cfg, nodes, verbose, workers=workers, cache=cache)
     finally:
         if tm_prev is not None:
             tm = telemetry.set_telemetry(tm_prev)
@@ -128,16 +134,26 @@ def run_study(
             logger.info("wrote telemetry trace %s (%d spans)", path, len(spans))
 
 
-def _run_study(cfg: ForesightConfig, nodes: int, verbose: bool) -> list[dict]:
+def _run_study(
+    cfg: ForesightConfig,
+    nodes: int,
+    verbose: bool,
+    workers: int | None = None,
+    cache: Path | str | None = None,
+) -> list[dict]:
     fields, box_size = _build_fields(cfg)
     logger.info(
         "loaded %d field(s): %s", len(fields), ", ".join(sorted(fields))
     )
-    bench = CBench(fields)
+    bench = CBench(fields, cache=cache)
     state: dict = {}
 
     def cbench_job():
-        state["records"] = bench.run_all(cfg.compressors, list(fields))
+        state["records"] = bench.run_all(
+            cfg.compressors, list(fields), workers=workers
+        )
+        if bench.cache is not None:
+            logger.info("cbench cache: %s", bench.cache.stats.to_dict())
         return len(state["records"])
 
     def analysis_job():
@@ -192,12 +208,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="enable telemetry; write the span trace here "
                              "(.json = Chrome trace format, else JSONL)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="CBench worker processes (default: "
+                             "$REPRO_WORKERS or serial; 0 = one per CPU)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="memoize CBench cells in this directory "
+                             "(default: $REPRO_CACHE_DIR or no caching)")
     args = parser.parse_args(argv)
     configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
         cfg = load_config(Path(args.config))
         run_study(cfg, nodes=args.nodes, verbose=not args.quiet,
-                  trace_out=args.trace_out)
+                  trace_out=args.trace_out, workers=args.workers,
+                  cache=args.cache)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -25,6 +25,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 import struct
 from dataclasses import dataclass
 
@@ -35,6 +36,16 @@ from repro.util.bits import pack_fixed_width, pack_varlen_codes, unpack_fixed_wi
 
 _MAGIC = b"HUF1"
 
+#: Serialized record of the sparse code-length table: ``struct "<IB"``.
+_SPARSE_RECORD = np.dtype([("symbol", "<u4"), ("length", "u1")])
+
+
+def _use_scalar() -> bool:
+    """Seed scalar reference paths when ``REPRO_SCALAR_CODECS`` is set."""
+    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
 
 def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
     """Optimal length-limited code lengths for ``freqs`` (package-merge).
@@ -42,6 +53,11 @@ def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
     Zero-frequency symbols get length 0 (no codeword).  Raises
     :class:`DataError` if the alphabet cannot be coded within ``max_len``
     bits (needs ``2^max_len >= number of used symbols``).
+
+    The default implementation is the vectorized two-pass formulation
+    (:func:`_package_merge_counts`); setting ``REPRO_SCALAR_CODECS``
+    selects the seed per-item reference loop.  Both produce identical
+    lengths (``tests/test_fastpath_equivalence.py``).
     """
     freqs = np.asarray(freqs, dtype=np.int64)
     used = np.flatnonzero(freqs > 0)
@@ -54,14 +70,61 @@ def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
         return lengths
     if n > (1 << max_len):
         raise DataError(f"alphabet of {n} symbols cannot fit in {max_len}-bit codes")
+    counts = (
+        _package_merge_counts_scalar(freqs[used], max_len)
+        if _use_scalar()
+        else _package_merge_counts(freqs[used], max_len)
+    )
+    lengths[used] = counts.astype(np.uint8)
+    return lengths
 
-    # Package-merge: work over "coins" of denominations 2^-1 .. 2^-max_len.
-    # items at each level: original leaves (weight, {symbol: count}) plus
-    # packages of pairs from the level below.  We track per-symbol activation
-    # counts; final code length of a symbol = number of times it is selected
-    # across the 2n-2 cheapest items at denomination 2^-1.
-    leaf_weights = freqs[used]
-    # Each item is (weight, id) where id indexes into a membership list.
+
+def _package_merge_counts(leaf_weights: np.ndarray, max_len: int) -> np.ndarray:
+    """Vectorized package-merge: per-used-symbol selection counts.
+
+    Forward pass: per denomination level, stable-sort (leaves first, then
+    the packages paired from the level below) and pair adjacent items —
+    all as array ops.  Backward pass: select the ``2n - 2`` cheapest
+    level-1 items, then propagate selection down through package pairs
+    with scatter-adds; a leaf's code length is the number of levels at
+    which it is selected.  Identical to summing per-item membership
+    vectors, without materializing any.
+    """
+    n = leaf_weights.size
+    orders: list[np.ndarray] = []
+    prev_w = np.zeros(0, dtype=np.int64)
+    for level in range(max_len, 0, -1):
+        weights = np.concatenate([leaf_weights, prev_w])
+        order = np.argsort(weights, kind="stable")
+        orders.append(order)
+        if level == 1:
+            break
+        sorted_w = weights[order]
+        npairs = sorted_w.size // 2
+        prev_w = sorted_w[0 : 2 * npairs : 2] + sorted_w[1 : 2 * npairs : 2]
+
+    counts = np.zeros(n, dtype=np.int64)
+    sel = np.zeros(orders[-1].size, dtype=np.int64)
+    sel[: 2 * n - 2] = 1
+    for i in range(len(orders) - 1, -1, -1):
+        orig = orders[i]
+        leaf = orig < n
+        np.add.at(counts, orig[leaf], sel[leaf])
+        if i == 0:
+            break
+        pkg = orig[~leaf] - n
+        taken = sel[~leaf]
+        sel = np.zeros(orders[i - 1].size, dtype=np.int64)
+        np.add.at(sel, 2 * pkg, taken)
+        np.add.at(sel, 2 * pkg + 1, taken)
+    return counts
+
+
+def _package_merge_counts_scalar(
+    leaf_weights: np.ndarray, max_len: int
+) -> np.ndarray:
+    """Seed reference: explicit per-item membership count vectors."""
+    n = leaf_weights.size
     memberships: list[np.ndarray] = []  # id -> count-vector over used symbols
 
     def make_leaf(i: int) -> tuple[int, int]:
@@ -77,11 +140,10 @@ def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
         )
         if level == 1:
             take = items[: 2 * n - 2]
-            counts = np.zeros(n, dtype=np.int32)
+            counts = np.zeros(n, dtype=np.int64)
             for _, mid in take:
                 counts += memberships[mid]
-            lengths[used] = counts.astype(np.uint8)
-            return lengths
+            return counts
         # Package pairs for the next level up.
         next_level = []
         for j in range(0, len(items) - 1, 2):
@@ -109,21 +171,32 @@ def huffman_lengths(freqs: np.ndarray, max_len: int = 16) -> np.ndarray:
     if used.size == 1:
         lengths[used[0]] = 1
         return lengths
-    heap: list[tuple[int, int, list[int]]] = [
-        (int(freqs[s]), int(s), [int(s)]) for s in used
+    # Heap items are (weight, tie, node); ties are unique so node ids are
+    # never compared and the pop order matches the seed implementation
+    # (which carried explicit member lists and charged every merge to all
+    # of them — O(n^2)).  Here each merge just records parent pointers and
+    # leaf depths fall out of one O(n) top-down pass.
+    n = used.size
+    heap: list[tuple[int, int, int]] = [
+        (int(freqs[s]), int(s), node) for node, s in enumerate(used)
     ]
     heapq.heapify(heap)
-    depth = np.zeros(freqs.size, dtype=np.int64)
+    parent = [-1] * (2 * n - 1)
     tie = freqs.size
+    next_node = n
     while len(heap) > 1:
-        w1, _, m1 = heapq.heappop(heap)
-        w2, _, m2 = heapq.heappop(heap)
-        members = m1 + m2
-        depth[members] += 1
-        heapq.heappush(heap, (w1 + w2, tie, members))
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        parent[n1] = parent[n2] = next_node
+        heapq.heappush(heap, (w1 + w2, tie, next_node))
         tie += 1
-    if depth[used].max() <= max_len:
-        lengths[used] = depth[used].astype(np.uint8)
+        next_node += 1
+    depth = [0] * (2 * n - 1)
+    for node in range(2 * n - 3, -1, -1):  # parents precede: ids descend
+        depth[node] = depth[parent[node]] + 1
+    leaf_depth = np.array(depth[:n], dtype=np.int64)
+    if leaf_depth.max() <= max_len:
+        lengths[used] = leaf_depth.astype(np.uint8)
         return lengths
     return package_merge_lengths(freqs, max_len)
 
@@ -144,14 +217,30 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     if kraft > 1.0 + 1e-9:
         raise DataError(f"invalid code lengths (Kraft sum {kraft:.6f} > 1)")
     order = used[np.lexsort((used, lengths[used]))]
+    if _use_scalar():
+        code = 0
+        prev_len = int(lengths[order[0]])
+        for s in order:
+            ln = int(lengths[s])
+            code <<= ln - prev_len
+            codes[s] = code
+            code += 1
+            prev_len = ln
+        return codes
+    # Canonical first-code recurrence: the code of the first symbol of
+    # length l is (first[l-1] + count[l-1]) << 1 (0 for the shortest
+    # class); within a class codes are consecutive by symbol order.
+    # Algebraically identical to the seed per-symbol walk above.
+    lens = lengths[order].astype(np.int64)
+    max_l = int(lens[-1])
+    class_counts = np.bincount(lens, minlength=max_l + 1)
+    first = np.zeros(max_l + 1, dtype=np.int64)
     code = 0
-    prev_len = int(lengths[order[0]])
-    for s in order:
-        ln = int(lengths[s])
-        code <<= ln - prev_len
-        codes[s] = code
-        code += 1
-        prev_len = ln
+    for ln in range(1, max_l + 1):
+        code = (code + int(class_counts[ln - 1])) << 1
+        first[ln] = code
+    rank = np.arange(order.size, dtype=np.int64) - np.searchsorted(lens, lens)
+    codes[order] = (first[lens] + rank).astype(np.uint64)
     return codes
 
 
@@ -240,10 +329,10 @@ class HuffmanCodec:
         dense_bytes = -(-(5 * alphabet_size) // 8)
         sparse_bytes = 4 + 5 * used.size  # u32 count + (u32 symbol, u8 len)
         if sparse_bytes < dense_bytes:
-            parts = [b"\x01", struct.pack("<I", used.size)]
-            for s in used:
-                parts.append(struct.pack("<IB", int(s), int(lengths[s])))
-            return b"".join(parts)
+            records = np.empty(used.size, dtype=_SPARSE_RECORD)
+            records["symbol"] = used
+            records["length"] = lengths[used]
+            return b"\x01" + struct.pack("<I", used.size) + records.tobytes()
         return b"\x00" + pack_fixed_width(lengths.astype(np.uint64), 5)
 
     @staticmethod
@@ -257,13 +346,14 @@ class HuffmanCodec:
         if kind != 1:
             raise CorruptStreamError(f"unknown Huffman table format {kind}")
         (count,) = struct.unpack("<I", rest[:4])
-        pos = 4
-        for _ in range(count):
-            sym, ln = struct.unpack("<IB", rest[pos : pos + 5])
-            pos += 5
-            if sym >= alphabet_size:
-                raise CorruptStreamError("sparse Huffman table symbol out of range")
-            lengths[sym] = ln
+        blob = rest[4 : 4 + 5 * count]
+        if len(blob) < 5 * count:
+            raise CorruptStreamError("Huffman stream truncated (length table)")
+        records = np.frombuffer(blob, dtype=_SPARSE_RECORD)
+        symbols = records["symbol"].astype(np.int64)
+        if symbols.size and int(symbols.max()) >= alphabet_size:
+            raise CorruptStreamError("sparse Huffman table symbol out of range")
+        lengths[symbols] = records["length"]
         return lengths
 
     # -- decoding ----------------------------------------------------------
@@ -316,18 +406,59 @@ class HuffmanCodec:
         )
         weights = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
         window = np.arange(max_len, dtype=np.int64)
-        max_iters = int(counts.max())
+        if _use_scalar():
+            # Seed reference loop: re-derive the active chunk set and
+            # check for table holes on every step.
+            max_iters = int(counts.max())
+            for step in range(max_iters):
+                active = np.flatnonzero(counts > step)
+                idx = cursors[active, None] + window[None, :]
+                keys = bits[idx].astype(np.int64) @ weights
+                syms = table_sym[keys]
+                lens = table_len[keys]
+                if np.any(lens == 0):
+                    raise CorruptStreamError("invalid codeword in Huffman stream")
+                out[active * chunk_size + step] = syms
+                cursors[active] += lens
+            if int(cursors.max(initial=0)) > total_bits:
+                raise CorruptStreamError(
+                    "Huffman decode overran declared bit length"
+                )
+            return out
+        # Symbol and length fused into one entry: one gather per step
+        # instead of two.  A *complete* canonical code covers every key,
+        # so the per-step invalid-codeword check is only needed when the
+        # table has holes (e.g. a single-symbol alphabet).
+        fused = (table_sym.astype(np.int64) << 6) | table_len
+        complete = bool(table_len.all())
+        base = np.arange(nchunks, dtype=np.int64) * chunk_size
+        # The live-chunk set only shrinks when ``step`` passes a chunk's
+        # symbol count, so compact the per-chunk state at those (few)
+        # steps and keep the hot loop free of active-set bookkeeping.
+        shrink_steps = set(np.unique(counts).tolist())
+        cur_live = cursors
+        base_live = base
+        counts_live = counts
+        finished_max = 0
+        max_iters = int(counts.max()) if nchunks else 0
         for step in range(max_iters):
-            active = np.flatnonzero(counts > step)
-            idx = cursors[active, None] + window[None, :]
-            keys = bits[idx].astype(np.int64) @ weights
-            syms = table_sym[keys]
-            lens = table_len[keys]
-            if np.any(lens == 0):
+            if step in shrink_steps:
+                keep = counts_live > step
+                finished_max = max(
+                    finished_max, int(cur_live[~keep].max(initial=0))
+                )
+                cur_live = cur_live[keep]
+                base_live = base_live[keep]
+                counts_live = counts_live[keep]
+            entry = fused[
+                bits[cur_live[:, None] + window].astype(np.int64) @ weights
+            ]
+            lens = entry & 63
+            if not complete and not lens.all():
                 raise CorruptStreamError("invalid codeword in Huffman stream")
-            out[active * chunk_size + step] = syms
-            cursors[active] += lens
-        if int(cursors.max(initial=0)) > total_bits:
+            out[base_live + step] = entry >> 6
+            cur_live += lens
+        if max(finished_max, int(cur_live.max(initial=0))) > total_bits:
             raise CorruptStreamError("Huffman decode overran declared bit length")
         return out
 
@@ -340,12 +471,16 @@ class HuffmanCodec:
         table_sym = np.zeros(size, dtype=np.int64)
         table_len = np.zeros(size, dtype=np.int64)
         used = np.flatnonzero(lengths > 0)
-        for s in used:
-            ln = int(lengths[s])
-            if ln > max_len:
-                raise CorruptStreamError("code length exceeds declared max_len")
-            prefix = int(codes[s]) << (max_len - ln)
-            span = 1 << (max_len - ln)
-            table_sym[prefix : prefix + span] = s
-            table_len[prefix : prefix + span] = ln
+        if used.size == 0:
+            return table_sym, table_len
+        lens = lengths[used].astype(np.int64)
+        if int(lens.max()) > max_len:
+            raise CorruptStreamError("code length exceeds declared max_len")
+        spans = 1 << (max_len - lens)
+        prefixes = codes[used].astype(np.int64) << (max_len - lens)
+        owner = np.repeat(np.arange(used.size), spans)
+        starts = np.concatenate(([0], np.cumsum(spans)[:-1]))
+        pos = prefixes[owner] + np.arange(owner.size, dtype=np.int64) - starts[owner]
+        table_sym[pos] = used[owner]
+        table_len[pos] = lens[owner]
         return table_sym, table_len

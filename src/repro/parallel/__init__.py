@@ -12,6 +12,9 @@ in-process:
 * :mod:`repro.parallel.compression` — per-rank independent compression
   (exactly how the paper's dataset was produced) with global error-bound
   validation.
+* :mod:`repro.parallel.executor` — the shared process-pool executor
+  (chunked ``process_map``, ``REPRO_WORKERS`` knob) behind CBench
+  sweeps, the experiment runner, and per-rank compression.
 * :mod:`repro.parallel.fof` — distributed Friends-of-Friends: local FoF
   per rank over owned+ghost particles, then a global union of group
   fragments through shared ghost particles.  Verified against the serial
@@ -24,6 +27,7 @@ from repro.parallel.decomposition import (
     GhostExchange,
     RankParticles,
 )
+from repro.parallel.executor import process_map, resolve_workers
 from repro.parallel.fof import distributed_fof
 
 __all__ = [
@@ -33,4 +37,6 @@ __all__ = [
     "compress_distributed",
     "DistributedCompressionResult",
     "distributed_fof",
+    "process_map",
+    "resolve_workers",
 ]

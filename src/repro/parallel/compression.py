@@ -11,8 +11,9 @@ survives the decomposition (it must: ABS bounds compose trivially).
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
 import numpy as np
@@ -20,7 +21,8 @@ import numpy as np
 from repro.compressors.base import CompressedBuffer, Compressor
 from repro.errors import DataError
 from repro.parallel.decomposition import CartesianDecomposition
-from repro.telemetry import get_telemetry
+from repro.parallel.executor import process_map, resolve_workers
+from repro.telemetry import enabled_telemetry, get_telemetry
 
 
 @dataclass
@@ -47,6 +49,44 @@ class DistributedCompressionResult:
         return [b.compression_ratio for b in self.buffers]
 
 
+def _compress_rank(
+    compressor: Compressor,
+    params: dict[str, Any],
+    telem: bool,
+    parent_pid: int,
+    task: tuple[int, np.ndarray],
+) -> tuple[CompressedBuffer, list[dict[str, Any]] | None]:
+    """Module-level (picklable) worker: compress one rank's particles.
+
+    In a worker process (detected by pid — a forked child inherits the
+    parent's *enabled* telemetry, so the flag alone cannot tell) the
+    rank's span subtree is captured in a fresh local telemetry and
+    returned for the parent to
+    :meth:`~repro.telemetry.spans.Tracer.ingest`.
+    """
+    rank, chunk = task
+    tm = get_telemetry()
+    if telem and os.getpid() != parent_pid:
+        with enabled_telemetry() as wtm:
+            with wtm.span(
+                "parallel.rank_compress",
+                rank=rank,
+                particles=int(chunk.size),
+                bytes=chunk.nbytes,
+            ):
+                buf = compressor.compress(chunk, **params)
+            spans = [s.to_dict() for s in wtm.tracer.finished_spans()]
+        return buf, spans
+    with tm.span(
+        "parallel.rank_compress",
+        rank=rank,
+        particles=int(chunk.size),
+        bytes=chunk.nbytes,
+    ):
+        buf = compressor.compress(chunk, **params)
+    return buf, None
+
+
 def compress_distributed(
     compressor: Compressor,
     values: np.ndarray,
@@ -57,11 +97,17 @@ def compress_distributed(
 ) -> DistributedCompressionResult:
     """Compress ``values`` (one per particle) rank by rank.
 
-    ``max_workers`` > 1 compresses the ranks on a thread pool (each rank
-    is independent, like the MPI processes it models); the buffer order
-    still follows rank order either way.  Every rank is wrapped in a
-    ``parallel.rank_compress`` span, so a trace shows the per-rank
-    timeline — concurrent ranks land on distinct ``thread_id``s.
+    ``max_workers`` resolving to > 1 compresses the ranks on worker
+    *processes* (:func:`repro.parallel.executor.process_map`; ``None``
+    defers to ``REPRO_WORKERS``, 0 means one per CPU).  The codec inner
+    loops are pure Python/numpy holding the GIL, so the thread pool this
+    module used to offer serialized them — only separate processes give
+    the per-rank parallelism of the MPI processes being modelled.  Buffer
+    order follows rank order either way.  Every rank is wrapped in a
+    ``parallel.rank_compress`` span: serial ranks trace directly into
+    the caller's tracer, worker ranks capture their subtree in-process
+    and the parent re-ingests it, so the merged trace always shows the
+    per-rank timeline.
     """
     values = np.asarray(values)
     if values.ndim != 1 or values.shape[0] != positions.shape[0]:
@@ -69,27 +115,20 @@ def compress_distributed(
     owned = decomp.scatter(positions)
     tm = get_telemetry()
 
-    def _one(rank: int, ids: np.ndarray) -> CompressedBuffer:
-        chunk = values[ids]
-        with tm.span(
-            "parallel.rank_compress",
-            rank=rank,
-            particles=int(ids.size),
-            bytes=chunk.nbytes,
-        ):
-            buf = compressor.compress(chunk, **params)
+    work = [(rank, values[ids]) for rank, ids in enumerate(owned) if ids.size]
+    results = process_map(
+        partial(_compress_rank, compressor, params, tm.enabled, os.getpid()),
+        work, workers=resolve_workers(max_workers), chunk_size=1,
+    )
+    buffers: list[CompressedBuffer] = []
+    for (rank, chunk), (buf, spans) in zip(work, results):
+        if spans and tm.enabled:
+            tm.tracer.ingest(spans)
         tm.count("parallel.rank_cells")
         tm.count("parallel.bytes_in", chunk.nbytes)
         tm.count("parallel.bytes_out", buf.compressed_nbytes)
-        return buf
-
-    work = [(rank, ids) for rank, ids in enumerate(owned) if ids.size]
-    if max_workers is not None and max_workers > 1 and len(work) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            buffers = list(pool.map(lambda w: _one(*w), work))
-    else:
-        buffers = [_one(rank, ids) for rank, ids in work]
-    kept_ids = [ids for _, ids in work]
+        buffers.append(buf)
+    kept_ids = [ids for ids in owned if ids.size]
     return DistributedCompressionResult(
         buffers=buffers, owned_ids=kept_ids, n_total=values.shape[0]
     )

@@ -64,6 +64,20 @@ class Span:
             "attrs": self.attrs,
         }
 
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict` (``duration`` is derived, ignored)."""
+        return cls(
+            name=raw["name"],
+            span_id=raw["span_id"],
+            parent_id=raw.get("parent_id"),
+            thread_id=raw.get("thread_id", 0),
+            start=raw["start"],
+            end=raw.get("end"),
+            status=raw.get("status", "ok"),
+            attrs=dict(raw.get("attrs", {})),
+        )
+
 
 class Tracer:
     """Thread-safe producer of nested :class:`Span` trees.
@@ -165,6 +179,48 @@ class Tracer:
         with self._lock:
             self._finished.append(sp)
         return sp
+
+    def ingest(
+        self,
+        spans: list["Span | dict[str, Any]"],
+        offset: float | None = None,
+    ) -> list[Span]:
+        """Adopt finished spans produced by *another* tracer.
+
+        This is how subtrees captured in worker processes (CBench cells,
+        per-rank compressions under ``REPRO_WORKERS``) rejoin the parent
+        trace.  Span ids are remapped into this tracer's id space with
+        parent/child edges preserved within the batch; roots stay roots
+        (they are not re-parented — worker subtrees ran on other
+        threads/processes).  ``offset`` shifts the batch's timestamps;
+        ``None`` aligns its latest end with this tracer's current clock
+        (worker epochs are not comparable to ours).
+        """
+        batch = [
+            Span.from_dict(s) if isinstance(s, dict) else s for s in spans
+        ]
+        if not batch:
+            return []
+        if offset is None:
+            latest = max(s.end if s.end is not None else s.start for s in batch)
+            offset = self._now() - latest
+        idmap = {s.span_id: next(self._ids) for s in batch}
+        adopted = [
+            Span(
+                name=s.name,
+                span_id=idmap[s.span_id],
+                parent_id=idmap.get(s.parent_id),
+                thread_id=s.thread_id,
+                start=s.start + offset,
+                end=None if s.end is None else s.end + offset,
+                status=s.status,
+                attrs=dict(s.attrs),
+            )
+            for s in batch
+        ]
+        with self._lock:
+            self._finished.extend(adopted)
+        return adopted
 
     # -- inspection ---------------------------------------------------------
 

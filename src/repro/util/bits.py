@@ -15,11 +15,22 @@ as ``np.packbits(bitorder="big")``.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
 
 _MAX_CODE_BITS = 57  # codes are staged in uint64; reads use shifts below 64
+
+
+def _use_scalar() -> bool:
+    """Seed reference paths when ``REPRO_SCALAR_CODECS`` is set — the
+    same knob the ZFP/Huffman kernels honor, so benchmarks can compare
+    the whole fast-path engine against the seed implementation."""
+    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
@@ -50,13 +61,33 @@ def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, in
     if total_bits == 0:
         return b"", 0
 
-    # Index of the source code for every output bit.
-    owner = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
-    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    # Position of each output bit inside its code, counted from the MSB.
-    pos_in_code = np.arange(total_bits, dtype=np.int64) - starts[owner]
-    shift = (lengths[owner] - 1 - pos_in_code).astype(np.uint64)
-    bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
+    if not _use_scalar():
+        # Group codes by bit length (Huffman emits only a handful of
+        # distinct lengths) and scatter each group's rectangular
+        # (count, L) bit matrix straight into the flat output at its
+        # cumulative start offsets.  Unlike a single (ncodes, max_len)
+        # rectangle this touches exactly ``total_bits`` elements and
+        # needs no boolean compaction pass.
+        starts = np.cumsum(lengths) - lengths
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        for length in np.unique(lengths):
+            length = int(length)
+            if length == 0:
+                continue
+            sel = lengths == length
+            group = codes[sel]
+            cols = np.arange(length, dtype=np.int64)
+            shift = (length - 1 - cols).astype(np.uint64)
+            vals = (group[:, None] >> shift[None, :]) & np.uint64(1)
+            bits[starts[sel][:, None] + cols[None, :]] = vals.astype(np.uint8)
+    else:
+        # Index of the source code for every output bit.
+        owner = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        # Position of each output bit inside its code, from the MSB.
+        pos_in_code = np.arange(total_bits, dtype=np.int64) - starts[owner]
+        shift = (lengths[owner] - 1 - pos_in_code).astype(np.uint64)
+        bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
     return np.packbits(bits, bitorder="big").tobytes(), total_bits
 
 

@@ -1,0 +1,126 @@
+"""Internal documentation link checker.
+
+Walks every markdown file in the repository root and ``docs/`` and
+verifies that
+
+* every relative markdown link (``[text](path)``) points at a file or
+  directory that exists,
+* every in-page anchor link (``#section``) with a path component points
+  at an existing file,
+* the documentation set is mutually connected: the docs pages the
+  README promises actually exist and link back into the set.
+
+External links (``http://``, ``https://``, ``mailto:``) are not
+fetched — the suite must pass offline.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images handled identically and code spans
+# stripped beforehand.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md")) + sorted(
+        (REPO_ROOT / "docs").glob("*.md")
+    )
+    assert files, "no markdown files found — wrong repo root?"
+    return files
+
+
+def _links(md_file: Path) -> list[str]:
+    text = md_file.read_text(encoding="utf-8")
+    text = _CODE_FENCE_RE.sub("", text)
+    text = _INLINE_CODE_RE.sub("", text)
+    return _LINK_RE.findall(text)
+
+
+@pytest.mark.parametrize(
+    "md_file",
+    _markdown_files(),
+    ids=lambda p: str(p.relative_to(REPO_ROOT)),
+)
+def test_relative_links_resolve(md_file: Path) -> None:
+    broken = []
+    for target in _links(md_file):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure in-page anchor
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, (
+        f"{md_file.relative_to(REPO_ROOT)} has broken relative links: "
+        f"{broken}"
+    )
+
+
+def test_readme_links_the_docs_set() -> None:
+    """The README must reference every page under docs/."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md does not link docs/{page.name}"
+        )
+
+
+def test_docs_pages_cross_link() -> None:
+    """Architecture and performance pages link each other and the
+    experiment catalog, so no page is an orphan."""
+    arch = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+        encoding="utf-8"
+    )
+    for sibling in ("ALGORITHMS.md", "EXPERIMENTS.md", "PERFORMANCE.md"):
+        assert sibling in arch, f"ARCHITECTURE.md does not link {sibling}"
+    root_exp = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert "docs/EXPERIMENTS.md" in root_exp
+
+
+def test_experiment_catalog_covers_every_module() -> None:
+    """Every figure/table module in src/repro/experiments/ appears in
+    the docs/EXPERIMENTS.md mapping table."""
+    catalog = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
+        encoding="utf-8"
+    )
+    exp_dir = REPO_ROOT / "src" / "repro" / "experiments"
+    infrastructure = {"__init__", "__main__", "base", "runner"}
+    modules = sorted(
+        p.stem
+        for p in exp_dir.glob("*.py")
+        if p.stem not in infrastructure
+    )
+    assert modules, "no experiment modules found"
+    missing = [
+        m for m in modules if f"repro.experiments.{m}" not in catalog
+    ]
+    assert not missing, (
+        f"docs/EXPERIMENTS.md mapping table is missing modules: {missing}"
+    )
+
+
+def test_experiment_catalog_scripts_exist() -> None:
+    """Every bench_*.py named in docs/EXPERIMENTS.md exists."""
+    catalog = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(
+        encoding="utf-8"
+    )
+    scripts = set(re.findall(r"bench_\w+\.py", catalog))
+    assert scripts, "no benchmark scripts referenced"
+    missing = [
+        s for s in sorted(scripts)
+        if not (REPO_ROOT / "benchmarks" / s).exists()
+    ]
+    assert not missing, f"docs reference nonexistent scripts: {missing}"

@@ -1,0 +1,117 @@
+"""Process executor: worker resolution, chunking, ordering, error
+propagation, and CBench parallel-vs-serial record equivalence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, ConfigError
+from repro.foresight.cbench import CBench
+from repro.foresight.config import CompressorSweep
+from repro.parallel.executor import (
+    WORKERS_ENV,
+    chunked,
+    process_map,
+    resolve_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise DataError("boom on 3")
+    return x
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv(WORKERS_ENV, "")
+        assert resolve_workers(None) == 1
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ConfigError):
+            resolve_workers(None)
+
+    def test_zero_means_one_per_cpu(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(2) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(-1)
+
+
+class TestChunked:
+    def test_exact_and_ragged(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+        assert chunked([], 3) == []
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ConfigError):
+            chunked([1], 0)
+
+
+class TestProcessMap:
+    def test_serial_matches_comprehension(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert process_map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_parallel_preserves_order(self):
+        tasks = list(range(23))
+        out = process_map(_square, tasks, workers=2, chunk_size=3)
+        assert out == [x * x for x in tasks]
+
+    def test_single_task_runs_inline(self):
+        assert process_map(_square, [4], workers=8) == [16]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(DataError, match="boom on 3"):
+            process_map(_fail_on_three, range(6), workers=2, chunk_size=1)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(DataError, match="boom on 3"):
+            process_map(_fail_on_three, range(6), workers=1)
+
+
+class TestCBenchParallel:
+    def test_parallel_records_equal_serial_modulo_timings(self):
+        rng = np.random.default_rng(5)
+        field = (rng.standard_normal((10, 11, 12)) * 20).astype(np.float32)
+        sweeps = [
+            CompressorSweep(
+                name="sz", mode="abs", sweep={"error_bound": [0.5, 0.1]}
+            ),
+            CompressorSweep(
+                name="zfp", mode="fixed_rate", sweep={"rate": [4.0, 8.0]}
+            ),
+        ]
+        bench = CBench({"rho": field}, keep_reconstructions=True)
+        serial = bench.run_all(sweeps, workers=1)
+        parallel = bench.run_all(sweeps, workers=2)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert p.compressor == s.compressor
+            assert p.field == s.field
+            assert p.mode == s.mode
+            assert p.parameter == s.parameter
+            assert p.compression_ratio == s.compression_ratio
+            assert p.bitrate == s.bitrate
+            assert p.metrics == s.metrics
+            assert np.array_equal(p.reconstruction, s.reconstruction)
+            # Timings are the only legitimately nondeterministic part.
+            assert p.compress_seconds > 0 and p.decompress_seconds > 0
