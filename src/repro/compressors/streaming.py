@@ -2,28 +2,75 @@
 
 The paper's HACC fields hold 1.07e9 values — compressing them as one
 buffer would demand several working-set copies.  :class:`ChunkedCompressor`
-splits a 1-D field into fixed-size chunks, compresses each independently
+splits a field into fixed-size chunks, compresses each independently
 (every chunk stream is self-describing), and concatenates them with an
 index — preserving the error bound exactly (bounds are pointwise) and
-enabling both bounded-memory compression and random access by chunk,
-the way GenericIO blocks are compressed independently in practice.
+enabling bounded-memory compression, random access by chunk, and
+out-of-core streaming, the way GenericIO blocks are compressed
+independently in practice.
+
+Three ways in, one stream format:
+
+* :meth:`ChunkedCompressor.compress` — in-memory array (1-D or any
+  C-contiguous N-D array; the flat view is streamed and the shape is
+  restored on decompress).
+* :meth:`ChunkedCompressor.compress_chunks` — an *iterator* of 1-D
+  chunks (e.g. :meth:`repro.io.genericio.GenericIOReader.iter_chunks`),
+  so a field larger than memory never materializes.
+* ``compress(..., workers=N)`` — chunks fan out over the shared process
+  executor and are concatenated deterministically, so the payload is
+  byte-identical to the serial loop.
+
+The chunked working set is not just a memory cap — it is a throughput
+win: the codec kernels are memory-bound (bit-plane transposes, scatter
+packing), and cache-resident chunks run several times faster than one
+whole-array pass (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Iterator
+from functools import partial
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
 from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
 from repro.errors import CorruptStreamError, DataError
+from repro.parallel.executor import process_map
+from repro.telemetry import get_telemetry
 
 _MAGIC = b"CHK1"
+_HEADER = "<4sQQ"
+
+#: Knob keywords recognized across the registry's compressors, in the
+#: order they are consulted when deriving ``CompressedBuffer.parameter``.
+_KNOB_KEYS = ("error_bound", "pwrel", "rate", "precision", "tolerance")
+
+
+def _mode_parameter_from_params(params: dict[str, Any]) -> tuple[CompressorMode, float]:
+    """Derive the (mode, parameter) bookkeeping from compress kwargs.
+
+    Used for the zero-chunk (empty input) stream, where no inner buffer
+    exists to copy them from — the requested params must still round-trip
+    into the :class:`CompressedBuffer` instead of silently defaulting.
+    """
+    mode = params.get("mode", CompressorMode.ABS)
+    if isinstance(mode, str):
+        mode = CompressorMode(mode)
+    for key in _KNOB_KEYS:
+        if params.get(key) is not None:
+            return mode, float(params[key])
+    return mode, 0.0
+
+
+def _compress_one(inner: Compressor, params: dict[str, Any], chunk: np.ndarray) -> bytes:
+    """Module-level (picklable) worker: one chunk -> its payload bytes."""
+    return inner.compress(chunk, **params).payload
 
 
 class ChunkedCompressor(Compressor):
-    """Wrap any compressor to stream 1-D data in fixed-size chunks."""
+    """Wrap any compressor to stream data in fixed-size chunks."""
 
     def __init__(self, inner: Compressor, chunk_size: int = 1 << 20) -> None:
         if chunk_size < 64:
@@ -33,36 +80,100 @@ class ChunkedCompressor(Compressor):
         self.name = f"{inner.name}+chunked"
         self.supported_modes = inner.supported_modes
 
-    def compress(self, data: np.ndarray, **params: Any) -> CompressedBuffer:
+    # -- compression --------------------------------------------------------
+
+    def iter_input_chunks(self, data: np.ndarray) -> Iterator[np.ndarray]:
+        """Yield the successive ``chunk_size`` views of ``data``'s flat view.
+
+        N-D input must be C-contiguous: the stream stores the flat view
+        and :meth:`decompress` restores the shape, so Nyx 3-D fields
+        stream without caller-side reshapes.
+        """
         data = np.asarray(data)
         if data.ndim != 1:
-            raise DataError("ChunkedCompressor expects 1-D data")
-        chunks = []
-        mode = CompressorMode.ABS
-        parameter = 0.0
+            if not data.flags.c_contiguous:
+                raise DataError(
+                    "ChunkedCompressor needs C-contiguous data to stream the "
+                    "flat view; pass np.ascontiguousarray(...) explicitly"
+                )
+            data = data.reshape(-1)
         for start in range(0, data.size, self.chunk_size):
-            buf = self.inner.compress(data[start : start + self.chunk_size], **params)
-            chunks.append(buf.payload)
-            mode = buf.mode
-            parameter = buf.parameter
-        header = struct.pack("<4sQQ", _MAGIC, data.size, len(chunks))
-        index = struct.pack(f"<{len(chunks)}Q", *(len(c) for c in chunks))
+            yield data[start : start + self.chunk_size]
+
+    def compress(
+        self, data: np.ndarray, workers: int | None = 1, **params: Any
+    ) -> CompressedBuffer:
+        data = np.asarray(data)
+        shape, dtype = data.shape, data.dtype
+        chunks = self.iter_input_chunks(data)
+        if workers is not None and workers == 1:
+            payloads = self._compress_serial(chunks, params)
+        else:
+            worker = partial(_compress_one, self.inner, params)
+            payloads = process_map(worker, list(chunks), workers=workers)
+        return self.assemble(payloads, data.size, shape, dtype, params)
+
+    def compress_chunks(
+        self,
+        chunks: Iterable[np.ndarray],
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        **params: Any,
+    ) -> CompressedBuffer:
+        """Out-of-core entry point: compress an iterator of 1-D chunks.
+
+        ``shape``/``dtype`` describe the logical field the chunks spell
+        out (the caller streams them from disk, shared memory, ...).
+        The produced stream is byte-identical to :meth:`compress` on the
+        materialized array with the same ``chunk_size`` — provided the
+        iterator yields ``chunk_size``-element chunks (the last one may
+        be short), which :meth:`iter_input_chunks` and the io readers
+        guarantee.
+        """
+        payloads = self._compress_serial(chunks, params)
+        size = int(np.prod(shape, dtype=np.int64))
+        return self.assemble(payloads, size, tuple(shape), np.dtype(dtype), params)
+
+    def _compress_serial(
+        self, chunks: Iterable[np.ndarray], params: dict[str, Any]
+    ) -> list[bytes]:
+        tm = get_telemetry()
+        payloads = []
+        for index, chunk in enumerate(chunks):
+            with tm.span("chunked.compress_chunk", index=index, elements=chunk.size):
+                payloads.append(self.inner.compress(chunk, **params).payload)
+        return payloads
+
+    def assemble(
+        self,
+        payloads: list[bytes],
+        size: int,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        params: dict[str, Any],
+    ) -> CompressedBuffer:
+        """Concatenate per-chunk payloads into the indexed stream."""
+        mode, parameter = _mode_parameter_from_params(params)
+        header = struct.pack(_HEADER, _MAGIC, size, len(payloads))
+        index = struct.pack(f"<{len(payloads)}Q", *(len(c) for c in payloads))
         return CompressedBuffer(
-            payload=header + index + b"".join(chunks),
-            original_shape=data.shape,
-            original_dtype=data.dtype,
+            payload=header + index + b"".join(payloads),
+            original_shape=tuple(shape),
+            original_dtype=np.dtype(dtype),
             mode=mode,
             parameter=parameter,
-            meta={"n_chunks": len(chunks), "chunk_size": self.chunk_size},
+            meta={"n_chunks": len(payloads), "chunk_size": self.chunk_size},
         )
+
+    # -- decompression ------------------------------------------------------
 
     def iter_chunks(self, buf: CompressedBuffer | bytes) -> Iterator[bytes]:
         """Yield each chunk's stream without decompressing (random access)."""
         payload = buf.payload if isinstance(buf, CompressedBuffer) else buf
-        hsize = struct.calcsize("<4sQQ")
+        hsize = struct.calcsize(_HEADER)
         if payload[:4] != _MAGIC:
             raise CorruptStreamError("bad chunked-stream magic")
-        _, _n, n_chunks = struct.unpack("<4sQQ", payload[:hsize])
+        _, _n, n_chunks = struct.unpack(_HEADER, payload[:hsize])
         sizes = struct.unpack(
             f"<{n_chunks}Q", payload[hsize : hsize + 8 * n_chunks]
         )
@@ -71,11 +182,36 @@ class ChunkedCompressor(Compressor):
             yield payload[pos : pos + size]
             pos += size
 
+    def iter_decompressed(self, buf: CompressedBuffer | bytes) -> Iterator[np.ndarray]:
+        """Yield decompressed chunks one at a time (bounded memory)."""
+        for chunk in self.iter_chunks(buf):
+            yield self.inner.decompress(chunk)
+
+    def element_count(self, buf: CompressedBuffer | bytes) -> int:
+        """Total elements recorded in the stream header."""
+        payload = buf.payload if isinstance(buf, CompressedBuffer) else buf
+        hsize = struct.calcsize(_HEADER)
+        if payload[:4] != _MAGIC:
+            raise CorruptStreamError("bad chunked-stream magic")
+        _, n, _chunks = struct.unpack(_HEADER, payload[:hsize])
+        return int(n)
+
     def decompress(self, buf: CompressedBuffer | bytes) -> np.ndarray:
-        parts = [self.inner.decompress(chunk) for chunk in self.iter_chunks(buf)]
+        parts = list(self.iter_decompressed(buf))
         if not parts:
-            raise CorruptStreamError("empty chunked stream")
-        return np.concatenate(parts)
+            if self.element_count(buf) != 0:
+                raise CorruptStreamError("empty chunked stream")
+            dtype = (
+                buf.original_dtype
+                if isinstance(buf, CompressedBuffer)
+                else np.dtype(np.float64)
+            )
+            out = np.empty(0, dtype=dtype)
+        else:
+            out = np.concatenate(parts)
+        if isinstance(buf, CompressedBuffer) and len(buf.original_shape) != 1:
+            out = out.reshape(buf.original_shape)
+        return out
 
     def decompress_chunk(self, buf: CompressedBuffer | bytes, index: int) -> np.ndarray:
         """Decompress a single chunk (bounded-memory random access)."""

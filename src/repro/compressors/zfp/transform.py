@@ -13,6 +13,29 @@ applied along every axis of a 4^d block.  Every row of the forward matrix
 has L1 norm <= 1, so the transform never grows the max coefficient
 magnitude — which is what bounds the plane count needed downstream.
 
+Roundtrip rounding bound
+------------------------
+
+The lifting steps drop fractional bits (arithmetic right shifts), so
+``inverse_transform(forward_transform(b))`` is only *bounded*, not
+exact.  The worst-case pointwise error is magnitude independent (the
+shifts only ever discard low-order bits, so the error depends on input
+residues mod small powers of two, not on size):
+
+* **1-D**: exhaustive search over all residue blocks ``[-8, 8)^4``
+  gives a max roundtrip error ``E_1 = 2``.
+* **composition**: applying the d-th inverse axis pass to a block whose
+  other axes already carry error ``E_{d-1}`` amplifies that error by at
+  most the largest inverse-matrix row L1 norm, ``15/4`` (every row of
+  ``1/4 * (4 6 -4 -1)`` etc. sums to ``15/4`` in absolute value), and
+  the pass's own rounding adds at most ``E_1``:
+  ``E_d <= E_1 + (15/4) * E_{d-1}``.
+* so ``E_2 <= 2 + 7.5 = 9.5`` (randomized adversarial search attains
+  exactly 9) and ``E_3 <= 2 + (15/4) * 9.5 ~= 37.6`` (search attains
+  30; ``tests/test_property_based.py`` pins that block and asserts the
+  documented bound of 40 = 37.6 rounded up with slack for the inverse
+  pass's own shift interactions).
+
 All functions operate on an int64 batch of shape ``(nblocks, 4, ..., 4)``
 and rely on numpy's arithmetic (sign-preserving) right shift.
 """

@@ -24,12 +24,14 @@ from __future__ import annotations
 import argparse
 import json
 import logging
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 
 from repro import telemetry
+from repro.parallel.shm import NO_SHM_ENV
 from repro.cosmo.hacc import make_hacc_dataset
 from repro.cosmo.nyx import make_nyx_dataset
 from repro.errors import ReproError
@@ -107,6 +109,8 @@ def run_study(
     trace_out: Path | str | None = None,
     workers: int | None = None,
     cache: Path | str | None = None,
+    chunk_budget: int | str | None = None,
+    no_shm: bool = False,
 ) -> list[dict]:
     """Execute a full Foresight study; returns the flat result rows.
 
@@ -115,13 +119,20 @@ def run_study(
     anything else JSONL.  ``workers`` fans the CBench cells out over
     worker processes (``None`` → ``REPRO_WORKERS`` env, 0 → one per
     CPU); ``cache`` memoizes cells in the given directory (``None`` →
-    ``REPRO_CACHE_DIR`` env, unset → no caching).
+    ``REPRO_CACHE_DIR`` env, unset → no caching).  ``chunk_budget``
+    (bytes, K/M/G suffix allowed; ``None`` → ``REPRO_CHUNK_BUDGET``)
+    switches CBench to the out-of-core streaming cell; ``no_shm``
+    forces the pickling transport for parallel sweeps (equivalent to
+    ``REPRO_NO_SHM=1``) — results are identical either way.
     """
+    if no_shm:
+        os.environ[NO_SHM_ENV] = "1"
     tm_prev = None
     if trace_out is not None:
         tm_prev = telemetry.set_telemetry(telemetry.Telemetry("foresight"))
     try:
-        return _run_study(cfg, nodes, verbose, workers=workers, cache=cache)
+        return _run_study(cfg, nodes, verbose, workers=workers, cache=cache,
+                          chunk_budget=chunk_budget)
     finally:
         if tm_prev is not None:
             tm = telemetry.set_telemetry(tm_prev)
@@ -140,12 +151,13 @@ def _run_study(
     verbose: bool,
     workers: int | None = None,
     cache: Path | str | None = None,
+    chunk_budget: int | str | None = None,
 ) -> list[dict]:
     fields, box_size = _build_fields(cfg)
     logger.info(
         "loaded %d field(s): %s", len(fields), ", ".join(sorted(fields))
     )
-    bench = CBench(fields, cache=cache)
+    bench = CBench(fields, cache=cache, chunk_budget=chunk_budget)
     state: dict = {}
 
     def cbench_job():
@@ -214,13 +226,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", default=None, metavar="DIR",
                         help="memoize CBench cells in this directory "
                              "(default: $REPRO_CACHE_DIR or no caching)")
+    parser.add_argument("--chunk-budget", default=None, metavar="BYTES",
+                        help="stream each cell chunk-by-chunk with this "
+                             "per-chunk byte budget (K/M/G suffix allowed; "
+                             "default: $REPRO_CHUNK_BUDGET or whole-array)")
+    parser.add_argument("--no-shm", action="store_true",
+                        help="disable the shared-memory field transport for "
+                             "parallel sweeps (same as REPRO_NO_SHM=1)")
     args = parser.parse_args(argv)
     configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
         cfg = load_config(Path(args.config))
         run_study(cfg, nodes=args.nodes, verbose=not args.quiet,
                   trace_out=args.trace_out, workers=args.workers,
-                  cache=args.cache)
+                  cache=args.cache, chunk_budget=args.chunk_budget,
+                  no_shm=args.no_shm)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -8,14 +8,23 @@ HDF5-like container — so the examples and Foresight I/O paths exercise
 realistic file handling.
 """
 
-from repro.io.genericio import GenericIOFile, read_genericio, write_genericio
-from repro.io.hdf5like import H5LikeFile
+from repro.io.genericio import (
+    GenericIOFile,
+    GenericIOReader,
+    read_genericio,
+    write_genericio,
+)
+from repro.io.hdf5like import H5LikeFile, H5LikeReader
 from repro.io.json_records import RecordStore
+from repro.io.mmapview import MappedFile
 
 __all__ = [
     "GenericIOFile",
+    "GenericIOReader",
     "read_genericio",
     "write_genericio",
     "H5LikeFile",
+    "H5LikeReader",
+    "MappedFile",
     "RecordStore",
 ]

@@ -12,9 +12,12 @@ import json
 import struct
 from pathlib import Path
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
+from repro.io.mmapview import MappedFile
 
 _MAGIC = b"H5L1"
 
@@ -107,3 +110,65 @@ class H5LikeFile:
                     shape
                 ).copy()
         return out
+
+
+class H5LikeReader:
+    """mmap-backed reader over a saved :class:`H5LikeFile`.
+
+    Maps the container read-only and serves zero-copy dataset views, so
+    a Nyx-scale 3-D field can be streamed chunk by chunk (flat order)
+    without ever materializing it.  The format stores no CRCs, so there
+    is nothing to verify; shape/dtype come from the TOC.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._mapped = MappedFile(path, _MAGIC)
+        self.path = self._mapped.path
+        self.attrs: dict[str, object] = dict(self._mapped.toc["attrs"])
+        self._entries = {e["name"]: e for e in self._mapped.toc["datasets"]}
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, path: str) -> bool:
+        return path.strip("/") in self._entries
+
+    def _entry(self, path: str) -> dict:
+        path = path.strip("/")
+        if path not in self._entries:
+            raise KeyError(path)
+        return self._entries[path]
+
+    def shape(self, path: str) -> tuple[int, ...]:
+        return tuple(self._entry(path)["shape"])
+
+    def dtype(self, path: str) -> np.dtype:
+        return np.dtype(self._entry(path)["dtype"])
+
+    def __getitem__(self, path: str) -> np.ndarray:
+        """Zero-copy read-only N-D view of one dataset."""
+        entry = self._entry(path)
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64))
+        flat = self._mapped.array_view(entry["offset"], count, entry["dtype"])
+        return flat.reshape(shape)
+
+    def iter_chunks(
+        self, path: str, chunk_elements: int, drop_pages: bool = False
+    ) -> Iterator[np.ndarray]:
+        """Yield 1-D chunk views of a dataset's flat (C-order) data."""
+        entry = self._entry(path)
+        count = int(np.prod(entry["shape"], dtype=np.int64))
+        return self._mapped.iter_array_chunks(
+            entry["offset"], count, entry["dtype"], chunk_elements,
+            drop_pages=drop_pages,
+        )
+
+    def close(self) -> None:
+        self._mapped.close()
+
+    def __enter__(self) -> "H5LikeReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,144 @@
+"""Shared mmap plumbing for the out-of-core file readers.
+
+:class:`MappedFile` maps a TOC-prefixed binary file (the layout shared
+by the GenericIO-like and HDF5-like containers: magic, ``<Q`` header
+length, JSON table of contents, raw blobs) read-only and hands out
+zero-copy numpy views into the body.  Nothing is read eagerly: the page
+cache pulls bytes in as views are touched, so a field much larger than
+RAM can be traversed chunk by chunk.
+
+``iter_chunks`` can optionally call ``madvise(MADV_DONTNEED)`` on the
+pages behind chunks it has already yielded, which keeps the *resident*
+set bounded by roughly one chunk even when the traversal touches the
+whole field — the mechanism behind the bounded-peak-RSS guarantee in
+``benchmarks/bench_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import CorruptStreamError, DataError
+
+__all__ = ["MappedFile"]
+
+
+class MappedFile:
+    """Read-only mmap over a ``magic + <Q len> + JSON toc + blobs`` file."""
+
+    def __init__(self, path: str | Path, magic: bytes) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "rb")
+        try:
+            self._mm = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            self._fh.close()
+            raise CorruptStreamError(f"{self.path} is empty or unmappable")
+        try:
+            if self._mm[:4] != magic:
+                raise CorruptStreamError(
+                    f"bad magic {bytes(self._mm[:4])!r} in {self.path}"
+                )
+            (hlen,) = struct.unpack("<Q", self._mm[4:12])
+            if 12 + hlen > len(self._mm):
+                raise CorruptStreamError(f"truncated header in {self.path}")
+            self.toc = json.loads(self._mm[12 : 12 + hlen].decode())
+            self.base = 12 + hlen
+        except Exception:
+            self.close()
+            raise
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping.
+
+        If zero-copy views are still alive the mapping cannot be torn
+        down eagerly (numpy holds exported buffers); the reader still
+        transitions to *closed* and the OS mapping is released when the
+        last view is garbage-collected.
+        """
+        if getattr(self, "_mm", None) is not None:
+            try:
+                self._mm.close()
+            except BufferError:
+                pass  # outstanding views; GC of the last view unmaps
+            self._mm = None
+        if getattr(self, "_fh", None) is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        return getattr(self, "_mm", None) is None
+
+    def __enter__(self) -> "MappedFile":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- views --------------------------------------------------------------
+
+    def blob_view(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy bytes of one body blob (offset relative to the body)."""
+        if self.closed:
+            raise DataError(f"{self.path} reader is closed")
+        start = self.base + offset
+        if start + nbytes > len(self._mm):
+            raise CorruptStreamError(f"blob at offset {offset} truncated")
+        return memoryview(self._mm)[start : start + nbytes]
+
+    def array_view(self, offset: int, count: int, dtype: np.dtype) -> np.ndarray:
+        """Zero-copy read-only 1-D array over one blob."""
+        dtype = np.dtype(dtype)
+        arr = np.frombuffer(
+            self.blob_view(offset, count * dtype.itemsize), dtype=dtype
+        )
+        arr.flags.writeable = False
+        return arr
+
+    def iter_array_chunks(
+        self,
+        offset: int,
+        count: int,
+        dtype: np.dtype,
+        chunk_elements: int,
+        drop_pages: bool = False,
+    ) -> Iterator[np.ndarray]:
+        """Yield successive ``chunk_elements``-sized views of a blob.
+
+        With ``drop_pages=True``, pages behind chunks already consumed are
+        released via ``madvise(MADV_DONTNEED)`` so the resident set stays
+        near one chunk.  Views from earlier iterations remain *valid*
+        (the mapping persists) but touching them faults the pages back in.
+        """
+        if chunk_elements < 1:
+            raise DataError("chunk_elements must be >= 1")
+        dtype = np.dtype(dtype)
+        page = mmap.PAGESIZE
+        start_byte = self.base + offset
+        for lo in range(0, count, chunk_elements):
+            n = min(chunk_elements, count - lo)
+            yield self.array_view(offset + lo * dtype.itemsize, n, dtype)
+            if drop_pages and hasattr(self._mm, "madvise"):
+                done_end = start_byte + (lo + n) * dtype.itemsize
+                done_lo = start_byte - (start_byte % page)
+                length = (done_end - done_end % page) - done_lo
+                if length > 0:
+                    try:
+                        self._mm.madvise(mmap.MADV_DONTNEED, done_lo, length)
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass  # advisory only; correctness is unaffected

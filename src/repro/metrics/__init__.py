@@ -18,8 +18,11 @@ from repro.metrics.error import (
 from repro.metrics.distribution import ErrorDistribution, error_distribution
 from repro.metrics.ratio import bitrate, compression_ratio
 from repro.metrics.ssim import ssim3d
+from repro.metrics.streaming import StreamingDistortion, StreamingHistogram
 
 __all__ = [
+    "StreamingDistortion",
+    "StreamingHistogram",
     "max_abs_error",
     "max_pointwise_relative_error",
     "mean_relative_error",

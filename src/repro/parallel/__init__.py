@@ -19,6 +19,9 @@ in-process:
   per rank over owned+ghost particles, then a global union of group
   fragments through shared ghost particles.  Verified against the serial
   finder.
+* :mod:`repro.parallel.shm` — zero-copy shared-memory field transport
+  for the parallel sweeps: publish once, attach by name in workers,
+  ``REPRO_NO_SHM=1`` for the pickling fallback.
 """
 
 from repro.parallel.compression import DistributedCompressionResult, compress_distributed
@@ -29,6 +32,13 @@ from repro.parallel.decomposition import (
 )
 from repro.parallel.executor import process_map, resolve_workers
 from repro.parallel.fof import distributed_fof
+from repro.parallel.shm import (
+    ShmDescriptor,
+    SharedArray,
+    attach_cached,
+    detach_all,
+    shm_enabled,
+)
 
 __all__ = [
     "CartesianDecomposition",
@@ -39,4 +49,9 @@ __all__ = [
     "distributed_fof",
     "process_map",
     "resolve_workers",
+    "ShmDescriptor",
+    "SharedArray",
+    "attach_cached",
+    "detach_all",
+    "shm_enabled",
 ]

@@ -1,0 +1,258 @@
+"""Zero-copy shared-memory transport for dataset fields.
+
+The PR 2 parallel sweep pickles the *entire* field dict to every worker
+chunk — for the paper's 1.07e9-particle HACC fields that serialization
+dominates end-to-end cost.  This module is the zero-copy replacement:
+the parent **publishes** each array once into a POSIX shared-memory
+segment (:class:`SharedArray`), ships only a tiny :class:`ShmDescriptor`
+(name, shape, dtype) through the task pickle, and workers **attach** the
+segment by name, getting a read-only numpy view backed by the same
+physical pages — no copies, no serialization, O(1) per task.
+
+Lifecycle contract:
+
+* The publisher owns the segment.  ``publish`` copies the array in once;
+  ``unlink`` (or dropping the last reference) removes it.  Handles are
+  refcounted — ``addref``/``release`` let several consumers share one
+  attachment, and the backing segment is only closed when the count
+  reaches zero.
+* Workers attach via :func:`attach_cached`, which memoizes one
+  attachment per segment per process (repeated cells on one worker cost
+  a dict lookup).  Attachments are deliberately *not* registered with
+  ``multiprocessing.resource_tracker`` — on CPython < 3.13 attaching
+  registers the segment a second time, and the worker's tracker would
+  unlink it at exit while the publisher still owns it.
+* ``REPRO_NO_SHM=1`` disables the transport globally
+  (:func:`shm_enabled`); callers fall back to the pickling path.
+
+Telemetry: ``shm.bytes_published`` / ``shm.segments_published`` count on
+the publisher side, ``shm.bytes_attached`` / ``shm.segments_attached``
+on the attaching side (visible when telemetry is enabled in that
+process).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.telemetry import get_telemetry
+
+#: Environment variable disabling the shared-memory transport.
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+
+def shm_enabled() -> bool:
+    """True unless ``REPRO_NO_SHM`` requests the pickling fallback."""
+    return os.environ.get(NO_SHM_ENV, "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    )
+
+
+@dataclass(frozen=True)
+class ShmDescriptor:
+    """Picklable handle to a published array: everything a worker needs
+    to attach (segment name, shape, dtype) and nothing else."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+@contextmanager
+def _untracked_attach() -> "Iterator[None]":
+    """Attach without registering with the ``resource_tracker``.
+
+    CPython < 3.13 registers every ``SharedMemory`` — including pure
+    attachments — with the resource tracker, whose exit-time cleanup
+    would unlink the publisher's segment out from under it.  Sending an
+    unregister afterwards is not enough either: the tracker's cache is a
+    *set*, so two workers attaching the same segment underflow it and
+    the tracker prints ``KeyError`` tracebacks.  Suppressing the
+    ``register`` call for the duration of the attach avoids both.
+    Python 3.13+ exposes ``track=False`` instead; :meth:`SharedArray.attach`
+    tries that first.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        yield
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    >>> handle = SharedArray.publish(np.arange(4.0))    # doctest: +SKIP
+    >>> desc = handle.descriptor()                      # pickle this
+    >>> remote = SharedArray.attach(desc)               # in the worker
+    >>> remote.array[2]                                 # zero-copy view
+    2.0
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._shape = tuple(int(s) for s in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._refs = 1
+        self._closed = False
+        arr = np.ndarray(self._shape, dtype=self._dtype, buffer=segment.buf)
+        arr.flags.writeable = owner  # consumers see an immutable view
+        self._array = arr
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def publish(cls, array: np.ndarray) -> "SharedArray":
+        """Copy ``array`` into a fresh shared segment (done once per sweep)."""
+        array = np.asarray(array)
+        if array.nbytes == 0:
+            raise DataError("cannot publish an empty array to shared memory")
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        handle = cls(segment, array.shape, array.dtype, owner=True)
+        handle._array[...] = array
+        handle._array.flags.writeable = False
+        tm = get_telemetry()
+        tm.count("shm.segments_published")
+        tm.count("shm.bytes_published", array.nbytes)
+        return handle
+
+    @classmethod
+    def attach(cls, desc: ShmDescriptor) -> "SharedArray":
+        """Attach to a published segment by descriptor (worker side)."""
+        try:
+            segment = shared_memory.SharedMemory(name=desc.name, track=False)
+        except TypeError:  # Python < 3.13: no track kwarg
+            with _untracked_attach():
+                segment = shared_memory.SharedMemory(name=desc.name)
+        if segment.size < desc.nbytes:
+            segment.close()
+            raise DataError(
+                f"shared segment {desc.name!r} holds {segment.size} bytes, "
+                f"descriptor expects {desc.nbytes}"
+            )
+        handle = cls(segment, desc.shape, np.dtype(desc.dtype), owner=False)
+        tm = get_telemetry()
+        tm.count("shm.segments_attached")
+        tm.count("shm.bytes_attached", desc.nbytes)
+        return handle
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The zero-copy view (read-only unless this handle published it)."""
+        if self._closed:
+            raise DataError("shared array handle is closed")
+        return self._array
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self._shape, dtype=np.int64)) * self._dtype.itemsize
+
+    def descriptor(self) -> ShmDescriptor:
+        """The picklable attach-by-name handle for workers."""
+        return ShmDescriptor(
+            name=self._segment.name, shape=self._shape, dtype=self._dtype.str
+        )
+
+    # -- refcounted lifecycle -----------------------------------------------
+
+    def addref(self) -> "SharedArray":
+        if self._closed:
+            raise DataError("shared array handle is closed")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; closes (and unlinks, if owner) at zero."""
+        if self._closed:
+            return
+        self._refs -= 1
+        if self._refs <= 0:
+            self.close()
+
+    def close(self) -> None:
+        """Detach the view.  The publisher also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        # Release the exported buffer before closing the mapping.
+        self._array = None  # type: ignore[assignment]
+        try:
+            self._segment.close()
+        finally:
+            if self._owner:
+                try:
+                    self._segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def unlink(self) -> None:
+        """Publisher-side teardown (alias for :meth:`close` on the owner)."""
+        self.close()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Per-process memo of attached segments (worker side): name -> handle.
+_ATTACHED: dict[str, SharedArray] = {}
+
+
+def attach_cached(desc: ShmDescriptor) -> np.ndarray:
+    """Attach ``desc`` (memoized per process) and return the array view.
+
+    Worker processes call this once per cell; every cell of the same
+    field after the first costs a dictionary lookup.  The attachment
+    stays open for the life of the process — worker pools tear down
+    their processes at pool shutdown, which releases the mapping.
+    """
+    handle = _ATTACHED.get(desc.name)
+    if handle is None or handle._closed:
+        handle = _ATTACHED[desc.name] = SharedArray.attach(desc)
+    return handle.array
+
+
+def detach_all() -> int:
+    """Close every memoized attachment (test isolation); returns count."""
+    n = 0
+    for handle in _ATTACHED.values():
+        if not handle._closed:
+            handle.close()
+            n += 1
+    _ATTACHED.clear()
+    return n

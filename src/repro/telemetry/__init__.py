@@ -30,7 +30,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.telemetry import export, metrics, report, spans  # noqa: F401 (re-export)
+from repro.telemetry import export, metrics, process, report, spans  # noqa: F401 (re-export)
 from repro.telemetry.metrics import (
     DEFAULT_BIT_BUCKETS,
     DEFAULT_BYTE_BUCKETS,
@@ -39,9 +39,12 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.process import current_rss_bytes, peak_rss_bytes
 from repro.telemetry.spans import Span, Tracer
 
 __all__ = [
+    "peak_rss_bytes",
+    "current_rss_bytes",
     "Telemetry",
     "NullTelemetry",
     "Tracer",

@@ -1,0 +1,44 @@
+"""Process-level resource probes (peak RSS) for the telemetry gauges.
+
+The streaming data plane's whole point is a bounded working set; the
+``process.peak_rss_bytes`` gauge is how a run proves it.  Linux exposes
+the high-water mark in ``/proc/self/status`` (``VmHWM``); elsewhere we
+fall back to ``resource.getrusage`` (``ru_maxrss`` is KiB on Linux,
+bytes on macOS).
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["peak_rss_bytes", "current_rss_bytes"]
+
+
+def _proc_status_kib(key: str) -> int | None:
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith(key + ":"):
+                    return int(line.split()[1])  # value is in kB
+    except OSError:
+        return None
+    return None
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown)."""
+    kib = _proc_status_kib("VmHWM")
+    if kib is not None:
+        return kib * 1024
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(maxrss) if sys.platform == "darwin" else int(maxrss) * 1024
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size of this process, in bytes (0 if unknown)."""
+    kib = _proc_status_kib("VmRSS")
+    return kib * 1024 if kib is not None else 0

@@ -21,6 +21,14 @@ def _field():
     return (rng.standard_normal((12, 13, 14)) * 50).astype(np.float32)
 
 
+def _racing_put(root: str, key: str, barrier, worker: int) -> None:
+    """Spawn-target for the concurrent-writer race (module level: picklable)."""
+    cache = ResultCache(root)
+    barrier.wait(timeout=30)
+    for _ in range(25):
+        cache.put(key, {"writer": worker, "n": 4096})
+
+
 class TestKeyScheme:
     def test_digest_depends_on_bytes_shape_dtype(self):
         a = np.arange(12, dtype=np.float32)
@@ -102,6 +110,33 @@ class TestResultCache:
         assert not list(path.parent.glob("*.tmp"))
         with open(path, "rb") as fh:
             assert pickle.load(fh) == "v"
+
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Two processes racing ``put()`` on one key must leave a valid
+        entry (one writer's value, atomically via tempfile+rename) and
+        no temp-file litter — the property workers rely on when a
+        parallel sweep computes the same cell twice."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        key = "cc" + "1" * 62
+        procs = [
+            ctx.Process(
+                target=_racing_put,
+                args=(str(tmp_path / "c"), key, barrier, worker),
+            )
+            for worker in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        cache = ResultCache(tmp_path / "c")
+        value = cache.get(key)
+        assert value in ({"writer": 0, "n": 4096}, {"writer": 1, "n": 4096})
+        assert not list(cache.path_for(key).parent.glob("*.tmp"))
 
 
 class TestCBenchIntegration:

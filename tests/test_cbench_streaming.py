@@ -1,0 +1,162 @@
+"""Tests for the CBench streaming cell and the shm sweep transport."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.compressors import SZCompressor
+from repro.compressors.streaming import ChunkedCompressor
+from repro.errors import ConfigError
+from repro.foresight.cbench import (
+    CBench,
+    CHUNK_BUDGET_ENV,
+    parse_bytes,
+    resolve_chunk_budget,
+)
+from repro.foresight.config import CompressorSweep
+from repro.metrics import evaluate_distortion
+
+
+@pytest.fixture()
+def fields(hacc_small):
+    return {"x": hacc_small.fields["x"], "vx": hacc_small.fields["vx"]}
+
+
+SWEEP = CompressorSweep(name="sz", mode="abs", sweep={"error_bound": [0.05]})
+
+
+def _rows(records):
+    return [
+        (r.compressor, r.field, r.parameter, r.compression_ratio, r.bitrate,
+         tuple(sorted(r.metrics.items())))
+        for r in records
+    ]
+
+
+class TestParseBytes:
+    def test_suffixes(self):
+        assert parse_bytes("64K") == 64 << 10
+        assert parse_bytes("2m") == 2 << 20
+        assert parse_bytes("1G") == 1 << 30
+        assert parse_bytes(4096) == 4096
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            parse_bytes("lots")
+        with pytest.raises(ConfigError):
+            parse_bytes("0")
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_BUDGET_ENV, raising=False)
+        assert resolve_chunk_budget(None) is None
+        monkeypatch.setenv(CHUNK_BUDGET_ENV, "128K")
+        assert resolve_chunk_budget(None) == 128 << 10
+        assert resolve_chunk_budget("1M") == 1 << 20  # explicit wins
+
+
+class TestStreamingCell:
+    def test_matches_chunked_compressor_exactly(self, fields):
+        budget = 64 << 10
+        bench = CBench(fields, keep_reconstructions=True, chunk_budget=budget)
+        record = bench.run_one(SWEEP, "x", 0.05)
+        chunked = ChunkedCompressor(
+            SZCompressor(), budget // fields["x"].dtype.itemsize
+        )
+        buf = chunked.compress(fields["x"], error_bound=0.05, mode="abs")
+        assert record.compression_ratio == buf.compression_ratio
+        assert record.bitrate == buf.bitrate
+        assert record.metrics == evaluate_distortion(
+            fields["x"], chunked.decompress(buf)
+        )
+        assert np.array_equal(record.reconstruction, chunked.decompress(buf))
+        assert record.meta["streaming"]["n_chunks"] == buf.meta["n_chunks"]
+
+    def test_no_reconstruction_when_disabled(self, fields):
+        bench = CBench(fields, keep_reconstructions=False, chunk_budget="64K")
+        record = bench.run_one(SWEEP, "x", 0.05)
+        assert record.reconstruction is None
+        assert record.metrics["max_abs_error"] <= 0.05 * (1 + 1e-6) + 1e-4
+
+    def test_cache_round_trip(self, fields, tmp_path):
+        bench = CBench(
+            fields, keep_reconstructions=True, cache=tmp_path, chunk_budget="64K"
+        )
+        first = bench.run_one(SWEEP, "x", 0.05)
+        second = bench.run_one(SWEEP, "x", 0.05)
+        assert second.meta.get("cache") == "hit"
+        assert second.metrics == first.metrics
+        assert np.array_equal(second.reconstruction, first.reconstruction)
+
+    def test_cache_key_distinguishes_chunk_budget(self, fields, tmp_path):
+        streaming = CBench(fields, cache=tmp_path, chunk_budget="64K")
+        whole = CBench(fields, cache=tmp_path)
+        assert streaming._cell_key(SWEEP, "x", 0.05) != whole._cell_key(
+            SWEEP, "x", 0.05
+        )
+
+    def test_telemetry_emits_chunk_spans_and_rss_gauge(self, fields):
+        with telemetry.enabled_telemetry() as tm:
+            bench = CBench(fields, keep_reconstructions=False, chunk_budget="64K")
+            record = bench.run_one(SWEEP, "x", 0.05)
+            names = [s.name for s in tm.tracer.finished_spans()]
+        assert "cbench.chunk" in names
+        span_names = [s["name"] for s in record.meta["telemetry"]["spans"]]
+        assert span_names.count("cbench.chunk") == record.meta["streaming"]["n_chunks"]
+        snapshot = tm.metrics.snapshot()
+        assert snapshot["process.peak_rss_bytes"]["value"] > 0
+
+
+class TestShmSweepEquivalence:
+    def _run(self, fields, monkeypatch, workers=None, no_shm=False, budget=None):
+        if no_shm:
+            monkeypatch.setenv("REPRO_NO_SHM", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        bench = CBench(fields, keep_reconstructions=False, chunk_budget=budget)
+        return _rows(bench.run_all([SWEEP], workers=workers))
+
+    def test_parallel_shm_matches_serial(self, fields, monkeypatch):
+        serial = self._run(fields, monkeypatch)
+        shm = self._run(fields, monkeypatch, workers=2)
+        noshm = self._run(fields, monkeypatch, workers=2, no_shm=True)
+        assert serial == shm == noshm
+
+    def test_streaming_parallel_matches_serial(self, fields, monkeypatch):
+        serial = self._run(fields, monkeypatch, budget="64K")
+        shm = self._run(fields, monkeypatch, workers=2, budget="64K")
+        noshm = self._run(fields, monkeypatch, workers=2, no_shm=True, budget="64K")
+        assert serial == shm == noshm
+
+    def test_shm_counters_visible(self, fields, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        with telemetry.enabled_telemetry() as tm:
+            bench = CBench(fields, keep_reconstructions=False)
+            bench.run_all([SWEEP], workers=2)
+            snapshot = tm.metrics.snapshot()
+        assert snapshot["shm.segments_published"]["value"] == 2
+        assert snapshot["shm.bytes_published"]["value"] == sum(
+            f.nbytes for f in fields.values()
+        )
+
+    def test_payloads_byte_identical_shm_vs_fallback(self, fields, monkeypatch, tmp_path):
+        # Caches store the CompressedBuffer; compare its sha256 across
+        # transports (the strongest equality the record API exposes).
+        def digests(no_shm, subdir):
+            if no_shm:
+                monkeypatch.setenv("REPRO_NO_SHM", "1")
+            else:
+                monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+            bench = CBench(
+                fields, keep_reconstructions=False,
+                cache=tmp_path / subdir, chunk_budget="64K",
+            )
+            bench.run_all([SWEEP], workers=2)
+            out = {}
+            for name in fields:
+                _, buf = bench.cache.get(bench._cell_key(SWEEP, name, 0.05))
+                out[name] = hashlib.sha256(buf.payload).hexdigest()
+            return out
+
+        assert digests(False, "shm") == digests(True, "noshm")

@@ -15,6 +15,8 @@ import pytest
 
 from repro.compressors.sz.szcompressor import SZCompressor
 from repro.compressors.zfp.zfpcompressor import ZFPCompressor
+from repro.foresight.cbench import CBench
+from repro.foresight.config import CompressorSweep
 from repro.lossless.huffman import HuffmanCodec
 from repro.util.bits import pack_varlen_codes
 
@@ -125,6 +127,56 @@ class TestHuffmanEquivalence:
 
         # Scalar decoder on the fast stream (same bytes, seed loop).
         assert np.array_equal(HuffmanCodec().decode(fast_enc), symbols)
+
+
+class TestSweepEquivalence:
+    """Engine knobs must not change sweep results — only their speed.
+
+    The full matrix of transports (shm vs ``REPRO_NO_SHM=1`` pickling)
+    and codec implementations (vectorized vs ``REPRO_SCALAR_CODECS=1``
+    seed paths) produces identical records for the same sweep.
+    """
+
+    def _rows(self, fields, monkeypatch, *, workers=None, no_shm=False,
+              scalar=False, budget=None):
+        if no_shm:
+            monkeypatch.setenv("REPRO_NO_SHM", "1")
+        else:
+            monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        if scalar:
+            monkeypatch.setenv("REPRO_SCALAR_CODECS", "1")
+        else:
+            monkeypatch.delenv("REPRO_SCALAR_CODECS", raising=False)
+        sweep = CompressorSweep(
+            name="sz", mode="abs", sweep={"error_bound": [0.05, 0.01]}
+        )
+        bench = CBench(fields, keep_reconstructions=False, chunk_budget=budget)
+        return [
+            (r.compressor, r.field, r.parameter, r.compression_ratio,
+             r.bitrate, tuple(sorted(r.metrics.items())))
+            for r in bench.run_all([sweep], workers=workers)
+        ]
+
+    def test_transport_and_codec_matrix_identical(self, hacc_small, monkeypatch):
+        fields = {"x": hacc_small.fields["x"]}
+        reference = self._rows(fields, monkeypatch)
+        for kwargs in (
+            dict(workers=2),
+            dict(workers=2, no_shm=True),
+            dict(scalar=True),
+            dict(workers=2, no_shm=True, scalar=True),
+        ):
+            assert self._rows(fields, monkeypatch, **kwargs) == reference
+
+    def test_streaming_engine_matrix_identical(self, hacc_small, monkeypatch):
+        fields = {"x": hacc_small.fields["x"]}
+        reference = self._rows(fields, monkeypatch, budget="64K")
+        for kwargs in (
+            dict(workers=2, budget="64K"),
+            dict(workers=2, no_shm=True, budget="64K"),
+            dict(scalar=True, budget="64K"),
+        ):
+            assert self._rows(fields, monkeypatch, **kwargs) == reference
 
 
 class TestPackEquivalence:

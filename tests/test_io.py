@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.errors import CorruptStreamError, DataError
-from repro.io import H5LikeFile, RecordStore, read_genericio, write_genericio
+from repro.io import (
+    GenericIOReader,
+    H5LikeFile,
+    H5LikeReader,
+    RecordStore,
+    read_genericio,
+    write_genericio,
+)
 
 
 class TestGenericIO:
@@ -96,6 +103,101 @@ class TestH5Like:
         f.save(p)
         back = H5LikeFile.load(p)["a"]
         assert back.shape == (2, 3, 4) and back.dtype == np.float64
+
+
+class TestGenericIOReader:
+    def test_view_matches_eager_read(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        with GenericIOReader(path) as rd:
+            assert set(rd.variables()) == set(hacc_small.fields)
+            for name, data in hacc_small.fields.items():
+                view = rd.view(name)
+                assert not view.flags.writeable  # zero-copy, read-only
+                assert np.array_equal(view, data)
+                assert rd.dtype(name) == data.dtype
+                assert rd.count(name) == data.size
+
+    def test_iter_chunks_concatenates_to_field(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        with GenericIOReader(path) as rd:
+            chunks = list(rd.iter_chunks("vx", 1000, drop_pages=True))
+            assert all(c.size == 1000 for c in chunks[:-1])
+            assert np.array_equal(
+                np.concatenate(chunks), hacc_small.fields["vx"]
+            )
+
+    def test_streaming_crc_detects_corruption(self, tmp_path):
+        path = tmp_path / "c.gio"
+        write_genericio(path, {"a": np.arange(4096, dtype=np.float32)})
+        raw = bytearray(path.read_bytes())
+        raw[-7] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with GenericIOReader(path) as rd:
+            with pytest.raises(CorruptStreamError, match="CRC"):
+                rd.view("a")
+        with GenericIOReader(path, verify=False) as rd:
+            rd.view("a")  # opt-out skips the check
+
+    def test_missing_variable_raises(self, tmp_path, hacc_small):
+        path = tmp_path / "snap.gio"
+        write_genericio(path, hacc_small.fields)
+        with GenericIOReader(path) as rd:
+            with pytest.raises(DataError):
+                rd.view("mass")
+
+    def test_closed_reader_rejects_views(self, tmp_path):
+        path = tmp_path / "x.gio"
+        write_genericio(path, {"a": np.arange(16, dtype=np.float64)})
+        rd = GenericIOReader(path)
+        rd.close()
+        with pytest.raises(DataError, match="closed"):
+            rd.view("a")
+
+    def test_bad_magic_raises(self, tmp_path):
+        p = tmp_path / "bad.gio"
+        p.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(CorruptStreamError):
+            GenericIOReader(p)
+
+
+class TestH5LikeReader:
+    def test_views_match_loaded_file(self, tmp_path, nyx_small):
+        f = H5LikeFile()
+        for name, data in nyx_small.fields.items():
+            f.create_dataset(f"native_fields/{name}", data)
+        f.attrs["format"] = "nyx-lyaf"
+        path = tmp_path / "nyx.h5l"
+        f.save(path)
+        with H5LikeReader(path) as rd:
+            assert rd.attrs["format"] == "nyx-lyaf"
+            for name, data in nyx_small.fields.items():
+                key = f"native_fields/{name}"
+                assert key in rd
+                assert rd.shape(key) == data.shape
+                view = rd[key]
+                assert not view.flags.writeable
+                assert np.array_equal(view, data)
+
+    def test_iter_chunks_flat_order(self, tmp_path):
+        f = H5LikeFile()
+        data = np.arange(4096, dtype=np.float32).reshape(16, 16, 16)
+        f.create_dataset("a", data)
+        path = tmp_path / "g.h5l"
+        f.save(path)
+        with H5LikeReader(path) as rd:
+            chunks = list(rd.iter_chunks("a", 300))
+            assert np.array_equal(np.concatenate(chunks), data.reshape(-1))
+
+    def test_missing_key_raises(self, tmp_path):
+        f = H5LikeFile()
+        f.create_dataset("a", np.zeros(4))
+        path = tmp_path / "m.h5l"
+        f.save(path)
+        with H5LikeReader(path) as rd:
+            with pytest.raises(KeyError):
+                rd["nothing"]
 
 
 class TestRecordStore:

@@ -1,0 +1,114 @@
+"""Tests for the zero-copy shared-memory field transport."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.parallel.shm import (
+    NO_SHM_ENV,
+    SharedArray,
+    ShmDescriptor,
+    attach_cached,
+    detach_all,
+    shm_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_attachments():
+    yield
+    detach_all()
+
+
+class TestSharedArray:
+    def test_publish_attach_round_trip(self):
+        data = np.arange(1000, dtype=np.float32).reshape(10, 100)
+        with SharedArray.publish(data) as pub:
+            desc = pub.descriptor()
+            assert desc.shape == (10, 100)
+            assert desc.nbytes == data.nbytes
+            remote = SharedArray.attach(desc)
+            try:
+                assert np.array_equal(remote.array, data)
+                assert not remote.array.flags.writeable
+            finally:
+                remote.close()
+
+    def test_attach_sees_published_bytes_not_a_copy(self):
+        data = np.zeros(64, dtype=np.float64)
+        pub = SharedArray.publish(data)
+        try:
+            remote = SharedArray.attach(pub.descriptor())
+            try:
+                # Same physical pages: the publisher's view and the
+                # attachment alias one buffer.
+                assert remote.array[0] == 0.0
+                assert np.shares_memory(pub.array, pub.array)
+            finally:
+                remote.close()
+        finally:
+            pub.unlink()
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(DataError):
+            SharedArray.publish(np.empty(0, dtype=np.float32))
+
+    def test_closed_handle_rejects_access(self):
+        pub = SharedArray.publish(np.ones(8))
+        pub.close()
+        with pytest.raises(DataError):
+            pub.array
+
+    def test_refcounting_closes_at_zero(self):
+        pub = SharedArray.publish(np.ones(16))
+        pub.addref()
+        pub.release()
+        pub.array  # still open: one reference left
+        pub.release()
+        with pytest.raises(DataError):
+            pub.array
+
+    def test_unlink_removes_segment(self):
+        pub = SharedArray.publish(np.ones(32))
+        desc = pub.descriptor()
+        pub.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(desc)
+
+    def test_size_mismatch_detected(self):
+        pub = SharedArray.publish(np.ones(16, dtype=np.float32))
+        try:
+            bad = ShmDescriptor(
+                name=pub.name, shape=(1 << 20,), dtype="<f8"
+            )
+            with pytest.raises(DataError, match="bytes"):
+                SharedArray.attach(bad)
+        finally:
+            pub.unlink()
+
+    def test_attach_cached_memoizes(self):
+        pub = SharedArray.publish(np.arange(10.0))
+        try:
+            desc = pub.descriptor()
+            first = attach_cached(desc)
+            second = attach_cached(desc)
+            assert first is second
+            assert detach_all() == 1
+        finally:
+            pub.unlink()
+
+
+class TestShmEnabled:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv(NO_SHM_ENV, raising=False)
+        assert shm_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", "on"])
+    def test_opt_out_values(self, monkeypatch, value):
+        monkeypatch.setenv(NO_SHM_ENV, value)
+        assert not shm_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "off"])
+    def test_non_opt_out_values(self, monkeypatch, value):
+        monkeypatch.setenv(NO_SHM_ENV, value)
+        assert shm_enabled()

@@ -1,0 +1,110 @@
+"""Byte-identity of the streaming metric accumulators vs the full-array path.
+
+The out-of-core pipeline's contract is that metric values do not depend
+on how the data was chunked — ``StreamingDistortion`` re-blocks
+internally and merges partial sums with ``fsum``, so any chunking
+(including one whole-array call) produces bit-identical floats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.metrics import StreamingDistortion, StreamingHistogram, evaluate_distortion
+from repro.metrics.streaming import BLOCK_ELEMENTS
+
+
+def _pair(n, seed=0, dtype=np.float32):
+    rng = np.random.default_rng(seed)
+    a = (rng.standard_normal(n) * np.exp(rng.uniform(-3, 3, n))).astype(dtype)
+    b = a + rng.uniform(-1e-3, 1e-3, n).astype(dtype)
+    return a, b
+
+
+def _chunked_result(a, b, sizes):
+    acc = StreamingDistortion()
+    pos = 0
+    for size in sizes:
+        acc.update(a[pos : pos + size], b[pos : pos + size])
+        pos += size
+    assert pos == a.size
+    return acc.result()
+
+
+class TestStreamingDistortion:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_any_chunking_bit_identical(self, seed):
+        a, b = _pair(100_000, seed)
+        reference = evaluate_distortion(a, b)
+        rng = np.random.default_rng(seed + 100)
+        for _ in range(3):
+            cuts = np.sort(rng.choice(a.size - 1, size=7, replace=False) + 1)
+            sizes = np.diff(np.concatenate([[0], cuts, [a.size]]))
+            assert _chunked_result(a, b, sizes) == reference
+
+    def test_crossing_internal_block_boundary(self):
+        # More elements than one internal block: the fixed re-blocking
+        # (not the caller's chunking) decides the partial-sum tree.
+        n = BLOCK_ELEMENTS + 12_345
+        a, b = _pair(n, seed=5)
+        reference = evaluate_distortion(a, b)
+        assert _chunked_result(a, b, [999_983, n - 999_983]) == reference
+        assert _chunked_result(a, b, [1, n - 1]) == reference
+
+    def test_single_update_matches_full_array(self):
+        a, b = _pair(10_000, seed=9)
+        acc = StreamingDistortion().update(a, b)
+        assert acc.result() == evaluate_distortion(a, b)
+
+    def test_exact_reconstruction_psnr_inf(self):
+        a, _ = _pair(1000)
+        result = StreamingDistortion().update(a, a.copy()).result()
+        assert result["psnr"] == float("inf")
+        assert result["mse"] == 0.0
+
+    def test_constant_field_degenerate_range(self):
+        a = np.full(100, 3.5)
+        b = a + 0.25
+        result = StreamingDistortion().update(a, b).result()
+        assert result == evaluate_distortion(a, b)
+        assert result["psnr"] == float("-inf")
+        assert result["mre"] == 0.0 and result["nrmse"] == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(DataError, match="empty"):
+            StreamingDistortion().result()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(DataError, match="shape mismatch"):
+            StreamingDistortion().update(np.zeros(3), np.zeros(4))
+
+    def test_count_tracks_samples(self):
+        acc = StreamingDistortion()
+        acc.update(np.zeros(7), np.zeros(7))
+        acc.update(np.zeros(5), np.zeros(5))
+        assert acc.count == 12
+
+    def test_max_pw_rel_skips_zero_originals(self):
+        a = np.array([0.0, 2.0, 0.0, -4.0])
+        b = np.array([1.0, 2.2, 5.0, -4.4])
+        result = StreamingDistortion().update(a, b).result()
+        assert result["max_pw_rel_error"] == pytest.approx(0.1)
+
+
+class TestStreamingHistogram:
+    def test_counts_match_numpy_for_any_chunking(self):
+        rng = np.random.default_rng(0)
+        values = rng.standard_normal(50_000)
+        edges = np.linspace(-4, 4, 33)
+        hist = StreamingHistogram(edges)
+        for lo in range(0, values.size, 7919):
+            hist.update(values[lo : lo + 7919])
+        expected, _ = np.histogram(values, bins=edges)
+        assert np.array_equal(hist.counts, expected)
+        assert hist.count == values.size
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(DataError):
+            StreamingHistogram([1.0])
+        with pytest.raises(DataError):
+            StreamingHistogram([0.0, 0.0, 1.0])
