@@ -1,0 +1,245 @@
+"""Daemon throughput vs per-call subprocess dispatch.
+
+Headline measurement: 64 small-field COMPRESS requests (a 16^3 Nyx
+baryon-density field, SZ at one absolute bound), served two ways:
+
+* **baseline**: the pre-service workflow — every request pays a fresh
+  ``python -m repro.foresight`` process (interpreter + numpy import +
+  dataset + one-cell sweep), run sequentially as an in situ caller
+  without the daemon would;
+* **daemon**: one resident :class:`repro.service.server.ServiceThread`,
+  hammered by 8 concurrent :class:`~repro.service.client.ServiceClient`
+  threads; same-configuration arrivals coalesce into batches inside the
+  server.
+
+The daemon amortizes exactly what the baseline pays per request —
+process start-up and codec warm-up — which is the operational point of
+compression-as-a-service for in situ use.  Acceptance floor: **>= 3x**
+request throughput.  Every daemon reply is additionally checked
+byte-identical to a direct ``get_compressor(...).compress(...)`` call,
+so the speed never comes at the cost of drift.
+
+Reported per path: wall seconds, requests/s, and client-observed
+p50/p99 latency (the daemon also reports its server-side percentiles
+from STATS).
+
+Run standalone for the CI smoke: ``python benchmarks/bench_service.py
+--quick`` (8 requests, same 3x floor — subprocess start-up dominates at
+any request count, so the floor holds even on the smallest run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:  # standalone `python benchmarks/bench_service.py`
+    sys.path.insert(0, SRC)
+
+from repro.compressors.registry import get_compressor
+from repro.cosmo.nyx import make_nyx_dataset
+from repro.service import ServiceClient, ServiceThread
+
+GRID = 16
+COMPRESSOR = "sz"
+ERROR_BOUND = 0.5
+CLIENTS = 8
+SPEEDUP_FLOOR = 3.0
+
+
+def _field() -> np.ndarray:
+    return make_nyx_dataset(grid_size=GRID).fields["baryon_density"]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+# --------------------------------------------------------------------------
+# baseline: one foresight process per request
+# --------------------------------------------------------------------------
+
+
+def _baseline_config(out_dir: str) -> dict:
+    return {
+        "input": {
+            "dataset": "nyx",
+            "generator": {"grid_size": GRID},
+            "fields": ["baryon_density"],
+        },
+        "compressors": [{
+            "name": COMPRESSOR,
+            "mode": "abs",
+            "sweep": {"error_bound": [ERROR_BOUND]},
+        }],
+        "analyses": [],
+        "output": {"directory": out_dir},
+    }
+
+
+def _run_baseline(requests: int) -> tuple[float, list[float]]:
+    """Sequential per-request subprocesses; returns (seconds, latencies)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    latencies: list[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        cfg_path = os.path.join(tmp, "one-cell.json")
+        t0 = time.perf_counter()
+        for i in range(requests):
+            out_dir = os.path.join(tmp, f"run-{i}")
+            Path(cfg_path).write_text(json.dumps(_baseline_config(out_dir)))
+            r0 = time.perf_counter()
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.foresight", cfg_path,
+                 "--quiet", "--workers", "1"],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=600,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"baseline request {i} failed:\n{proc.stderr}"
+                )
+            latencies.append(time.perf_counter() - r0)
+        return time.perf_counter() - t0, latencies
+
+
+# --------------------------------------------------------------------------
+# daemon: 8 concurrent clients against one resident service
+# --------------------------------------------------------------------------
+
+
+def _run_daemon(
+    requests: int, field: np.ndarray, expected_payload: bytes
+) -> tuple[float, list[float], dict]:
+    """Concurrent clients; returns (seconds, latencies, server stats)."""
+    per_client, remainder = divmod(requests, CLIENTS)
+    counts = [per_client + (1 if c < remainder else 0) for c in range(CLIENTS)]
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    with ServiceThread(max_pending=max(64, requests)) as st:
+        def worker(cid: int) -> None:
+            mine: list[float] = []
+            with ServiceClient(port=st.port, seed=cid) as client:
+                for i in range(counts[cid]):
+                    r0 = time.perf_counter()
+                    buf = client.compress(
+                        field, COMPRESSOR, mode="abs", value=ERROR_BOUND
+                    )
+                    mine.append(time.perf_counter() - r0)
+                    if buf.payload != expected_payload:
+                        with lock:
+                            failures.append(f"client {cid} request {i}")
+            with lock:
+                latencies.extend(mine)
+
+        threads = [
+            threading.Thread(target=worker, args=(c,)) for c in range(CLIENTS)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(600)
+        elapsed = time.perf_counter() - t0
+        with ServiceClient(port=st.port) as client:
+            stats = client.stats()
+
+    if failures:
+        raise AssertionError(
+            f"daemon replies diverged from the direct library call: {failures}"
+        )
+    return elapsed, latencies, stats
+
+
+# --------------------------------------------------------------------------
+# the benchmark
+# --------------------------------------------------------------------------
+
+
+def _report(requests: int) -> tuple[list[str], float]:
+    field = _field()
+    expected = get_compressor(COMPRESSOR).compress(
+        field, mode="abs", error_bound=ERROR_BOUND
+    ).payload
+
+    base_s, base_lat = _run_baseline(requests)
+    daemon_s, daemon_lat, stats = _run_daemon(requests, field, expected)
+
+    base_rps = requests / base_s
+    daemon_rps = requests / daemon_s
+    speedup = daemon_rps / base_rps
+    lines = [
+        f"compression service: {requests} small-field ({GRID}^3 f4) "
+        f"{COMPRESSOR.upper()} requests",
+        f"baseline (one `python -m repro.foresight` process per request, "
+        f"sequential):",
+        f"  {base_s:8.2f} s  {base_rps:8.2f} req/s  "
+        f"p50 {_percentile(base_lat, 50) * 1e3:7.1f} ms  "
+        f"p99 {_percentile(base_lat, 99) * 1e3:7.1f} ms",
+        f"daemon ({CLIENTS} concurrent clients, batched dispatch):",
+        f"  {daemon_s:8.2f} s  {daemon_rps:8.2f} req/s  "
+        f"p50 {_percentile(daemon_lat, 50) * 1e3:7.1f} ms  "
+        f"p99 {_percentile(daemon_lat, 99) * 1e3:7.1f} ms",
+        f"server-side p99: "
+        f"{stats.get('latency', {}).get('p99_ms', float('nan')):.1f} ms; "
+        f"every reply byte-identical to the direct library call",
+        f"speedup: {speedup:.1f}x (acceptance floor: {SPEEDUP_FLOOR:.0f}x)",
+    ]
+    return lines, speedup
+
+
+def test_service_throughput():
+    lines, speedup = _report(requests=64)
+    write_result("service", "\n".join(lines))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"daemon only {speedup:.2f}x the per-process baseline"
+    )
+
+
+# --------------------------------------------------------------------------
+# entry points
+# --------------------------------------------------------------------------
+
+try:  # pytest collection (conftest lives beside this file)
+    from conftest import write_result
+except ImportError:  # standalone --quick
+    def write_result(experiment_id: str, text: str) -> None:
+        results = Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def _quick() -> None:
+    """CI smoke: 8 requests, same floor (start-up costs dominate)."""
+    lines, speedup = _report(requests=8)
+    print("\n".join(lines))
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"daemon only {speedup:.2f}x the per-process baseline"
+    )
+
+
+def main(argv: list[str]) -> None:
+    if argv[:1] == ["--quick"]:
+        _quick()
+    else:
+        raise SystemExit("usage: bench_service.py --quick")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -7,6 +7,7 @@ uses it to memoize sweep cells.
 
 from repro.cache.store import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
     SCHEMA_VERSION,
     CacheStats,
     ResultCache,
@@ -16,6 +17,7 @@ from repro.cache.store import (
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "CACHE_MAX_BYTES_ENV",
     "SCHEMA_VERSION",
     "CacheStats",
     "ResultCache",

@@ -21,6 +21,14 @@ keeps directories small).  Writes go through a temporary file in the
 same directory followed by ``os.replace`` so concurrent writers — the
 process-parallel sweep workers — can only ever race to an *identical*
 complete entry, never a torn one.  Unreadable entries count as misses.
+
+The store can be **bounded**: ``ResultCache(max_bytes=...)`` (or the
+``REPRO_CACHE_MAX_BYTES`` environment variable, K/M/G suffixes allowed)
+caps the total on-disk size.  Exceeding the cap on ``put`` evicts
+least-recently-used entries first — recency is the file access time,
+which ``get`` refreshes explicitly (``os.utime``) so hits count as use
+even on ``relatime``/``noatime`` mounts.  Evictions are counted in
+``stats.evictions`` and the ``cache.evictions`` telemetry counter.
 """
 
 from __future__ import annotations
@@ -37,9 +45,13 @@ from typing import Any
 import numpy as np
 
 from repro.telemetry import get_telemetry
+from repro.util.validation import parse_bytes
 
 #: Environment variable providing a default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable bounding the cache's total on-disk size.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 #: Bumped whenever the cached record layout changes incompatibly —
 #: invalidates every existing entry at once.
@@ -86,6 +98,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     put_bytes: int = 0
+    evictions: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -93,6 +106,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "put_bytes": self.put_bytes,
+            "evictions": self.evictions,
         }
 
 
@@ -110,11 +124,16 @@ class ResultCache:
     """
 
     root: Path
+    max_bytes: int | None
     stats: CacheStats = field(default_factory=CacheStats)
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(self, root: Path | str, max_bytes: int | str | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            raw = os.environ.get(CACHE_MAX_BYTES_ENV, "").strip()
+            max_bytes = raw or None
+        self.max_bytes = parse_bytes(max_bytes) if max_bytes is not None else None
         self.stats = CacheStats()
 
     @classmethod
@@ -142,6 +161,13 @@ class ResultCache:
             self.stats.misses += 1
             tm.count("cache.misses")
             return None
+        try:
+            # Refresh the access time explicitly: LRU eviction orders by
+            # atime, and relatime/noatime mounts would otherwise never
+            # record that this entry is hot.
+            os.utime(path)
+        except OSError:
+            pass
         self.stats.hits += 1
         tm.count("cache.hits")
         return value
@@ -167,6 +193,44 @@ class ResultCache:
         tm = get_telemetry()
         tm.count("cache.puts")
         tm.count("cache.put_bytes", len(blob))
+        if self.max_bytes is not None:
+            self._evict(keep=path)
+
+    def _evict(self, keep: Path | None = None) -> int:
+        """Evict least-recently-used entries until the cap is met.
+
+        ``keep`` (the entry just written) is never evicted — a value the
+        caller is about to rely on must survive its own ``put`` even
+        when it alone exceeds the cap.  Races with concurrent writers
+        are benign: a stat/unlink that loses simply skips the entry.
+        """
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for entry in self.root.glob("??/*.pkl"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            if keep is None or entry != keep:
+                entries.append((st.st_atime_ns, st.st_size, entry))
+        if total <= self.max_bytes:
+            return 0
+        entries.sort()  # oldest access first
+        evicted = 0
+        for _, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            get_telemetry().count("cache.evictions", evicted)
+        return evicted
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()

@@ -42,3 +42,15 @@ class ScheduleError(ReproError):
 
 class AnalysisError(ReproError):
     """A post-hoc analysis (power spectrum, halo finding) failed."""
+
+
+class ProtocolError(ReproError):
+    """A service wire frame is malformed (bad magic, oversized, truncated)."""
+
+
+class ServiceError(ReproError):
+    """The compression service returned an error reply or misbehaved."""
+
+
+class ServiceBusyError(ServiceError):
+    """The daemon's admission queue was full and retries were exhausted."""

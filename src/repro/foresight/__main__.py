@@ -1,0 +1,6 @@
+"""``python -m repro.foresight`` — the Foresight study CLI."""
+
+from repro.foresight.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

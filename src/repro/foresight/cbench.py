@@ -52,37 +52,17 @@ from repro.cache import ResultCache, data_digest, make_key
 from repro.compressors.base import CompressedBuffer
 from repro.compressors.registry import get_compressor
 from repro.compressors.streaming import ChunkedCompressor
-from repro.errors import ConfigError, DataError
+from repro.errors import DataError
 from repro.foresight.config import CompressorSweep
 from repro.metrics.error import evaluate_distortion
 from repro.metrics.streaming import StreamingDistortion
 from repro.parallel.executor import process_map, resolve_workers
 from repro.parallel.shm import ShmDescriptor, SharedArray, attach_cached, shm_enabled
 from repro.telemetry import enabled_telemetry, get_telemetry, peak_rss_bytes
+from repro.util.validation import parse_bytes  # noqa: F401 (historical home)
 
 #: Environment variable supplying a default streaming chunk budget.
 CHUNK_BUDGET_ENV = "REPRO_CHUNK_BUDGET"
-
-_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
-
-
-def parse_bytes(text: str | int) -> int:
-    """Parse a byte count with an optional binary K/M/G suffix (``"64M"``)."""
-    if isinstance(text, int):
-        value = text
-    else:
-        raw = str(text).strip().lower()
-        scale = 1
-        if raw and raw[-1] in _SUFFIXES:
-            scale = _SUFFIXES[raw[-1]]
-            raw = raw[:-1]
-        try:
-            value = int(raw) * scale
-        except ValueError as exc:
-            raise ConfigError(f"cannot parse byte count {text!r}") from exc
-    if value < 1:
-        raise ConfigError(f"byte count must be >= 1, got {text!r}")
-    return value
 
 
 def resolve_chunk_budget(chunk_budget: int | str | None) -> int | None:

@@ -15,6 +15,20 @@ class Job:
     ``action`` is the in-process callable the simulator executes;
     ``command`` is the shell line written into the sbatch script (for a
     real cluster).  Either may be omitted, but not both.
+
+    Robustness knobs (honored by the simulator for action jobs):
+
+    ``timeout_s``
+        Wall-clock budget per attempt.  An attempt exceeding it is
+        treated exactly like an attempt that raised — the job records
+        FAILED (after retries are exhausted) and dependents cascade to
+        CANCELLED.
+    ``retries``
+        How many *additional* attempts a failing or timed-out action
+        gets (0 = fail on the first error, like the real ``afterok``).
+    ``retry_backoff_s``
+        Base of the exponential backoff slept between attempts
+        (``retry_backoff_s * 2**(attempt-1)``; 0 = retry immediately).
     """
 
     name: str
@@ -26,6 +40,9 @@ class Job:
     walltime_minutes: int = 60
     partition: str = "standard"
     depends_on: list[str] = field(default_factory=list)
+    timeout_s: float | None = None
+    retries: int = 0
+    retry_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name or " " in self.name:
@@ -34,6 +51,10 @@ class Job:
             raise ScheduleError(f"job {self.name!r} needs an action or a command")
         if self.nodes < 1 or self.walltime_minutes < 1:
             raise ScheduleError(f"job {self.name!r} has invalid resources")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ScheduleError(f"job {self.name!r} timeout_s must be > 0")
+        if self.retries < 0 or self.retry_backoff_s < 0:
+            raise ScheduleError(f"job {self.name!r} has invalid retry settings")
 
     def sbatch_lines(self, job_ids: dict[str, str]) -> list[str]:
         """Render the ``#SBATCH`` header + command for a submission script."""

@@ -6,12 +6,23 @@ FIFO-with-dependencies dispatch, simulated submit/start/end timestamps
 command-only jobs), and SLURM-like job states.  Failing actions put the
 job in FAILED and cascade CANCELLED to dependents — the ``afterok``
 behaviour the generated sbatch scripts would have.
+
+Per-job robustness (``Job.timeout_s`` / ``Job.retries`` /
+``Job.retry_backoff_s``): an action with a timeout runs on a watchdog
+thread and is abandoned when the budget elapses — the attempt counts as
+failed (SLURM's ``--time`` kill, minus the actual kill: Python threads
+cannot be interrupted, so the stray thread is a daemon and its eventual
+result is discarded).  Failed or timed-out attempts are retried up to
+``retries`` times with exponential backoff; once attempts are exhausted
+the job records FAILED and cascades CANCELLED exactly like a raised
+exception.
 """
 
 from __future__ import annotations
 
 import enum
 import logging
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -42,6 +53,44 @@ class JobRecord:
     end_time: float | None = None
     result: Any = None
     error: str | None = None
+    attempts: int = 0
+
+
+class JobTimeout(Exception):
+    """Internal marker: one action attempt exceeded its ``timeout_s``."""
+
+
+def _call_with_timeout(job: Job) -> Any:
+    """Run ``job.action``, enforcing ``job.timeout_s`` when set.
+
+    The timed path executes the action on a daemon thread and joins with
+    the budget; on expiry the thread is abandoned (it cannot be killed)
+    and :class:`JobTimeout` is raised.  Without a timeout the action runs
+    inline — identical stack traces, no thread.
+    """
+    if job.timeout_s is None:
+        return job.action(*job.args, **job.kwargs)
+
+    outcome: dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            outcome["result"] = job.action(*job.args, **job.kwargs)
+        except BaseException as exc:  # re-raised in the scheduler thread
+            outcome["error"] = exc
+
+    thread = threading.Thread(
+        target=target, name=f"pat-job-{job.name}", daemon=True
+    )
+    thread.start()
+    thread.join(job.timeout_s)
+    if thread.is_alive():
+        raise JobTimeout(
+            f"timed out after {job.timeout_s}s (attempt abandoned)"
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
 
 
 class SlurmSimulator:
@@ -94,13 +143,31 @@ class SlurmSimulator:
             logger.debug("job %s (%d): RUNNING", job.name, rec.job_id)
             if job.action is not None:
                 t0 = time.perf_counter()
-                try:
-                    with tm.span("pat.job", job=job.name, job_id=rec.job_id):
-                        rec.result = job.action(*job.args, **job.kwargs)
-                    rec.state = JobState.COMPLETED
-                except Exception as exc:  # action failures become job failures
-                    rec.state = JobState.FAILED
-                    rec.error = f"{type(exc).__name__}: {exc}"
+                while True:
+                    rec.attempts += 1
+                    try:
+                        with tm.span("pat.job", job=job.name,
+                                     job_id=rec.job_id, attempt=rec.attempts):
+                            rec.result = _call_with_timeout(job)
+                        rec.state = JobState.COMPLETED
+                        rec.error = None
+                        break
+                    except JobTimeout as exc:  # timeout == failure (afterok)
+                        rec.state = JobState.FAILED
+                        rec.error = f"TimeoutError: {exc}"
+                    except Exception as exc:  # action failures become job failures
+                        rec.state = JobState.FAILED
+                        rec.error = f"{type(exc).__name__}: {exc}"
+                    if rec.attempts > job.retries:
+                        break
+                    delay = job.retry_backoff_s * (2 ** (rec.attempts - 1))
+                    logger.warning(
+                        "job %s (%d): attempt %d failed (%s); retrying in %.3fs",
+                        job.name, rec.job_id, rec.attempts, rec.error, delay,
+                    )
+                    tm.count("pat.retries")
+                    if delay > 0:
+                        time.sleep(delay)
                 clock += time.perf_counter() - t0
             else:
                 # Command-only job: charge its declared walltime.

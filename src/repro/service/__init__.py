@@ -1,0 +1,32 @@
+"""Compression-as-a-service: daemon, wire protocol, and client library.
+
+This package turns the library into a long-lived system under load —
+the operational end state the paper's in situ guideline points at: a
+simulation (or many) calls into one resident daemon instead of paying
+process start-up and codec warm-up per field.
+
+* :mod:`repro.service.protocol` — MSG1, the length-prefixed binary
+  frame format (stdlib-JSON header + raw ndarray payload).
+* :mod:`repro.service.batch` — bounded admission queue (backpressure),
+  request coalescing by configuration, deadline expiry, and dispatch
+  through the parallel executor / shared-memory data plane.
+* :mod:`repro.service.server` — the asyncio TCP daemon:
+  COMPRESS/DECOMPRESS/SWEEP/LIST/HEALTH/STATS, graceful drain on
+  SIGTERM, telemetry-backed STATS; :class:`ServiceThread` embeds it.
+* :mod:`repro.service.client` — the blocking :class:`ServiceClient`
+  with connect/busy retry (jittered backoff) and per-call deadlines.
+* ``python -m repro.service serve|compress|stats|health`` — the CLI.
+
+See ``docs/SERVICE.md`` for the protocol specification and deployment
+tuning.
+"""
+
+from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.server import CompressionService, ServiceThread
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "CompressionService",
+    "ServiceThread",
+]

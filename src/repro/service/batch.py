@@ -1,0 +1,365 @@
+"""Request batching for the compression daemon.
+
+The daemon's unit of useful work is CPU-bound codec time, but its unit
+of *arrival* is one tiny request; dispatching each arrival alone would
+pay scheduling and (with workers) process-pool overhead per field.  The
+:class:`Batcher` closes that gap:
+
+* every admitted request lands in one bounded :class:`asyncio.Queue`
+  (the **admission queue** — its capacity is the backpressure knob; a
+  full queue makes the server answer BUSY instead of buffering without
+  limit);
+* a single consumer task drains whatever is queued, waits one short
+  **batch window** for stragglers, and groups the requests by work key
+  — ``(op, compressor, options, mode, value)`` for COMPRESS, so
+  same-configuration requests become *one* dispatch;
+* each group is executed off the event loop through
+  :func:`repro.parallel.executor.process_map`; with the server's
+  ``workers`` > 1 the group fans out over worker processes and large
+  arrays travel through the zero-copy shared-memory transport
+  (:mod:`repro.parallel.shm`) instead of task pickles, exactly like a
+  CBench sweep;
+* requests whose **deadline** passed while queued are answered with a
+  deadline error without spending codec time on them.
+
+Results (or exceptions) resolve the per-request futures the connection
+handlers await; the batcher never touches sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer, CompressorMode
+from repro.compressors.registry import get_compressor
+from repro.errors import ReproError, ServiceError
+from repro.parallel.executor import process_map, resolve_workers
+from repro.parallel.shm import ShmDescriptor, SharedArray, attach_cached, shm_enabled
+from repro.telemetry import get_telemetry
+
+#: Mode → compressor keyword argument carrying the knob value.
+KNOB_FOR_MODE = {
+    "abs": "error_bound",
+    "pw_rel": "pwrel",
+    "fixed_rate": "rate",
+    "fixed_precision": "precision",
+    "fixed_accuracy": "tolerance",
+}
+
+#: Arrays below this size are cheaper to pickle than to publish to shm.
+SHM_MIN_BYTES = 1 << 16
+
+
+def jsonable(value: Any) -> Any:
+    """Deep-convert ``value`` to JSON-encodable builtins.
+
+    Compressor ``meta`` dicts carry numpy scalars and the odd
+    non-serializable diagnostic; replies must be pure JSON.  Unknown
+    types degrade to ``repr`` rather than failing the reply.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for (or undergoing) computation."""
+
+    op: str
+    header: dict[str, Any]
+    payload: bytes
+    future: asyncio.Future
+    enqueued: float = field(default_factory=time.perf_counter)
+    deadline: float | None = None
+
+    def group_key(self) -> tuple:
+        """Requests with equal keys coalesce into one dispatch."""
+        h = self.header
+        options = json.dumps(h.get("options") or {}, sort_keys=True)
+        if self.op == "compress":
+            return ("compress", h.get("compressor"), options,
+                    h.get("mode"), h.get("value"))
+        if self.op == "decompress":
+            return ("decompress", h.get("compressor"), options)
+        # Sweeps are heavyweight and carry their own fan-out; never merge.
+        return ("sweep", id(self))
+
+
+# -- module-level (picklable) batch workers ----------------------------------
+
+
+def _materialize(arr: np.ndarray | ShmDescriptor) -> np.ndarray:
+    if isinstance(arr, ShmDescriptor):
+        return attach_cached(arr)
+    return arr
+
+
+def _compress_task(
+    spec: tuple[str, dict, str, float],
+    arr: np.ndarray | ShmDescriptor,
+) -> CompressedBuffer | ReproError:
+    """Worker body for one COMPRESS request of a coalesced batch.
+
+    Library errors are *returned*, not raised: one request with, say, an
+    integer array must fail alone, not take down the whole batch it was
+    coalesced into (the dispatcher resolves exception results into
+    per-request error replies).
+    """
+    name, options, mode, value = spec
+    try:
+        knob = KNOB_FOR_MODE.get(mode)
+        if knob is None:
+            raise ServiceError(
+                f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
+            )
+        compressor = get_compressor(name, **options)
+        return compressor.compress(_materialize(arr), mode=mode, **{knob: value})
+    except ReproError as exc:
+        return exc
+
+
+def _decompress_task(
+    spec: tuple[str, dict],
+    buf_fields: tuple[bytes, tuple, str, str, float],
+) -> np.ndarray | ReproError:
+    """Worker body for one DECOMPRESS request of a coalesced batch."""
+    name, options = spec
+    payload, shape, dtype, mode, parameter = buf_fields
+    try:
+        buf = CompressedBuffer(
+            payload=payload,
+            original_shape=tuple(shape),
+            original_dtype=np.dtype(dtype),
+            mode=CompressorMode(mode),
+            parameter=float(parameter),
+        )
+        compressor = get_compressor(name, **options)
+        return compressor.decompress(buf)
+    except ReproError as exc:
+        return exc
+    except (TypeError, ValueError) as exc:  # bad mode/dtype/shape fields
+        return ServiceError(f"bad decompress fields: {exc}")
+
+
+class Batcher:
+    """Admission queue + coalescing dispatcher (see module docstring)."""
+
+    def __init__(
+        self,
+        max_pending: int = 64,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+        workers: int | None = None,
+    ) -> None:
+        self.queue: asyncio.Queue[PendingRequest] = asyncio.Queue(
+            maxsize=max(1, max_pending)
+        )
+        self.batch_window_s = batch_window_s
+        self.max_batch = max(1, max_batch)
+        self.workers = workers
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # -- admission (backpressure boundary) --------------------------------
+
+    def admit(self, request: PendingRequest) -> bool:
+        """Enqueue without blocking; ``False`` means BUSY (queue full)."""
+        tm = get_telemetry()
+        if self._closed:
+            return False
+        try:
+            self.queue.put_nowait(request)
+        except asyncio.QueueFull:
+            tm.count("service.rejected_busy")
+            return False
+        tm.set_gauge("service.queue_depth", float(self.queue.qsize()))
+        return True
+
+    @property
+    def depth(self) -> int:
+        return self.queue.qsize()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="repro-service-batcher"
+            )
+
+    async def drain(self) -> None:
+        """Stop admitting, finish everything queued, stop the consumer."""
+        self._closed = True
+        await self.queue.join()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # -- consumer ----------------------------------------------------------
+
+    async def _collect(self) -> list[PendingRequest]:
+        """One admission wave: first request + window's worth of stragglers."""
+        batch = [await self.queue.get()]
+        if self.batch_window_s > 0 and len(batch) < self.max_batch:
+            await asyncio.sleep(self.batch_window_s)
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self.queue.get_nowait())
+            except asyncio.QueueEmpty:
+                break
+        get_telemetry().set_gauge(
+            "service.queue_depth", float(self.queue.qsize())
+        )
+        return batch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            wave = await self._collect()
+            try:
+                groups: dict[tuple, list[PendingRequest]] = {}
+                for request in wave:
+                    groups.setdefault(request.group_key(), []).append(request)
+                for group in groups.values():
+                    await self._dispatch(loop, group)
+            finally:
+                for _ in wave:
+                    self.queue.task_done()
+
+    def _expire(self, group: list[PendingRequest]) -> list[PendingRequest]:
+        """Resolve already-dead requests; returns the live remainder."""
+        now = time.perf_counter()
+        live = []
+        for request in group:
+            if request.future.cancelled():
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                request.future.set_exception(
+                    TimeoutError("deadline expired while queued")
+                )
+                get_telemetry().count("service.deadline_expired")
+            else:
+                live.append(request)
+        return live
+
+    async def _dispatch(
+        self, loop: asyncio.AbstractEventLoop, group: list[PendingRequest]
+    ) -> None:
+        group = self._expire(group)
+        if not group:
+            return
+        tm = get_telemetry()
+        tm.count("service.batches")
+        tm.count("service.batched_requests", len(group))
+        tm.observe("service.batch_size", float(len(group)))
+        op = group[0].op
+        try:
+            if op == "compress":
+                results = await loop.run_in_executor(
+                    None, partial(self._run_compress_batch, group)
+                )
+            elif op == "decompress":
+                results = await loop.run_in_executor(
+                    None, partial(self._run_decompress_batch, group)
+                )
+            else:  # one sweep per group by construction
+                results = [
+                    await loop.run_in_executor(
+                        None, partial(self._run_sweep, group[0])
+                    )
+                ]
+        except BaseException as exc:  # a batch failure fails every member
+            for request in group:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        for request, result in zip(group, results):
+            if not request.future.done():
+                if isinstance(result, BaseException):
+                    request.future.set_exception(result)
+                else:
+                    request.future.set_result(result)
+
+    # -- batch bodies (run on the default thread-pool executor) ------------
+
+    def _run_compress_batch(self, group: list[PendingRequest]) -> list:
+        from repro.service import protocol
+
+        h = group[0].header
+        spec = (
+            h.get("compressor"),
+            dict(h.get("options") or {}),
+            h.get("mode"),
+            h.get("value"),
+        )
+        arrays = [
+            protocol.unpack_array(r.header, r.payload) for r in group
+        ]
+        nworkers = resolve_workers(self.workers)
+        published: list[SharedArray] = []
+        tasks: list[Any] = arrays
+        if nworkers > 1 and len(group) > 1 and shm_enabled():
+            tasks = []
+            for arr in arrays:
+                if arr.nbytes >= SHM_MIN_BYTES:
+                    handle = SharedArray.publish(np.ascontiguousarray(arr))
+                    published.append(handle)
+                    tasks.append(handle.descriptor())
+                else:
+                    tasks.append(arr)
+        try:
+            return process_map(
+                partial(_compress_task, spec), tasks, workers=self.workers
+            )
+        finally:
+            for handle in published:
+                handle.unlink()
+
+    def _run_decompress_batch(self, group: list[PendingRequest]) -> list:
+        h = group[0].header
+        spec = (h.get("compressor"), dict(h.get("options") or {}))
+        tasks = [
+            (
+                r.payload,
+                tuple(r.header.get("shape") or ()),
+                r.header.get("dtype"),
+                r.header.get("mode"),
+                r.header.get("parameter"),
+            )
+            for r in group
+        ]
+        return process_map(
+            partial(_decompress_task, spec), tasks, workers=self.workers
+        )
+
+    def _run_sweep(self, request: PendingRequest):
+        """Server-side CBench fan-out for one SWEEP request.
+
+        Imported lazily (CBench pulls in the whole foresight stack) and
+        injected by the server via ``sweep_runner`` so the batcher stays
+        free of service policy (cache wiring, record shaping).
+        """
+        if self.sweep_runner is None:
+            raise ServiceError("this server does not accept SWEEP")
+        return self.sweep_runner(request)
+
+    #: Assigned by the server: callable(PendingRequest) -> list[dict].
+    sweep_runner = None

@@ -1,0 +1,160 @@
+"""Command-line interface for the compression service.
+
+::
+
+    python -m repro.service serve   [--host H] [--port P] [--workers N]
+                                    [--max-pending N] [--batch-window-ms MS]
+                                    [--cache DIR] [--cache-max-bytes BYTES]
+                                    [--timeout-s S] [-v | --quiet]
+    python -m repro.service compress INPUT.npy --compressor NAME
+                                    [--mode abs] [--value 1e-3]
+                                    [--out OUT.rsz] [--host H] [--port P]
+    python -m repro.service stats   [--host H] [--port P]
+    python -m repro.service health  [--host H] [--port P]
+
+``serve`` prints ``serving on HOST:PORT`` on stdout once bound (with
+``--port 0`` this is how callers learn the ephemeral port), then runs
+until SIGTERM/SIGINT, draining gracefully: admitted requests finish and
+receive replies, new ones are refused with a ``busy``/``draining``
+frame.
+
+``compress`` writes the compressed stream to ``--out`` (default: input
+path + ``.rsz``) and prints the achieved ratio — a smoke client, not a
+replacement for :class:`repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache import ResultCache
+from repro.errors import ReproError
+from repro.foresight.cli import configure_logging
+from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.server import CompressionService
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    cache = None
+    if args.cache:
+        cache = ResultCache(args.cache, max_bytes=args.cache_max_bytes)
+    service = CompressionService(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        batch_window_s=args.batch_window_ms / 1e3,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        cache=cache,
+        default_timeout_s=args.timeout_s,
+    )
+
+    async def _main() -> None:
+        await service.start()
+        # The bound address is the serve command's product: parseable by
+        # wrappers that started us with --port 0.
+        print(f"serving on {service.host}:{service.port}", flush=True)
+        await service.serve()
+
+    asyncio.run(_main())
+    print("drained", flush=True)
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    data = np.load(args.input)
+    out = Path(args.out) if args.out else Path(args.input + ".rsz")
+    with ServiceClient(host=args.host, port=args.port) as client:
+        buf = client.compress(
+            data, args.compressor, mode=args.mode, value=args.value
+        )
+    out.write_bytes(buf.payload)
+    print(
+        f"{args.input}: {buf.original_nbytes} -> {buf.compressed_nbytes} bytes "
+        f"(ratio {buf.compression_ratio:.2f}, {buf.bitrate:.2f} bits/value) "
+        f"-> {out}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with ServiceClient(host=args.host, port=args.port) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    with ServiceClient(host=args.host, port=args.port) as client:
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Compression-as-a-service daemon and client.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the daemon")
+    _add_endpoint_args(serve)
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="batch worker processes (default: $REPRO_WORKERS "
+                            "or in-process; 0 = one per CPU)")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="admission queue capacity before BUSY (default 64)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="coalescing window in milliseconds (default 2)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="largest coalesced batch (default 64)")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result cache directory for SWEEP "
+                            "(default: no cache)")
+    serve.add_argument("--cache-max-bytes", default=None, metavar="BYTES",
+                       help="bound the result cache (K/M/G suffix allowed)")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--quiet", action="store_true")
+    serve.add_argument("-v", "--verbose", action="count", default=0)
+    serve.set_defaults(fn=_cmd_serve)
+
+    compress = sub.add_parser("compress", help="compress one .npy file")
+    compress.add_argument("input", help="input array (.npy)")
+    compress.add_argument("--compressor", required=True)
+    compress.add_argument("--mode", default="abs")
+    compress.add_argument("--value", type=float, default=1e-3)
+    compress.add_argument("--out", default=None)
+    _add_endpoint_args(compress)
+    compress.set_defaults(fn=_cmd_compress)
+
+    stats = sub.add_parser("stats", help="dump daemon statistics")
+    _add_endpoint_args(stats)
+    stats.set_defaults(fn=_cmd_stats)
+
+    health = sub.add_parser("health", help="dump daemon health")
+    _add_endpoint_args(health)
+    health.set_defaults(fn=_cmd_health)
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        configure_logging(verbosity=args.verbose, quiet=args.quiet)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

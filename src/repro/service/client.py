@@ -1,0 +1,262 @@
+"""Synchronous client for the compression daemon.
+
+:class:`ServiceClient` is the in-situ caller's view of the service: a
+blocking socket speaking MSG1 frames, with the operational edges a
+simulation loop needs handled inside —
+
+* **connect retry**: the daemon may still be binding when the client
+  starts; connection attempts back off within ``connect_timeout_s``;
+* **backpressure retry**: a ``busy`` reply (admission queue full) is
+  retried with capped exponential backoff *plus jitter* (decorrelating
+  a fleet of clients that would otherwise retry in lockstep), honoring
+  the server's ``retry_after_ms`` hint, up to ``busy_retries`` times
+  before :class:`~repro.errors.ServiceBusyError`;
+* **timeouts**: ``request_timeout_s`` bounds each socket wait;
+  ``timeout_ms`` per call becomes the server-side queue deadline.
+
+One client owns one socket and is **not** thread-safe — give each
+thread its own client (they are cheap; the stress tests do exactly
+this).  Use as a context manager to close the socket deterministically.
+
+>>> with ServiceClient(port=7777) as client:        # doctest: +SKIP
+...     buf = client.compress(field, "sz", mode="abs", value=1e-3)
+...     round_tripped = client.decompress(buf)
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer, CompressorMode
+from repro.errors import ProtocolError, ServiceBusyError, ServiceError
+from repro.service import protocol
+
+DEFAULT_PORT = 9461
+
+
+class ServiceClient:
+    """Blocking MSG1 client (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 120.0,
+        busy_retries: int = 8,
+        retry_base_s: float = 0.02,
+        retry_max_s: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.busy_retries = busy_retries
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        deadline = time.monotonic() + self.connect_timeout_s
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=max(0.1, deadline - time.monotonic()),
+                )
+                break
+            except OSError as exc:
+                attempt += 1
+                delay = min(
+                    self.retry_max_s, self.retry_base_s * (2 ** attempt)
+                ) * self._rng.uniform(0.5, 1.0)
+                if time.monotonic() + delay >= deadline:
+                    raise ServiceError(
+                        f"cannot connect to {self.host}:{self.port}: {exc}"
+                    ) from exc
+                time.sleep(delay)
+        sock.settimeout(self.request_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        self._connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _roundtrip(
+        self, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
+        """One frame out, one frame in; connection errors reset the socket."""
+        sock = self._connect()
+        try:
+            protocol.write_frame_sock(sock, header, payload)
+            return protocol.read_frame_sock(sock)
+        except (OSError, ProtocolError):
+            # The stream is unusable — drop it so the next call redials.
+            self.close()
+            raise
+
+    def _request(
+        self, header: dict[str, Any], payload: bytes = b""
+    ) -> tuple[dict[str, Any], bytes]:
+        """Send a request, retrying ``busy`` replies with jittered backoff."""
+        self._next_id += 1
+        header = {**header, "id": self._next_id}
+        for attempt in range(self.busy_retries + 1):
+            reply, body = self._roundtrip(header, payload)
+            status = reply.get("status")
+            if status == "ok":
+                return reply, body
+            if status == "busy":
+                if attempt >= self.busy_retries:
+                    break
+                hint_s = float(reply.get("retry_after_ms", 0)) / 1e3
+                backoff = min(
+                    self.retry_max_s, self.retry_base_s * (2 ** attempt)
+                )
+                time.sleep(max(hint_s, backoff) * self._rng.uniform(0.5, 1.5))
+                continue
+            raise ServiceError(
+                f"{header.get('op')} failed "
+                f"[{reply.get('code', 'error')}]: {reply.get('error')}"
+            )
+        raise ServiceBusyError(
+            f"server still busy after {self.busy_retries} retries"
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def compress(
+        self,
+        data: np.ndarray,
+        compressor: str,
+        mode: str = "abs",
+        value: float = 1e-3,
+        options: dict[str, Any] | None = None,
+        timeout_ms: float | None = None,
+    ) -> CompressedBuffer:
+        """Compress ``data`` remotely; returns a real :class:`CompressedBuffer`.
+
+        The buffer is byte-identical to a local
+        ``get_compressor(compressor, **options).compress(...)`` call and
+        interoperates with it — ``meta["compressor"]`` records the codec
+        so :meth:`decompress` can route it back without extra arguments.
+        """
+        data = np.asarray(data)
+        header: dict[str, Any] = {
+            "op": "compress",
+            "compressor": compressor,
+            "mode": mode,
+            "value": float(value),
+            "options": options or {},
+            **protocol.array_fields(data),
+        }
+        if timeout_ms is not None:
+            header["timeout_ms"] = float(timeout_ms)
+        reply, body = self._request(header, protocol.pack_array(data))
+        meta = dict(reply.get("meta") or {})
+        meta["compressor"] = reply.get("compressor", compressor)
+        if options:
+            meta["options"] = dict(options)
+        return CompressedBuffer(
+            payload=body,
+            original_shape=tuple(reply["shape"]),
+            original_dtype=np.dtype(reply["dtype"]),
+            mode=CompressorMode(reply["mode"]),
+            parameter=float(reply["parameter"]),
+            meta=meta,
+        )
+
+    def decompress(
+        self,
+        buf: CompressedBuffer,
+        compressor: str | None = None,
+        options: dict[str, Any] | None = None,
+        timeout_ms: float | None = None,
+    ) -> np.ndarray:
+        """Decompress a buffer remotely (codec from ``buf.meta`` by default)."""
+        name = compressor or buf.meta.get("compressor")
+        if not name:
+            raise ServiceError(
+                "decompress needs a compressor (none recorded in buf.meta)"
+            )
+        if options is None:
+            options = buf.meta.get("options") or {}
+        header: dict[str, Any] = {
+            "op": "decompress",
+            "compressor": name,
+            "options": options,
+            "mode": buf.mode.value,
+            "parameter": buf.parameter,
+            "dtype": np.dtype(buf.original_dtype).str,
+            "shape": list(buf.original_shape),
+        }
+        if timeout_ms is not None:
+            header["timeout_ms"] = float(timeout_ms)
+        reply, body = self._request(header, buf.payload)
+        return protocol.unpack_array(reply, body).copy()
+
+    def sweep(
+        self,
+        data: np.ndarray,
+        sweeps: list[dict[str, Any]],
+        field: str = "field",
+        timeout_ms: float | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run a server-side CBench sweep over ``data``; returns flat rows.
+
+        ``sweeps`` entries mirror the Foresight config compressor list:
+        ``{"name": "sz", "mode": "abs", "sweep": {"error_bound": [...]}}``.
+        Repeat sweeps of the same data hit the server's result cache
+        (``row["cache"] == "hit"``).
+        """
+        data = np.asarray(data)
+        header: dict[str, Any] = {
+            "op": "sweep",
+            "field": field,
+            "sweeps": sweeps,
+            **protocol.array_fields(data),
+        }
+        if timeout_ms is not None:
+            header["timeout_ms"] = float(timeout_ms)
+        reply, _ = self._request(header, protocol.pack_array(data))
+        return list(reply.get("records") or [])
+
+    def list_compressors(self) -> list[str]:
+        reply, _ = self._request({"op": "list"})
+        return list(reply.get("compressors") or [])
+
+    def health(self) -> dict[str, Any]:
+        reply, _ = self._request({"op": "health"})
+        return reply
+
+    def stats(self) -> dict[str, Any]:
+        reply, _ = self._request({"op": "stats"})
+        return reply

@@ -1,0 +1,215 @@
+"""MSG1: the length-prefixed wire protocol of the compression service.
+
+One frame carries one request or one reply::
+
+    offset  size  field
+    0       4     magic  b"MSG1"
+    4       4     header length H   (u32, big-endian)
+    8       8     payload length P  (u64, big-endian)
+    16      H     header — one UTF-8 JSON object (pure stdlib, no msgpack)
+    16+H    P     payload — raw bytes (ndarray data or compressed stream)
+
+The header is the structured part (op, request id, compressor name,
+knob values, array dtype/shape); the payload is the bulk part and is
+never re-encoded — an ndarray travels as its C-contiguous bytes, a
+compressed stream travels verbatim.  JSON costs nothing at these header
+sizes (~100 bytes) and keeps the protocol dependency-free and easily
+inspectable on the wire.
+
+Every decoder in this module raises :class:`~repro.errors.ProtocolError`
+on malformed input — bad magic, oversized lengths, truncation, a header
+that is not a JSON object — and never anything else, so the server can
+treat any other exception as a bug rather than a hostile peer.
+
+Request headers carry ``op`` plus op-specific fields (see
+``docs/SERVICE.md`` for the full table); reply headers carry ``status``
+(``"ok"``, ``"error"``, or ``"busy"``) and echo the request ``id``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Frame magic (protocol version 1); bump to MSG2 on incompatible change.
+MAGIC = b"MSG1"
+
+#: Fixed-size frame prefix: magic + u32 header length + u64 payload length.
+PREFIX = struct.Struct(">4sIQ")
+
+#: Headers are small structured metadata; anything bigger is hostile.
+MAX_HEADER_BYTES = 1 << 20
+
+#: Default payload cap (1 GiB); the server makes this configurable.
+MAX_PAYLOAD_BYTES = 1 << 30
+
+
+def encode_header(header: dict[str, Any]) -> bytes:
+    """Serialize a header dict to canonical compact JSON bytes."""
+    return json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_header(raw: bytes) -> dict[str, Any]:
+    """Parse header bytes; :class:`ProtocolError` unless a JSON object."""
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"header is not valid UTF-8 JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"header must be a JSON object, got {type(header).__name__}"
+        )
+    return header
+
+
+def encode_frame(header: dict[str, Any], payload: bytes = b"") -> bytes:
+    """One complete MSG1 frame as bytes."""
+    raw = encode_header(header)
+    if len(raw) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header too large: {len(raw)} bytes")
+    return PREFIX.pack(MAGIC, len(raw), len(payload)) + raw + payload
+
+
+def parse_prefix(
+    prefix: bytes, max_payload_bytes: int = MAX_PAYLOAD_BYTES
+) -> tuple[int, int]:
+    """Validate a 16-byte frame prefix; returns (header_len, payload_len)."""
+    if len(prefix) != PREFIX.size:
+        raise ProtocolError(
+            f"frame prefix truncated: {len(prefix)}/{PREFIX.size} bytes"
+        )
+    magic, header_len, payload_len = PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if header_len == 0 or header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"header length {header_len} out of range")
+    if payload_len > max_payload_bytes:
+        raise ProtocolError(
+            f"payload length {payload_len} exceeds cap {max_payload_bytes}"
+        )
+    return header_len, payload_len
+
+
+def decode_frame(
+    buf: bytes, max_payload_bytes: int = MAX_PAYLOAD_BYTES
+) -> tuple[dict[str, Any], bytes]:
+    """Decode one complete in-memory frame (tests, fuzzing)."""
+    header_len, payload_len = parse_prefix(buf[: PREFIX.size], max_payload_bytes)
+    expected = PREFIX.size + header_len + payload_len
+    if len(buf) != expected:
+        raise ProtocolError(f"frame is {len(buf)} bytes, expected {expected}")
+    header = decode_header(buf[PREFIX.size : PREFIX.size + header_len])
+    return header, buf[PREFIX.size + header_len :]
+
+
+# -- asyncio stream I/O ------------------------------------------------------
+
+
+async def read_frame(
+    reader, max_payload_bytes: int = MAX_PAYLOAD_BYTES
+) -> tuple[dict[str, Any], bytes] | None:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF *before* a frame starts; raises
+    :class:`ProtocolError` on EOF mid-frame or malformed content.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-prefix ({len(exc.partial)} bytes)"
+        ) from exc
+    header_len, payload_len = parse_prefix(prefix, max_payload_bytes)
+    try:
+        raw = await reader.readexactly(header_len + payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    header = decode_header(raw[:header_len])
+    return header, raw[header_len:]
+
+
+async def write_frame(writer, header: dict[str, Any], payload: bytes = b"") -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(header, payload))
+    await writer.drain()
+
+
+# -- blocking socket I/O (client side) ---------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed with {remaining}/{n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sock(
+    sock: socket.socket, max_payload_bytes: int = MAX_PAYLOAD_BYTES
+) -> tuple[dict[str, Any], bytes]:
+    """Read one frame from a blocking socket."""
+    header_len, payload_len = parse_prefix(
+        _recv_exactly(sock, PREFIX.size), max_payload_bytes
+    )
+    raw = _recv_exactly(sock, header_len + payload_len)
+    return decode_header(raw[:header_len]), raw[header_len:]
+
+
+def write_frame_sock(
+    sock: socket.socket, header: dict[str, Any], payload: bytes = b""
+) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(header, payload))
+
+
+# -- ndarray payload helpers -------------------------------------------------
+
+
+def array_fields(arr: np.ndarray) -> dict[str, Any]:
+    """Header fields describing an ndarray payload (dtype + shape)."""
+    return {"dtype": arr.dtype.str, "shape": list(arr.shape)}
+
+
+def pack_array(arr: np.ndarray) -> bytes:
+    """An array's raw C-contiguous bytes (the MSG1 payload encoding)."""
+    return np.ascontiguousarray(arr).tobytes()
+
+
+def unpack_array(header: dict[str, Any], payload: bytes) -> np.ndarray:
+    """Rebuild the ndarray a header + payload describe.
+
+    The returned array is a read-only zero-copy view over ``payload``
+    (compressors only read their input); callers that need to write
+    must copy.
+    """
+    try:
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(s) for s in header["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad array header: {exc}") from exc
+    expected = int(np.prod(shape)) * dtype.itemsize if shape else dtype.itemsize
+    if np.prod(shape) == 0:
+        expected = 0
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"array payload is {len(payload)} bytes, "
+            f"dtype/shape require {expected}"
+        )
+    return np.frombuffer(payload, dtype=dtype).reshape(shape)

@@ -1,0 +1,496 @@
+"""The compression daemon: an asyncio TCP server over the batcher.
+
+``CompressionService`` is compression-as-a-service for the library
+below it: clients connect over TCP, speak MSG1 frames
+(:mod:`repro.service.protocol`), and the server turns their requests
+into batched codec work (:mod:`repro.service.batch`) executed through
+the same registry / parallel-executor / shm / cache layers the batch
+CLIs use — so a byte compressed through the daemon is identical to a
+byte compressed through :func:`repro.compressors.registry.get_compressor`
+directly.
+
+Operations
+----------
+
+========== ===================================================================
+op         semantics
+========== ===================================================================
+COMPRESS   one ndarray in, one compressed stream out (batched by config)
+DECOMPRESS one compressed stream in, one ndarray out (batched by codec)
+SWEEP      server-side CBench cell fan-out over one field; rows out; repeat
+           sweeps are served warm from the result cache
+LIST       registered compressor names
+HEALTH     liveness + drain state + queue depth (never queued)
+STATS      telemetry counters, batch sizes, bytes in/out, p50/p99 latency
+========== ===================================================================
+
+Control-plane ops (HEALTH/STATS/LIST) bypass the admission queue: a
+saturated daemon must still answer its monitoring.
+
+Backpressure: the admission queue is bounded (``max_pending``); when it
+is full the reply is ``status="busy"`` with a suggested
+``retry_after_ms`` and the connection stays healthy — the client
+library sleeps with jitter and retries.  During **drain** (SIGTERM or
+:meth:`CompressionService.request_drain`) new work is refused the same
+way with ``code="draining"`` while queued and in-flight requests finish
+and get their replies; then ``serve`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import signal
+import threading
+import time
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.cache import ResultCache
+from repro.compressors.base import CompressedBuffer
+from repro.compressors.registry import available_compressors
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service import protocol
+from repro.service.batch import Batcher, PendingRequest, jsonable
+from repro.telemetry import Telemetry, get_telemetry, set_telemetry
+
+logger = logging.getLogger("repro.service")
+
+#: Suggested client back-off when the admission queue is full.
+DEFAULT_RETRY_AFTER_MS = 50
+
+#: How many recent request latencies the percentile window keeps.
+LATENCY_WINDOW = 4096
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class CompressionService:
+    """Long-lived compression daemon (see module docstring).
+
+    >>> service = CompressionService(port=0)           # doctest: +SKIP
+    >>> asyncio.run(service.serve())                   # doctest: +SKIP
+
+    ``workers`` follows the library-wide convention
+    (:func:`repro.parallel.executor.resolve_workers`): ``None`` defers
+    to ``REPRO_WORKERS`` (unset → in-process serial batches), ``0``
+    means one worker process per CPU.  ``cache`` (a directory or
+    :class:`~repro.cache.ResultCache`) serves repeat SWEEPs warm.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_pending: int = 64,
+        batch_window_s: float = 0.002,
+        max_batch: int = 64,
+        workers: int | None = None,
+        cache: ResultCache | str | None = None,
+        max_payload_bytes: int = protocol.MAX_PAYLOAD_BYTES,
+        default_timeout_s: float | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_payload_bytes = max_payload_bytes
+        self.default_timeout_s = default_timeout_s
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.batcher = Batcher(
+            max_pending=max_pending,
+            batch_window_s=batch_window_s,
+            max_batch=max_batch,
+            workers=workers,
+        )
+        self.batcher.sweep_runner = self._run_sweep
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        self._started = time.perf_counter()
+        self._requests_total = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._lat_lock = threading.Lock()
+        self._installed_telemetry = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving; resolves ``self.port`` when it was 0."""
+        if get_telemetry().enabled is False:
+            # The daemon is its own observability domain: STATS reads the
+            # process-wide registry, so serving without telemetry would
+            # expose empty counters.  Restored at shutdown — an embedding
+            # process (tests, notebooks) must get its NullTelemetry back.
+            set_telemetry(Telemetry("service"))
+            self._installed_telemetry = True
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.batcher.start()
+        logger.info("serving on %s:%d", self.host, self.port)
+
+    async def serve(self, install_signal_handlers: bool = True) -> None:
+        """Run until drained (SIGTERM/SIGINT or :meth:`request_drain`)."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(sig, self.request_drain)
+        await self._draining.wait()
+        await self._shutdown()
+
+    def request_drain(self) -> None:
+        """Begin graceful drain: refuse new work, finish what's admitted."""
+        if not self._draining.is_set():
+            logger.info("drain requested: refusing new work")
+            self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    async def _shutdown(self) -> None:
+        assert self._server is not None
+        self._server.close()  # stop accepting new connections
+        await self._server.wait_closed()
+        await self.batcher.drain()  # admitted work finishes + replies
+        # Handlers still parked on a read see EOF once their client hangs
+        # up; give in-flight replies a beat, then cancel the stragglers.
+        pending = [t for t in self._connections if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=1.0)
+        for task in self._connections:
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        logger.info(
+            "drained after %d request(s); bye", self._requests_total
+        )
+        if self._installed_telemetry:
+            from repro.telemetry import NullTelemetry
+
+            set_telemetry(NullTelemetry())
+            self._installed_telemetry = False
+
+    # -- connection handling ----------------------------------------------
+
+    def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._serve_connection(reader, writer)
+        )
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        tm = get_telemetry()
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(
+                        reader, self.max_payload_bytes
+                    )
+                except ProtocolError as exc:
+                    # Malformed framing: answer if the transport still
+                    # works, then hang up — resync is impossible.
+                    tm.count("service.protocol_errors")
+                    with contextlib.suppress(Exception):
+                        await protocol.write_frame(
+                            writer,
+                            {"status": "error", "code": "protocol",
+                             "error": str(exc)},
+                        )
+                    return
+                if frame is None:  # clean EOF between frames
+                    return
+                header, payload = frame
+                await self._serve_request(writer, header, payload)
+        except (ConnectionResetError, BrokenPipeError):
+            logger.debug("peer %s reset", peer)
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_request(
+        self,
+        writer: asyncio.StreamWriter,
+        header: dict[str, Any],
+        payload: bytes,
+    ) -> None:
+        tm = get_telemetry()
+        op = str(header.get("op", "")).lower()
+        rid = header.get("id")
+        t0 = time.perf_counter()
+        self._requests_total += 1
+        tm.count("service.requests")
+        tm.count(f"service.requests.{op or 'unknown'}")
+        tm.count("service.bytes_in", len(payload))
+
+        async def reply(h: dict[str, Any], body: bytes = b"") -> None:
+            if rid is not None:
+                h["id"] = rid
+            tm.count("service.bytes_out", len(body))
+            with tm.span("service.reply", op=op, bytes=len(body)):
+                await protocol.write_frame(writer, h, body)
+            latency = time.perf_counter() - t0
+            with self._lat_lock:
+                self._latencies.append(latency)
+            tm.observe(
+                "service.latency_ms", latency * 1e3,
+                bounds=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000),
+            )
+
+        try:
+            with tm.span("service.request", op=op, bytes=len(payload)):
+                if op == "health":
+                    await reply(self._health())
+                elif op == "stats":
+                    await reply(self._stats())
+                elif op == "list":
+                    await reply(
+                        {"status": "ok",
+                         "compressors": available_compressors()}
+                    )
+                elif op in ("compress", "decompress", "sweep"):
+                    await self._serve_queued(op, header, payload, reply)
+                else:
+                    await reply(
+                        {"status": "error", "code": "bad_op",
+                         "error": f"unknown op {op!r}"}
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except ProtocolError as exc:
+            tm.count("service.protocol_errors")
+            await reply(
+                {"status": "error", "code": "protocol", "error": str(exc)}
+            )
+        except ReproError as exc:
+            tm.count("service.errors")
+            await reply(
+                {"status": "error", "code": type(exc).__name__,
+                 "error": str(exc)}
+            )
+        except Exception as exc:  # noqa: BLE001 — a bug must not kill the daemon
+            logger.exception("internal error serving %s", op)
+            tm.count("service.errors")
+            await reply(
+                {"status": "error", "code": "internal",
+                 "error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    async def _serve_queued(
+        self, op: str, header: dict[str, Any], payload: bytes, reply
+    ) -> None:
+        """Admit a data-plane request and await its batched result."""
+        if self.draining:
+            await reply(
+                {"status": "busy", "code": "draining",
+                 "retry_after_ms": DEFAULT_RETRY_AFTER_MS}
+            )
+            return
+        timeout_ms = header.get("timeout_ms")
+        if timeout_ms is None and self.default_timeout_s is not None:
+            timeout_ms = self.default_timeout_s * 1e3
+        deadline = (
+            time.perf_counter() + float(timeout_ms) / 1e3
+            if timeout_ms is not None
+            else None
+        )
+        request = PendingRequest(
+            op=op,
+            header=header,
+            payload=payload,
+            future=asyncio.get_running_loop().create_future(),
+            deadline=deadline,
+        )
+        if not self.batcher.admit(request):
+            await reply(
+                {"status": "busy", "code": "busy",
+                 "retry_after_ms": DEFAULT_RETRY_AFTER_MS}
+            )
+            return
+        try:
+            result = await request.future
+        except TimeoutError as exc:
+            await reply(
+                {"status": "error", "code": "deadline", "error": str(exc)}
+            )
+            return
+        if op == "compress":
+            buf: CompressedBuffer = result
+            await reply(
+                {
+                    "status": "ok",
+                    "compressor": header.get("compressor"),
+                    "mode": buf.mode.value,
+                    "parameter": buf.parameter,
+                    "dtype": np.dtype(buf.original_dtype).str,
+                    "shape": list(buf.original_shape),
+                    "compression_ratio": buf.compression_ratio,
+                    "bitrate": buf.bitrate,
+                    "meta": jsonable(buf.meta),
+                },
+                buf.payload,
+            )
+        elif op == "decompress":
+            arr: np.ndarray = result
+            await reply(
+                {"status": "ok", **protocol.array_fields(arr)},
+                protocol.pack_array(arr),
+            )
+        else:  # sweep
+            await reply({"status": "ok", "records": result})
+
+    # -- control-plane bodies ---------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "draining": self.draining,
+            "uptime_s": time.perf_counter() - self._started,
+            "queue_depth": self.batcher.depth,
+            "requests_total": self._requests_total,
+        }
+
+    def _stats(self) -> dict[str, Any]:
+        tm = get_telemetry()
+        with self._lat_lock:
+            window = list(self._latencies)
+        latency = {"window": len(window)}
+        if window:
+            latency.update(
+                p50_ms=_percentile(window, 50) * 1e3,
+                p99_ms=_percentile(window, 99) * 1e3,
+                mean_ms=sum(window) / len(window) * 1e3,
+            )
+        out: dict[str, Any] = {
+            "status": "ok",
+            "queue_depth": self.batcher.depth,
+            "requests_total": self._requests_total,
+            "latency": latency,
+            "metrics": (
+                tm.metrics.snapshot() if tm.enabled else {}
+            ),
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats.to_dict()
+        return out
+
+    # -- SWEEP body (runs on the executor thread via the batcher) ----------
+
+    def _run_sweep(self, request: PendingRequest) -> list[dict[str, Any]]:
+        from repro.foresight.cbench import CBench
+        from repro.foresight.config import CompressorSweep
+
+        header = request.header
+        field_name = str(header.get("field", "field"))
+        arr = protocol.unpack_array(header, request.payload)
+        entries = header.get("sweeps")
+        if not isinstance(entries, list) or not entries:
+            raise ServiceError("SWEEP needs a non-empty 'sweeps' list")
+        sweeps = [
+            CompressorSweep(
+                name=e["name"],
+                mode=e.get("mode", "abs"),
+                sweep=e.get("sweep", {}),
+                options=e.get("options", {}),
+            )
+            for e in entries
+        ]
+        bench = CBench(
+            {field_name: arr},
+            keep_reconstructions=False,
+            cache=self.cache,
+        )
+        records = bench.run_all(
+            sweeps, [field_name], workers=self.batcher.workers
+        )
+        rows = []
+        for rec in records:
+            row = rec.to_row()
+            row["cache"] = rec.meta.get("cache", "miss")
+            rows.append(jsonable(row))
+        return rows
+
+
+class ServiceThread:
+    """Run a :class:`CompressionService` on a background thread.
+
+    The embedding entry point (tests, benchmarks, notebooks)::
+
+        with ServiceThread(max_pending=16) as service:
+            with ServiceClient(port=service.port) as client:
+                ...
+
+    The context exit requests a drain and joins the thread.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        self.service = CompressionService(**kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.service.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self.loop.run_until_complete(
+                self.service.serve(install_signal_handlers=False)
+            )
+        finally:
+            self.loop.close()
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> "ServiceThread":
+        self.thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise ServiceError("service thread failed to start in 30s")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.service.request_drain)
+            self.thread.join(timeout)
+            if self.thread.is_alive():
+                raise ServiceError("service thread did not drain in time")
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -11,7 +11,28 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.errors import DataError
+from repro.errors import ConfigError, DataError
+
+_BYTE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a byte count with an optional binary K/M/G suffix (``"64M"``)."""
+    if isinstance(text, int):
+        value = text
+    else:
+        raw = str(text).strip().lower()
+        scale = 1
+        if raw and raw[-1] in _BYTE_SUFFIXES:
+            scale = _BYTE_SUFFIXES[raw[-1]]
+            raw = raw[:-1]
+        try:
+            value = int(raw) * scale
+        except ValueError as exc:
+            raise ConfigError(f"cannot parse byte count {text!r}") from exc
+    if value < 1:
+        raise ConfigError(f"byte count must be >= 1, got {text!r}")
+    return value
 
 
 def check_dtype(arr: np.ndarray, allowed: Iterable[np.dtype | type], name: str = "array") -> None:

@@ -139,6 +139,83 @@ class TestResultCache:
         assert not list(cache.path_for(key).parent.glob("*.tmp"))
 
 
+class TestBoundedCache:
+    """LRU eviction when the store has a ``max_bytes`` cap."""
+
+    def _fill(self, cache, n, payload_floats=256):
+        keys = [f"{i:02x}" + "e" * 62 for i in range(n)]
+        for i, key in enumerate(keys):
+            cache.put(key, np.full(payload_floats, float(i)))
+            # Spread access times far apart so LRU order is unambiguous
+            # regardless of filesystem timestamp granularity.
+            os.utime(cache.path_for(key), ns=(i * 10**9, i * 10**9))
+        return keys
+
+    def _entry_size(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        key = "aa" + "0" * 62
+        probe.put(key, np.full(256, 1.0))
+        return probe.path_for(key).stat().st_size
+
+    def test_put_evicts_least_recently_used(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=3 * size + size // 2)
+        keys = self._fill(cache, 4)
+        # Cap fits 3 entries: the oldest-accessed must be gone.
+        assert cache.get(keys[0]) is None
+        assert all(cache.get(k) is not None for k in keys[1:])
+        assert cache.stats.evictions == 1
+        assert len(cache) == 3
+
+    def test_get_refreshes_recency(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=3 * size + size // 2)
+        keys = self._fill(cache, 3)
+        assert cache.get(keys[0]) is not None  # utime bumps keys[0] to newest
+        extra = "ff" + "f" * 62
+        cache.put(extra, np.full(256, 9.0))
+        # keys[1] is now the least recently used, not keys[0].
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+        assert cache.get(extra) is not None
+
+    def test_just_put_entry_survives_even_tiny_cap(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_bytes=1)
+        key = "ab" + "1" * 62
+        cache.put(key, np.arange(1024, dtype=np.float64))
+        # The entry alone exceeds the cap but its own put must not evict it.
+        assert cache.get(key) is not None
+
+    def test_unbounded_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 6)
+        assert len(cache) == 6
+        assert cache.stats.evictions == 0
+
+    def test_max_bytes_accepts_suffixes_and_env(self, tmp_path, monkeypatch):
+        assert ResultCache(tmp_path / "a", max_bytes="4K").max_bytes == 4096
+        assert ResultCache(tmp_path / "b", max_bytes="2M").max_bytes == 2 << 20
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "1K")
+        assert ResultCache(tmp_path / "d").max_bytes == 1024
+        # Explicit argument wins over the environment.
+        assert ResultCache(tmp_path / "e", max_bytes=77).max_bytes == 77
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "")
+        assert ResultCache(tmp_path / "f").max_bytes is None
+
+    def test_bad_max_bytes_rejected(self, tmp_path):
+        from repro.errors import ConfigError
+
+        for bad in ("nope", "-1", "0"):
+            with pytest.raises(ConfigError):
+                ResultCache(tmp_path / "c", max_bytes=bad)
+
+    def test_eviction_counts_in_stats_dict(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "c", max_bytes=2 * size + size // 2)
+        self._fill(cache, 5)
+        assert cache.stats.to_dict()["evictions"] == 3
+
+
 class TestCBenchIntegration:
     def _sweep(self):
         return CompressorSweep(

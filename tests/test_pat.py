@@ -1,5 +1,7 @@
 """Tests for PAT: Job, Workflow, and the SLURM simulator."""
 
+import time
+
 import pytest
 
 from repro.errors import ScheduleError
@@ -137,3 +139,104 @@ class TestSimulator:
     def test_invalid_cluster_size(self):
         with pytest.raises(ScheduleError):
             SlurmSimulator(nodes=0)
+
+
+class TestTimeoutsAndRetries:
+    def test_bad_timeout_and_retry_values_rejected(self):
+        with pytest.raises(ScheduleError):
+            Job(name="j", action=_noop, timeout_s=0)
+        with pytest.raises(ScheduleError):
+            Job(name="j", action=_noop, timeout_s=-1.0)
+        with pytest.raises(ScheduleError):
+            Job(name="j", action=_noop, retries=-1)
+        with pytest.raises(ScheduleError):
+            Job(name="j", action=_noop, retry_backoff_s=-0.1)
+
+    def test_timeout_fails_job_and_cascades(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="stuck", action=lambda: time.sleep(30),
+                       timeout_s=0.1))
+        wf.add_job(Job(name="after", action=_noop, depends_on=["stuck"]))
+        t0 = time.perf_counter()
+        records = SlurmSimulator().run(wf)
+        assert time.perf_counter() - t0 < 10  # abandoned, not awaited
+        assert records["stuck"].state is JobState.FAILED
+        assert "TimeoutError" in records["stuck"].error
+        assert records["stuck"].attempts == 1
+        assert records["after"].state is JobState.CANCELLED
+
+    def test_fast_job_unaffected_by_timeout(self):
+        wf = Workflow("w")
+        wf.add_job(Job(name="quick", action=_noop, timeout_s=30.0))
+        rec = SlurmSimulator().run(wf)["quick"]
+        assert rec.state is JobState.COMPLETED
+        assert rec.result == "done"
+        assert rec.attempts == 1
+
+    def test_retry_succeeds_on_second_attempt(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+            return "recovered"
+
+        wf = Workflow("w")
+        wf.add_job(Job(name="flaky", action=flaky, retries=2))
+        rec = SlurmSimulator().run(wf)["flaky"]
+        assert rec.state is JobState.COMPLETED
+        assert rec.result == "recovered"
+        assert rec.attempts == 2
+        assert rec.error is None
+
+    def test_retries_exhausted_records_failed(self):
+        calls = []
+
+        def always_bad():
+            calls.append(1)
+            raise ValueError("permanent")
+
+        wf = Workflow("w")
+        wf.add_job(Job(name="bad", action=always_bad, retries=2))
+        wf.add_job(Job(name="after", action=_noop, depends_on=["bad"]))
+        records = SlurmSimulator().run(wf)
+        assert len(calls) == 3  # first attempt + 2 retries
+        assert records["bad"].state is JobState.FAILED
+        assert records["bad"].attempts == 3
+        assert "ValueError: permanent" in records["bad"].error
+        assert records["after"].state is JobState.CANCELLED
+
+    def test_retry_backoff_is_exponential(self):
+        calls = []
+
+        def always_bad():
+            calls.append(time.perf_counter())
+            raise RuntimeError("nope")
+
+        wf = Workflow("w")
+        wf.add_job(Job(name="bad", action=always_bad, retries=2,
+                       retry_backoff_s=0.05))
+        SlurmSimulator().run(wf)
+        assert len(calls) == 3
+        gap1 = calls[1] - calls[0]
+        gap2 = calls[2] - calls[1]
+        assert gap1 >= 0.05
+        assert gap2 >= 0.1  # doubled
+
+    def test_timeout_attempts_can_retry_and_recover(self):
+        calls = []
+
+        def slow_then_fast():
+            calls.append(1)
+            if len(calls) < 2:
+                time.sleep(30)
+            return "made it"
+
+        wf = Workflow("w")
+        wf.add_job(Job(name="j", action=slow_then_fast,
+                       timeout_s=0.1, retries=1))
+        rec = SlurmSimulator().run(wf)["j"]
+        assert rec.state is JobState.COMPLETED
+        assert rec.result == "made it"
+        assert rec.attempts == 2

@@ -1,0 +1,451 @@
+"""The compression daemon: correctness under concurrency, backpressure,
+deadlines, graceful drain, and the service CLI."""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
+from repro.compressors.registry import (
+    available_compressors,
+    get_compressor,
+    register_compressor,
+)
+from repro.errors import ConfigError, ServiceBusyError, ServiceError
+from repro.service import ServiceClient, ServiceThread
+from repro.service import protocol
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+
+class SleepyCompressor(Compressor):
+    """Test-only codec that holds the batcher for a controllable time.
+
+    Only usable with in-process batches (``workers=1``): worker
+    processes import a fresh registry that has never seen it.
+    """
+
+    name = "sleepy-test"
+    supported_modes = (CompressorMode.ABS,)
+
+    def __init__(self, delay: float = 0.5) -> None:
+        self.delay = delay
+
+    def compress(self, data, error_bound=None, mode=None, **_):
+        time.sleep(self.delay)
+        data = np.asarray(data)
+        return CompressedBuffer(
+            payload=data.tobytes(),
+            original_shape=data.shape,
+            original_dtype=data.dtype,
+            mode=CompressorMode.ABS,
+            parameter=float(error_bound or 0.0),
+        )
+
+    def decompress(self, buf):
+        return np.frombuffer(buf.payload, dtype=buf.original_dtype).reshape(
+            buf.original_shape
+        )
+
+
+try:
+    register_compressor("sleepy-test", SleepyCompressor)
+except ConfigError:  # re-imported module; already registered
+    pass
+
+
+def _field(side: int = 12, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((side, side, side)) * 40).astype(np.float32)
+
+
+def _counter(stats: dict, name: str) -> float:
+    inst = stats.get("metrics", {}).get(name)
+    return float(inst["value"]) if inst else 0.0
+
+
+class TestBasicOps:
+    def test_compress_matches_direct_call(self):
+        field = _field()
+        with ServiceThread() as st, ServiceClient(port=st.port) as client:
+            buf = client.compress(field, "sz", mode="abs", value=0.1)
+            local = get_compressor("sz").compress(
+                field, mode="abs", error_bound=0.1
+            )
+            assert buf.payload == local.payload
+            assert buf.compression_ratio == local.compression_ratio
+            assert buf.mode is CompressorMode.ABS
+            assert buf.original_shape == field.shape
+            recon = client.decompress(buf)
+            assert np.array_equal(recon, get_compressor("sz").decompress(local))
+
+    def test_list_health_stats(self):
+        with ServiceThread() as st, ServiceClient(port=st.port) as client:
+            assert client.list_compressors() == available_compressors()
+            health = client.health()
+            assert health["status"] == "ok" and not health["draining"]
+            client.compress(_field(8), "zfp", mode="fixed_rate", value=8.0)
+            stats = client.stats()
+            assert stats["requests_total"] >= 3
+            assert stats["latency"]["window"] >= 1
+            assert stats["latency"]["p99_ms"] >= stats["latency"]["p50_ms"]
+            assert _counter(stats, "service.requests.compress") >= 1
+            assert _counter(stats, "service.bytes_in") > 0
+
+    def test_error_reply_does_not_kill_connection(self):
+        with ServiceThread() as st, ServiceClient(port=st.port) as client:
+            with pytest.raises(ServiceError, match="unknown compressor"):
+                client.compress(_field(8), "no-such-codec", value=0.1)
+            # Same socket keeps working afterwards.
+            buf = client.compress(_field(8), "sz", mode="abs", value=0.5)
+            assert buf.compressed_nbytes > 0
+
+    def test_bad_array_fails_alone(self):
+        with ServiceThread() as st, ServiceClient(port=st.port) as client:
+            ints = np.arange(64, dtype=np.int64).reshape(4, 4, 4)
+            with pytest.raises(ServiceError, match="dtype"):
+                client.compress(ints, "sz", mode="abs", value=0.1)
+
+    def test_unknown_op_is_an_error(self):
+        with ServiceThread() as st:
+            with socket.create_connection(("127.0.0.1", st.port)) as sock:
+                protocol.write_frame_sock(sock, {"op": "frobnicate", "id": 1})
+                reply, _ = protocol.read_frame_sock(sock)
+                assert reply["status"] == "error"
+                assert reply["code"] == "bad_op"
+
+    def test_malformed_frame_gets_protocol_error_then_close(self):
+        with ServiceThread() as st:
+            with socket.create_connection(("127.0.0.1", st.port)) as sock:
+                sock.sendall(b"GARBAGE-NOT-MSG1" * 4)
+                reply, _ = protocol.read_frame_sock(sock)
+                assert reply["status"] == "error"
+                assert reply["code"] == "protocol"
+                assert sock.recv(1) == b""  # server hung up: no resync
+            # The daemon survives hostile input: a new connection works.
+            with ServiceClient(port=st.port) as client:
+                assert client.health()["status"] == "ok"
+
+    def test_fuzzed_junk_never_kills_the_daemon(self):
+        rng = np.random.default_rng(42)
+        with ServiceThread() as st:
+            for _ in range(10):
+                blob = rng.integers(
+                    0, 256, size=int(rng.integers(1, 200)), dtype=np.uint8
+                ).tobytes()
+                with socket.create_connection(("127.0.0.1", st.port)) as sock:
+                    sock.sendall(blob)
+                    sock.shutdown(socket.SHUT_WR)
+                    sock.recv(1 << 16)  # whatever the server answers
+            with ServiceClient(port=st.port) as client:
+                assert client.health()["status"] == "ok"
+
+
+class TestConcurrentStress:
+    def test_responses_bit_exact_under_concurrency(self):
+        """N threads hammer one daemon; every reply must be byte-identical
+        to the direct library call for its configuration."""
+        field = _field(16)
+        configs = [
+            ("sz", "abs", 0.5),
+            ("sz", "abs", 0.1),
+            ("zfp", "fixed_rate", 8.0),
+            ("zfp", "fixed_rate", 4.0),
+        ]
+        expected = {}
+        for name, mode, value in configs:
+            knob = {"abs": "error_bound", "fixed_rate": "rate"}[mode]
+            expected[(name, mode, value)] = get_compressor(name).compress(
+                field, mode=mode, **{knob: value}
+            ).payload
+
+        n_threads, per_thread = 8, 8
+        failures: list[str] = []
+
+        with ServiceThread(max_pending=256) as st:
+            before_client = ServiceClient(port=st.port)
+            before = before_client.stats()
+            before_client.close()
+
+            def worker(tid: int) -> None:
+                with ServiceClient(port=st.port, seed=tid) as client:
+                    for i in range(per_thread):
+                        name, mode, value = configs[(tid + i) % len(configs)]
+                        buf = client.compress(field, name, mode=mode, value=value)
+                        if buf.payload != expected[(name, mode, value)]:
+                            failures.append(
+                                f"thread {tid} req {i}: {name}/{mode}/{value}"
+                            )
+
+            threads = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            stats_client = ServiceClient(port=st.port)
+            stats = stats_client.stats()
+            stats_client.close()
+
+        assert not failures, failures
+        # Telemetry counters are process-wide and survive across servers,
+        # so assert on deltas over this test's window.
+        compressed = (
+            _counter(stats, "service.requests.compress")
+            - _counter(before, "service.requests.compress")
+        )
+        batches = (
+            _counter(stats, "service.batches")
+            - _counter(before, "service.batches")
+        )
+        assert compressed == n_threads * per_thread
+        # Concurrent same-config arrivals must have coalesced: strictly
+        # fewer dispatches than requests.
+        assert batches < n_threads * per_thread
+
+    def test_large_fields_through_shm_dispatch(self):
+        """A multi-request batch of >=64 KiB arrays with workers=2 takes
+        the shared-memory dispatch path and stays bit-exact."""
+        field = _field(32)  # 128 KiB: above SHM_MIN_BYTES
+        expected = get_compressor("zfp").compress(
+            field, mode="fixed_rate", rate=8.0
+        ).payload
+        results: list[bytes] = []
+        with ServiceThread(workers=2, batch_window_s=0.1) as st:
+            def worker() -> None:
+                with ServiceClient(port=st.port) as client:
+                    buf = client.compress(
+                        field, "zfp", mode="fixed_rate", value=8.0
+                    )
+                    results.append(buf.payload)
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+        assert len(results) == 4
+        assert all(r == expected for r in results)
+
+
+class TestBackpressure:
+    def test_busy_reply_when_queue_full(self):
+        field = _field(6)
+        with ServiceThread(max_pending=1, workers=1, batch_window_s=0.0) as st:
+            blocker_done = threading.Event()
+
+            def blocker() -> None:
+                with ServiceClient(port=st.port) as client:
+                    client.compress(field, "sleepy-test", mode="abs", value=2.0)
+                blocker_done.set()
+
+            t = threading.Thread(target=blocker)
+            t.start()
+            # Wait until the blocker's request was *dequeued* (in flight).
+            with ServiceClient(port=st.port) as probe:
+                rejected0 = _counter(probe.stats(), "service.rejected_busy")
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    h = probe.health()
+                    if h["requests_total"] >= 1 and h["queue_depth"] == 0:
+                        break
+                    time.sleep(0.01)
+
+                # Fill the single queue slot from another thread...
+                filler_started = threading.Event()
+
+                def filler() -> None:
+                    with ServiceClient(port=st.port) as client:
+                        filler_started.set()
+                        client.compress(field, "sz", mode="abs", value=0.5)
+
+                f = threading.Thread(target=filler)
+                f.start()
+                filler_started.wait(5)
+                deadline = time.monotonic() + 5
+                while probe.health()["queue_depth"] < 1:
+                    assert time.monotonic() < deadline, "filler never queued"
+                    time.sleep(0.01)
+
+                # ...so the next request must bounce with BUSY.
+                with ServiceClient(port=st.port, busy_retries=0) as client:
+                    with pytest.raises(ServiceBusyError):
+                        client.compress(field, "sz", mode="abs", value=0.25)
+
+                stats = probe.stats()
+                assert _counter(stats, "service.rejected_busy") >= rejected0 + 1
+            t.join(30)
+            f.join(30)
+            assert blocker_done.is_set()
+
+    def test_client_retry_rides_out_the_busy_window(self):
+        """With retries enabled the same overload resolves transparently."""
+        field = _field(6)
+        with ServiceThread(max_pending=1, workers=1, batch_window_s=0.0) as st:
+            def blocker() -> None:
+                with ServiceClient(port=st.port) as client:
+                    client.compress(field, "sleepy-test", mode="abs", value=2.0)
+
+            threads = [threading.Thread(target=blocker) for _ in range(3)]
+            for t in threads:
+                t.start()
+                time.sleep(0.05)
+            # Three sleepy requests saturate a 1-deep queue; a patient
+            # client gets through anyway.
+            with ServiceClient(
+                port=st.port, busy_retries=40, retry_base_s=0.05, seed=1
+            ) as client:
+                buf = client.compress(field, "sz", mode="abs", value=0.5)
+                assert buf.compressed_nbytes > 0
+            for t in threads:
+                t.join(60)
+
+
+class TestDeadlines:
+    def test_deadline_expires_in_queue(self):
+        field = _field(6)
+        with ServiceThread(max_pending=8, workers=1, batch_window_s=0.0) as st:
+            def blocker() -> None:
+                with ServiceClient(port=st.port) as client:
+                    client.compress(field, "sleepy-test", mode="abs", value=2.0)
+
+            t = threading.Thread(target=blocker)
+            t.start()
+            time.sleep(0.1)  # let the sleepy batch occupy the dispatcher
+            with ServiceClient(port=st.port) as client:
+                expired0 = _counter(client.stats(), "service.deadline_expired")
+                with pytest.raises(ServiceError, match="deadline"):
+                    client.compress(
+                        field, "sz", mode="abs", value=0.5, timeout_ms=50
+                    )
+                stats = client.stats()
+                assert _counter(stats, "service.deadline_expired") >= expired0 + 1
+            t.join(30)
+
+
+class TestGracefulDrain:
+    def test_drain_finishes_in_flight_and_refuses_new(self):
+        field = _field(6)
+        with ServiceThread(workers=1, batch_window_s=0.0) as st:
+            result: dict = {}
+
+            def in_flight() -> None:
+                with ServiceClient(port=st.port) as client:
+                    result["buf"] = client.compress(
+                        field, "sleepy-test", mode="abs", value=2.0
+                    )
+
+            t = threading.Thread(target=in_flight)
+            t.start()
+            time.sleep(0.15)  # request admitted and computing
+
+            with ServiceClient(port=st.port) as probe:
+                assert probe.health()["status"] == "ok"
+                st.loop.call_soon_threadsafe(st.service.request_drain)
+                deadline = time.monotonic() + 5
+                while not st.service.draining:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.01)
+                # New work on an existing connection: refused as draining.
+                with pytest.raises(ServiceBusyError):
+                    probe.busy_retries = 0
+                    probe.compress(field, "sz", mode="abs", value=0.5)
+
+            t.join(30)
+            assert result["buf"].payload == np.ascontiguousarray(field).tobytes()
+        # ServiceThread.__exit__ joined the server thread: fully drained.
+        assert not st.thread.is_alive()
+
+    def test_sigterm_drains_the_cli_daemon(self, tmp_path):
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--port", "0", "--quiet"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving on ")
+            port = int(line.rsplit(":", 1)[1])
+            with ServiceClient(port=port, connect_timeout_s=20) as client:
+                buf = client.compress(
+                    _field(8), "zfp", mode="fixed_rate", value=8.0
+                )
+                assert buf.compressed_nbytes > 0
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0
+            assert "drained" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+
+class TestSweep:
+    def test_sweep_matches_local_cbench_and_serves_warm(self, tmp_path):
+        from repro.foresight.cbench import CBench
+        from repro.foresight.config import CompressorSweep
+
+        field = _field(10)
+        sweeps = [{
+            "name": "sz", "mode": "abs",
+            "sweep": {"error_bound": [0.5, 0.25]},
+        }]
+        local = CBench(
+            {"field": field}, keep_reconstructions=False
+        ).run(CompressorSweep(name="sz", mode="abs",
+                              sweep={"error_bound": [0.5, 0.25]}))
+        # workers=1 keeps the sweep's cache lookups in the server process:
+        # ResultCache stats are per-instance, so worker-process hits would
+        # not show in the server's STATS (the rows' cache column still would).
+        with ServiceThread(cache=str(tmp_path / "cache"), workers=1) as st:
+            with ServiceClient(port=st.port) as client:
+                cold = client.sweep(field, sweeps)
+                warm = client.sweep(field, sweeps)
+                stats = client.stats()
+        assert [r["parameter"] for r in cold] == [r.parameter for r in local]
+        assert [r["compression_ratio"] for r in cold] == [
+            r.compression_ratio for r in local
+        ]
+        assert all(r["cache"] == "miss" for r in cold)
+        assert all(r["cache"] == "hit" for r in warm)
+        assert stats["cache"]["hits"] >= 2
+
+    def test_sweep_without_entries_is_an_error(self):
+        with ServiceThread() as st, ServiceClient(port=st.port) as client:
+            with pytest.raises(ServiceError, match="sweeps"):
+                client.sweep(_field(6), [])
+
+
+class TestCli:
+    def test_compress_subcommand_round_trip(self, tmp_path):
+        field = _field(8)
+        src = tmp_path / "field.npy"
+        np.save(src, field)
+        out = tmp_path / "field.sz"
+        with ServiceThread() as st:
+            from repro.service.cli import main
+
+            rc = main([
+                "compress", str(src), "--compressor", "sz",
+                "--mode", "abs", "--value", "0.5",
+                "--port", str(st.port), "--out", str(out),
+            ])
+        assert rc == 0
+        local = get_compressor("sz").compress(field, mode="abs", error_bound=0.5)
+        assert out.read_bytes() == local.payload

@@ -1,0 +1,169 @@
+"""MSG1 wire protocol: round-trips, limits, and hostile-input rejection."""
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+class TestFrameRoundTrip:
+    def test_header_only(self):
+        frame = protocol.encode_frame({"op": "health", "id": 7})
+        header, payload = protocol.decode_frame(frame)
+        assert header == {"op": "health", "id": 7}
+        assert payload == b""
+
+    def test_header_and_payload(self):
+        body = bytes(range(256)) * 17
+        frame = protocol.encode_frame({"op": "compress", "x": [1, 2]}, body)
+        header, payload = protocol.decode_frame(frame)
+        assert header["x"] == [1, 2]
+        assert payload == body
+
+    def test_header_encoding_is_canonical(self):
+        a = protocol.encode_header({"b": 1, "a": 2})
+        b = protocol.encode_header({"a": 2, "b": 1})
+        assert a == b  # sort_keys: equal dicts → equal bytes
+
+    def test_prefix_layout(self):
+        frame = protocol.encode_frame({"k": 1}, b"xyz")
+        magic, hlen, plen = protocol.PREFIX.unpack(frame[: protocol.PREFIX.size])
+        assert magic == b"MSG1"
+        assert hlen == len(protocol.encode_header({"k": 1}))
+        assert plen == 3
+
+
+class TestRejection:
+    def test_bad_magic(self):
+        frame = bytearray(protocol.encode_frame({"op": "x"}))
+        frame[:4] = b"MSG9"
+        with pytest.raises(ProtocolError, match="magic"):
+            protocol.decode_frame(bytes(frame))
+
+    def test_truncated_prefix(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            protocol.parse_prefix(b"MSG1\x00")
+
+    def test_zero_header_length(self):
+        prefix = protocol.PREFIX.pack(b"MSG1", 0, 0)
+        with pytest.raises(ProtocolError, match="header length"):
+            protocol.parse_prefix(prefix)
+
+    def test_oversized_header_length(self):
+        prefix = protocol.PREFIX.pack(b"MSG1", protocol.MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="header length"):
+            protocol.parse_prefix(prefix)
+
+    def test_oversized_payload_length(self):
+        prefix = protocol.PREFIX.pack(b"MSG1", 2, 1 << 40)
+        with pytest.raises(ProtocolError, match="payload length"):
+            protocol.parse_prefix(prefix)
+
+    def test_payload_cap_is_configurable(self):
+        prefix = protocol.PREFIX.pack(b"MSG1", 2, 100)
+        with pytest.raises(ProtocolError):
+            protocol.parse_prefix(prefix, max_payload_bytes=99)
+        assert protocol.parse_prefix(prefix, max_payload_bytes=100) == (2, 100)
+
+    def test_header_must_be_json(self):
+        raw = b"\xff\xfe not json"
+        frame = protocol.PREFIX.pack(b"MSG1", len(raw), 0) + raw
+        with pytest.raises(ProtocolError, match="JSON"):
+            protocol.decode_frame(frame)
+
+    def test_header_must_be_an_object(self):
+        raw = b"[1,2,3]"
+        frame = protocol.PREFIX.pack(b"MSG1", len(raw), 0) + raw
+        with pytest.raises(ProtocolError, match="object"):
+            protocol.decode_frame(frame)
+
+    def test_length_mismatch(self):
+        frame = protocol.encode_frame({"op": "x"}, b"abc")
+        with pytest.raises(ProtocolError, match="expected"):
+            protocol.decode_frame(frame + b"extra")
+        with pytest.raises(ProtocolError):
+            protocol.decode_frame(frame[:-1])
+
+    def test_fuzzed_prefixes_never_crash(self):
+        """Random bytes must only ever raise ProtocolError."""
+        rng = np.random.default_rng(1234)
+        for size in (0, 1, 15, 16, 17, 64, 300):
+            for _ in range(200):
+                blob = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+                try:
+                    protocol.decode_frame(blob)
+                except ProtocolError:
+                    pass
+
+    def test_fuzzed_headers_never_crash(self):
+        """Valid framing around garbage headers must raise ProtocolError."""
+        rng = np.random.default_rng(99)
+        for _ in range(200):
+            raw = rng.integers(0, 256, size=rng.integers(1, 80),
+                               dtype=np.uint8).tobytes()
+            frame = protocol.PREFIX.pack(b"MSG1", len(raw), 0) + raw
+            try:
+                protocol.decode_frame(frame)
+            except ProtocolError:
+                pass
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("dtype", ["<f4", "<f8", "<i4"])
+    def test_round_trip(self, dtype):
+        rng = np.random.default_rng(5)
+        arr = (rng.standard_normal((3, 4, 5)) * 100).astype(np.dtype(dtype))
+        fields = protocol.array_fields(arr)
+        back = protocol.unpack_array(fields, protocol.pack_array(arr))
+        assert back.dtype == arr.dtype
+        assert back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(24, dtype=np.float32).reshape(4, 6)[:, ::2]
+        back = protocol.unpack_array(
+            protocol.array_fields(arr), protocol.pack_array(arr)
+        )
+        assert np.array_equal(back, arr)
+
+    def test_size_mismatch_rejected(self):
+        arr = np.zeros(8, dtype=np.float32)
+        fields = protocol.array_fields(arr)
+        with pytest.raises(ProtocolError, match="payload"):
+            protocol.unpack_array(fields, protocol.pack_array(arr)[:-4])
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ProtocolError, match="array header"):
+            protocol.unpack_array({"dtype": "not-a-dtype", "shape": [2]}, b"??")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="array header"):
+            protocol.unpack_array({"shape": [2]}, b"1234")
+
+
+class TestSocketIO:
+    def test_blocking_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"stream-bytes" * 100
+            protocol.write_frame_sock(a, {"op": "compress", "id": 1}, payload)
+            header, body = protocol.read_frame_sock(b)
+            assert header["op"] == "compress"
+            assert body == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_hangup_mid_frame(self):
+        a, b = socket.socketpair()
+        try:
+            frame = protocol.encode_frame({"op": "x"}, b"data")
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="closed"):
+                protocol.read_frame_sock(b)
+        finally:
+            b.close()
