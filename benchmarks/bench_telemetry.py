@@ -1,0 +1,192 @@
+"""Telemetry overhead guard: instrumentation must be free when off.
+
+The observability layer promises that with the default
+:class:`~repro.telemetry.NullTelemetry` active, every instrumentation
+site costs one method call and nothing else.  This benchmark turns that
+promise into a regression gate:
+
+* **site cost** — microbenchmark the null paths (``span`` enter/exit,
+  ``count``, ``observe``): nanoseconds per site;
+* **site count** — run one SZ compress+decompress under a counting
+  ``NullTelemetry`` subclass and count how many sites the hot path
+  actually hits (spans, counters, histograms — everything);
+* **request time** — time the same compress+decompress in normal
+  NullTelemetry mode.
+
+Acceptance: ``sites x site_cost`` — the *total* cost the disabled
+instrumentation can possibly add — must stay under **5%** of the
+measured request time.  The guard fails if someone fattens the null
+path (e.g. builds attr dicts before the enabled check) or sprays sites
+into a per-element loop; both are how "zero-cost when off" erodes.
+
+Also reported (not asserted): the service client's fast-path gate —
+the ``get_telemetry()`` + ``trace_context.current()`` check every
+untraced request pays — in nanoseconds.
+
+CI smoke: ``python benchmarks/bench_telemetry.py --quick``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+if SRC not in sys.path:  # standalone `python benchmarks/bench_telemetry.py`
+    sys.path.insert(0, SRC)
+
+from repro.compressors.registry import get_compressor
+from repro.telemetry import NullTelemetry, get_telemetry, set_telemetry
+from repro.telemetry import context as trace_context
+
+GRID = 32
+COMPRESSOR = "sz"
+ERROR_BOUND = 1e-3
+OVERHEAD_CEILING = 0.05
+
+
+def _field() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(GRID, GRID, GRID)).astype(np.float32)
+
+
+class _CountingNull(NullTelemetry):
+    """NullTelemetry that tallies how many sites the hot path hits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def span(self, name, **attrs):
+        self.calls += 1
+        return super().span(name, **attrs)
+
+    def trace(self, name=None, **attrs):
+        self.calls += 1
+        return super().trace(name, **attrs)
+
+    def count(self, name, amount=1.0):
+        self.calls += 1
+
+    def set_gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, value, bounds=()):
+        self.calls += 1
+
+    def observe_many(self, name, values, bounds=()):
+        self.calls += 1
+
+
+def _null_site_cost_s(iters: int) -> tuple[float, float]:
+    """(span enter/exit, counter update) seconds per site, telemetry off."""
+    tm = NullTelemetry()
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        with tm.span("bench.site", bytes=4096):
+            pass
+    span_s = (time.perf_counter() - t0) / iters
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        tm.count("bench.counter", 1)
+    count_s = (time.perf_counter() - t0) / iters
+    return span_s, count_s
+
+
+def _client_gate_cost_s(iters: int) -> float:
+    """The untraced service client's per-request fast-path check."""
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if get_telemetry().enabled or trace_context.current() is not None:
+            raise AssertionError("benchmark requires disabled telemetry")
+    return (time.perf_counter() - t0) / iters
+
+
+def _count_sites(field: np.ndarray) -> int:
+    """Instrumentation sites one compress+decompress actually executes."""
+    shim = _CountingNull()
+    previous = set_telemetry(shim)
+    try:
+        compressor = get_compressor(COMPRESSOR)
+        buf = compressor.compress(field, mode="abs", error_bound=ERROR_BOUND)
+        compressor.decompress(buf)
+    finally:
+        set_telemetry(previous)
+    return shim.calls
+
+
+def _request_time_s(field: np.ndarray, reps: int) -> float:
+    """Median compress+decompress seconds in normal NullTelemetry mode."""
+    compressor = get_compressor(COMPRESSOR)
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        buf = compressor.compress(field, mode="abs", error_bound=ERROR_BOUND)
+        compressor.decompress(buf)
+        times.append(time.perf_counter() - t0)
+    return sorted(times)[len(times) // 2]
+
+
+def _report(reps: int, micro_iters: int) -> tuple[list[str], float]:
+    assert not get_telemetry().enabled, "run with telemetry disabled"
+    field = _field()
+    span_s, count_s = _null_site_cost_s(micro_iters)
+    site_s = max(span_s, count_s)  # charge every site the dearer kind
+    gate_s = _client_gate_cost_s(micro_iters)
+    sites = _count_sites(field)
+    request_s = _request_time_s(field, reps)
+    worst_case_s = sites * site_s
+    overhead = worst_case_s / request_s
+    lines = [
+        f"telemetry overhead guard: {COMPRESSOR.upper()} "
+        f"compress+decompress of a {GRID}^3 f4 field, telemetry OFF",
+        f"null site cost: span {span_s * 1e9:7.1f} ns   "
+        f"counter {count_s * 1e9:7.1f} ns   (charging {site_s * 1e9:.1f} ns/site)",
+        f"client fast-path gate: {gate_s * 1e9:7.1f} ns/request",
+        f"sites hit per request: {sites}",
+        f"request time: {request_s * 1e3:8.2f} ms (median of {reps})",
+        f"worst-case disabled-instrumentation cost: "
+        f"{worst_case_s * 1e6:8.1f} us = {overhead * 100:.3f}% of the request",
+        f"ceiling: {OVERHEAD_CEILING * 100:.0f}%",
+    ]
+    return lines, overhead
+
+
+def test_null_telemetry_overhead():
+    lines, overhead = _report(reps=9, micro_iters=200_000)
+    write_result("telemetry", "\n".join(lines))
+    assert overhead <= OVERHEAD_CEILING, (
+        f"disabled telemetry could cost {overhead * 100:.2f}% of a request "
+        f"(ceiling {OVERHEAD_CEILING * 100:.0f}%)"
+    )
+
+
+try:  # pytest collection (conftest lives beside this file)
+    from conftest import write_result
+except ImportError:  # standalone --quick
+    def write_result(experiment_id: str, text: str) -> None:
+        results = Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def _quick() -> None:
+    lines, overhead = _report(reps=3, micro_iters=50_000)
+    print("\n".join(lines))
+    assert overhead <= OVERHEAD_CEILING, (
+        f"disabled telemetry could cost {overhead * 100:.2f}% of a request"
+    )
+
+
+def main(argv: list[str]) -> None:
+    if argv[:1] == ["--quick"]:
+        _quick()
+    else:
+        raise SystemExit("usage: bench_telemetry.py --quick")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

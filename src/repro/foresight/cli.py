@@ -47,17 +47,28 @@ from repro.telemetry.export import write_chrome, write_jsonl
 logger = logging.getLogger("repro.foresight")
 
 
-def configure_logging(verbosity: int = 0, quiet: bool = False) -> None:
+def configure_logging(
+    verbosity: int = 0, quiet: bool = False, json_logs: bool = False
+) -> None:
     """Wire the ``repro.foresight`` logger hierarchy to stderr.
 
     ``quiet`` shows warnings only; default shows INFO; ``-v`` adds DEBUG
-    (including per-job PAT scheduler transitions).
+    (including per-job PAT scheduler transitions).  ``json_logs`` swaps
+    in :class:`repro.telemetry.logs.JsonLogFormatter`: one JSON object
+    per record, stamped with the active trace/request ids.
     """
     level = logging.WARNING if quiet else (
         logging.DEBUG if verbosity > 0 else logging.INFO
     )
     handler = logging.StreamHandler(sys.stderr)
-    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    if json_logs:
+        from repro.telemetry.logs import JsonLogFormatter
+
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
     root = logging.getLogger("repro")
     root.handlers[:] = [handler]
     root.setLevel(level)
@@ -217,6 +228,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="suppress the result table and progress logging")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="debug-level progress logging")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit one JSON object per log record, stamped "
+                             "with trace/request ids when available")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="enable telemetry; write the span trace here "
                              "(.json = Chrome trace format, else JSONL)")
@@ -234,7 +248,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="disable the shared-memory field transport for "
                              "parallel sweeps (same as REPRO_NO_SHM=1)")
     args = parser.parse_args(argv)
-    configure_logging(verbosity=args.verbose, quiet=args.quiet)
+    configure_logging(verbosity=args.verbose, quiet=args.quiet,
+                      json_logs=args.log_json)
     try:
         cfg = load_config(Path(args.config))
         run_study(cfg, nodes=args.nodes, verbose=not args.quiet,

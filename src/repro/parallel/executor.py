@@ -40,6 +40,7 @@ from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigError
+from repro.telemetry import context as trace_context
 from repro.telemetry import get_telemetry
 
 T = TypeVar("T")
@@ -84,9 +85,20 @@ def chunked(items: Sequence[T], chunk_size: int) -> list[Sequence[T]]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
-def _apply_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> list[R]:
-    """Worker entry point: apply ``fn`` to every task of one chunk."""
-    return [fn(task) for task in chunk]
+def _apply_chunk(
+    fn: Callable[[T], R],
+    chunk: Sequence[T],
+    ctx: "trace_context.TraceContext | None" = None,
+) -> list[R]:
+    """Worker entry point: apply ``fn`` to every task of one chunk.
+
+    ``ctx`` is the submitter's trace context, re-activated here so task
+    bodies that capture telemetry locally (CBench cells, service batch
+    workers) mint spans parented under the originating remote span —
+    worker subtrees stitch back into the distributed trace on re-ingest.
+    """
+    with trace_context.use(ctx):
+        return [fn(task) for task in chunk]
 
 
 def process_map(
@@ -128,9 +140,10 @@ def process_map(
         chunks=len(chunks),
         workers=nworkers,
     ):
+        ctx = trace_context.current()  # carried into workers (picklable)
         with ProcessPoolExecutor(max_workers=nworkers) as pool:
             futures = {
-                pool.submit(_apply_chunk, fn, chunk): index
+                pool.submit(_apply_chunk, fn, chunk, ctx): index
                 for index, chunk in enumerate(chunks)
             }
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)

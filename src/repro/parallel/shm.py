@@ -128,11 +128,12 @@ class SharedArray:
         array = np.asarray(array)
         if array.nbytes == 0:
             raise DataError("cannot publish an empty array to shared memory")
-        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
-        handle = cls(segment, array.shape, array.dtype, owner=True)
-        handle._array[...] = array
-        handle._array.flags.writeable = False
         tm = get_telemetry()
+        with tm.span("shm.publish", bytes=array.nbytes):
+            segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+            handle = cls(segment, array.shape, array.dtype, owner=True)
+            handle._array[...] = array
+            handle._array.flags.writeable = False
         tm.count("shm.segments_published")
         tm.count("shm.bytes_published", array.nbytes)
         return handle
@@ -140,19 +141,20 @@ class SharedArray:
     @classmethod
     def attach(cls, desc: ShmDescriptor) -> "SharedArray":
         """Attach to a published segment by descriptor (worker side)."""
-        try:
-            segment = shared_memory.SharedMemory(name=desc.name, track=False)
-        except TypeError:  # Python < 3.13: no track kwarg
-            with _untracked_attach():
-                segment = shared_memory.SharedMemory(name=desc.name)
-        if segment.size < desc.nbytes:
-            segment.close()
-            raise DataError(
-                f"shared segment {desc.name!r} holds {segment.size} bytes, "
-                f"descriptor expects {desc.nbytes}"
-            )
-        handle = cls(segment, desc.shape, np.dtype(desc.dtype), owner=False)
         tm = get_telemetry()
+        with tm.span("shm.attach", bytes=desc.nbytes, segment=desc.name):
+            try:
+                segment = shared_memory.SharedMemory(name=desc.name, track=False)
+            except TypeError:  # Python < 3.13: no track kwarg
+                with _untracked_attach():
+                    segment = shared_memory.SharedMemory(name=desc.name)
+            if segment.size < desc.nbytes:
+                segment.close()
+                raise DataError(
+                    f"shared segment {desc.name!r} holds {segment.size} bytes, "
+                    f"descriptor expects {desc.nbytes}"
+                )
+            handle = cls(segment, desc.shape, np.dtype(desc.dtype), owner=False)
         tm.count("shm.segments_attached")
         tm.count("shm.bytes_attached", desc.nbytes)
         return handle

@@ -24,12 +24,22 @@ pay scheduling and (with workers) process-pool overhead per field.  The
 
 Results (or exceptions) resolve the per-request futures the connection
 handlers await; the batcher never touches sockets.
+
+**Tracing.**  Each admitted request remembers the trace context the
+server extracted from its header.  At dispatch time the batcher records
+a ``service.queue_wait`` span (admission → dispatch) and a
+``service.dispatch`` span (the batch execution, tagged with
+``request_id`` and ``batch_size``) under that context, and hands each
+worker task a pre-minted child context so codec-stage spans captured in
+worker processes re-ingest under the dispatch span — one request, one
+connected tree from client socket write to worker Huffman encode.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from functools import partial
@@ -42,7 +52,9 @@ from repro.compressors.registry import get_compressor
 from repro.errors import ReproError, ServiceError
 from repro.parallel.executor import process_map, resolve_workers
 from repro.parallel.shm import ShmDescriptor, SharedArray, attach_cached, shm_enabled
-from repro.telemetry import get_telemetry
+from repro.telemetry import context as trace_context
+from repro.telemetry import enabled_telemetry, get_telemetry
+from repro.telemetry.context import TraceContext
 
 #: Mode → compressor keyword argument carrying the knob value.
 KNOB_FOR_MODE = {
@@ -85,6 +97,12 @@ class PendingRequest:
     future: asyncio.Future
     enqueued: float = field(default_factory=time.perf_counter)
     deadline: float | None = None
+    #: Trace context of the server-side request span (None when the
+    #: client did not propagate one); queue/dispatch/worker spans attach
+    #: under it.
+    ctx: TraceContext | None = None
+    #: Server-assigned monotonically increasing id (span/log tagging).
+    request_seq: int = 0
 
     def group_key(self) -> tuple:
         """Requests with equal keys coalesce into one dispatch."""
@@ -108,10 +126,37 @@ def _materialize(arr: np.ndarray | ShmDescriptor) -> np.ndarray:
     return arr
 
 
+#: One worker task: (op-specific body, trace ctx, capture spans?, parent pid).
+#: ``ctx`` is this request's pre-minted dispatch-span context; ``capture``
+#: asks a *remote* worker (pid != parent) to run under fresh local
+#: telemetry and ship its span subtree back for re-ingest.
+BatchTask = tuple  # (body, TraceContext | None, bool, int)
+
+
+def _traced_worker(fn, task: BatchTask) -> tuple[Any, list[dict] | None]:
+    """Run ``fn`` on the task body under the task's trace context.
+
+    In the batcher's own process (serial batches, inline ``process_map``)
+    the global telemetry is already live and spans land in the server
+    tracer directly.  In a worker process the parent's telemetry is not
+    active: when span capture was requested, run under a fresh local
+    telemetry and return the span subtree (as dicts) for the dispatcher
+    to re-ingest under the originating dispatch span.
+    """
+    body, ctx, capture, parent_pid = task
+    remote = os.getpid() != parent_pid
+    with trace_context.use(ctx):
+        if capture and remote:
+            with enabled_telemetry() as tm:
+                result = fn(body)
+            return result, [s.to_dict() for s in tm.tracer.finished_spans()]
+        return fn(body), None
+
+
 def _compress_task(
     spec: tuple[str, dict, str, float],
-    arr: np.ndarray | ShmDescriptor,
-) -> CompressedBuffer | ReproError:
+    task: BatchTask,
+) -> tuple[CompressedBuffer | ReproError, list[dict] | None]:
     """Worker body for one COMPRESS request of a coalesced batch.
 
     Library errors are *returned*, not raised: one request with, say, an
@@ -120,39 +165,49 @@ def _compress_task(
     per-request error replies).
     """
     name, options, mode, value = spec
-    try:
-        knob = KNOB_FOR_MODE.get(mode)
-        if knob is None:
-            raise ServiceError(
-                f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
+
+    def body(arr):
+        try:
+            knob = KNOB_FOR_MODE.get(mode)
+            if knob is None:
+                raise ServiceError(
+                    f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
+                )
+            compressor = get_compressor(name, **options)
+            return compressor.compress(
+                _materialize(arr), mode=mode, **{knob: value}
             )
-        compressor = get_compressor(name, **options)
-        return compressor.compress(_materialize(arr), mode=mode, **{knob: value})
-    except ReproError as exc:
-        return exc
+        except ReproError as exc:
+            return exc
+
+    return _traced_worker(body, task)
 
 
 def _decompress_task(
     spec: tuple[str, dict],
-    buf_fields: tuple[bytes, tuple, str, str, float],
-) -> np.ndarray | ReproError:
+    task: BatchTask,
+) -> tuple[np.ndarray | ReproError, list[dict] | None]:
     """Worker body for one DECOMPRESS request of a coalesced batch."""
     name, options = spec
-    payload, shape, dtype, mode, parameter = buf_fields
-    try:
-        buf = CompressedBuffer(
-            payload=payload,
-            original_shape=tuple(shape),
-            original_dtype=np.dtype(dtype),
-            mode=CompressorMode(mode),
-            parameter=float(parameter),
-        )
-        compressor = get_compressor(name, **options)
-        return compressor.decompress(buf)
-    except ReproError as exc:
-        return exc
-    except (TypeError, ValueError) as exc:  # bad mode/dtype/shape fields
-        return ServiceError(f"bad decompress fields: {exc}")
+
+    def body(buf_fields):
+        payload, shape, dtype, mode, parameter = buf_fields
+        try:
+            buf = CompressedBuffer(
+                payload=payload,
+                original_shape=tuple(shape),
+                original_dtype=np.dtype(dtype),
+                mode=CompressorMode(mode),
+                parameter=float(parameter),
+            )
+            compressor = get_compressor(name, **options)
+            return compressor.decompress(buf)
+        except ReproError as exc:
+            return exc
+        except (TypeError, ValueError) as exc:  # bad mode/dtype/shape fields
+            return ServiceError(f"bad decompress fields: {exc}")
+
+    return _traced_worker(body, task)
 
 
 class Batcher:
@@ -271,19 +326,57 @@ class Batcher:
         tm.count("service.batched_requests", len(group))
         tm.observe("service.batch_size", float(len(group)))
         op = group[0].op
+        compressor = group[0].header.get("compressor")
+        # Pre-mint each request's dispatch-span identity: workers receive
+        # it *before* the span itself is recorded, so codec-stage spans
+        # captured remotely already carry the right ctx parent when they
+        # come back for re-ingest.
+        dispatch_ctxs = [r.ctx.child() if r.ctx else None for r in group]
+        traced = tm.enabled
+        dispatch_start = 0.0
+        if traced:
+            tracer = tm.tracer
+            # PendingRequest.enqueued is raw perf_counter; shift it onto
+            # the tracer clock to record the queue-wait span after the fact.
+            offset = tracer.now() - time.perf_counter()
+            dispatch_start = tracer.now()
+            for r in group:
+                if r.ctx is not None:
+                    tracer.add_span(
+                        "service.queue_wait",
+                        start=r.enqueued + offset,
+                        end=dispatch_start,
+                        ctx=r.ctx.child(),
+                        root=True,
+                        op=r.op,
+                        request_id=r.request_seq,
+                    )
+        capture = traced
+        parent_pid = os.getpid()
         try:
             if op == "compress":
                 results = await loop.run_in_executor(
-                    None, partial(self._run_compress_batch, group)
+                    None,
+                    partial(
+                        self._run_compress_batch,
+                        group, dispatch_ctxs, capture, parent_pid,
+                    ),
                 )
             elif op == "decompress":
                 results = await loop.run_in_executor(
-                    None, partial(self._run_decompress_batch, group)
+                    None,
+                    partial(
+                        self._run_decompress_batch,
+                        group, dispatch_ctxs, capture, parent_pid,
+                    ),
                 )
             else:  # one sweep per group by construction
                 results = [
                     await loop.run_in_executor(
-                        None, partial(self._run_sweep, group[0])
+                        None,
+                        partial(
+                            self._run_sweep_traced, group[0], dispatch_ctxs[0]
+                        ),
                     )
                 ]
         except BaseException as exc:  # a batch failure fails every member
@@ -291,7 +384,35 @@ class Batcher:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
-        for request, result in zip(group, results):
+        if traced:
+            dispatch_end = tm.tracer.now()
+            dispatch_ms = (dispatch_end - dispatch_start) * 1e3
+            tm.observe(f'service.dispatch_ms{{op="{op}"}}', dispatch_ms)
+            if compressor:
+                tm.observe(
+                    f'service.dispatch_ms{{op="{op}",'
+                    f'compressor="{compressor}"}}',
+                    dispatch_ms,
+                )
+        for request, dctx, (result, wspans) in zip(
+            group, dispatch_ctxs, results
+        ):
+            if traced:
+                if wspans:
+                    tm.tracer.ingest(wspans)
+                if dctx is not None:
+                    attrs = {"compressor": compressor} if compressor else {}
+                    tm.tracer.add_span(
+                        "service.dispatch",
+                        start=dispatch_start,
+                        end=dispatch_end,
+                        ctx=dctx,
+                        root=True,
+                        op=op,
+                        request_id=request.request_seq,
+                        batch_size=len(group),
+                        **attrs,
+                    )
             if not request.future.done():
                 if isinstance(result, BaseException):
                     request.future.set_exception(result)
@@ -300,7 +421,13 @@ class Batcher:
 
     # -- batch bodies (run on the default thread-pool executor) ------------
 
-    def _run_compress_batch(self, group: list[PendingRequest]) -> list:
+    def _run_compress_batch(
+        self,
+        group: list[PendingRequest],
+        ctxs: list[TraceContext | None],
+        capture: bool,
+        parent_pid: int,
+    ) -> list:
         from repro.service import protocol
 
         h = group[0].header
@@ -315,16 +442,20 @@ class Batcher:
         ]
         nworkers = resolve_workers(self.workers)
         published: list[SharedArray] = []
-        tasks: list[Any] = arrays
+        bodies: list[Any] = arrays
         if nworkers > 1 and len(group) > 1 and shm_enabled():
-            tasks = []
+            bodies = []
             for arr in arrays:
                 if arr.nbytes >= SHM_MIN_BYTES:
                     handle = SharedArray.publish(np.ascontiguousarray(arr))
                     published.append(handle)
-                    tasks.append(handle.descriptor())
+                    bodies.append(handle.descriptor())
                 else:
-                    tasks.append(arr)
+                    bodies.append(arr)
+        tasks = [
+            (body, ctx, capture, parent_pid)
+            for body, ctx in zip(bodies, ctxs)
+        ]
         try:
             return process_map(
                 partial(_compress_task, spec), tasks, workers=self.workers
@@ -333,22 +464,46 @@ class Batcher:
             for handle in published:
                 handle.unlink()
 
-    def _run_decompress_batch(self, group: list[PendingRequest]) -> list:
+    def _run_decompress_batch(
+        self,
+        group: list[PendingRequest],
+        ctxs: list[TraceContext | None],
+        capture: bool,
+        parent_pid: int,
+    ) -> list:
         h = group[0].header
         spec = (h.get("compressor"), dict(h.get("options") or {}))
         tasks = [
             (
-                r.payload,
-                tuple(r.header.get("shape") or ()),
-                r.header.get("dtype"),
-                r.header.get("mode"),
-                r.header.get("parameter"),
+                (
+                    r.payload,
+                    tuple(r.header.get("shape") or ()),
+                    r.header.get("dtype"),
+                    r.header.get("mode"),
+                    r.header.get("parameter"),
+                ),
+                ctx,
+                capture,
+                parent_pid,
             )
-            for r in group
+            for r, ctx in zip(group, ctxs)
         ]
         return process_map(
             partial(_decompress_task, spec), tasks, workers=self.workers
         )
+
+    def _run_sweep_traced(
+        self, request: PendingRequest, ctx: TraceContext | None
+    ) -> tuple[Any, None]:
+        """One sweep under the request's dispatch context.
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        executor thread activates the context explicitly; CBench cell
+        spans (and, via :func:`process_map`, worker-process subtrees)
+        then chain under the dispatch span.
+        """
+        with trace_context.use(ctx):
+            return self._run_sweep(request), None
 
     def _run_sweep(self, request: PendingRequest):
         """Server-side CBench fan-out for one SWEEP request.

@@ -5,7 +5,8 @@
     python -m repro.service serve   [--host H] [--port P] [--workers N]
                                     [--max-pending N] [--batch-window-ms MS]
                                     [--cache DIR] [--cache-max-bytes BYTES]
-                                    [--timeout-s S] [-v | --quiet]
+                                    [--timeout-s S] [--trace-out PATH]
+                                    [--log-json] [-v | --quiet]
     python -m repro.service compress INPUT.npy --compressor NAME
                                     [--mode abs] [--value 1e-3]
                                     [--out OUT.rsz] [--host H] [--port P]
@@ -58,6 +59,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         default_timeout_s=args.timeout_s,
+        trace_out=args.trace_out,
     )
 
     async def _main() -> None:
@@ -125,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="bound the result cache (K/M/G suffix allowed)")
     serve.add_argument("--timeout-s", type=float, default=None,
                        help="default per-request deadline in seconds")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="dump every span (stitched distributed traces "
+                            "included) as JSONL here when the daemon drains")
+    serve.add_argument("--log-json", action="store_true",
+                       help="JSON log records stamped with trace/request ids")
     serve.add_argument("--quiet", action="store_true")
     serve.add_argument("-v", "--verbose", action="count", default=0)
     serve.set_defaults(fn=_cmd_serve)
@@ -148,7 +155,8 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "serve":
-        configure_logging(verbosity=args.verbose, quiet=args.quiet)
+        configure_logging(verbosity=args.verbose, quiet=args.quiet,
+                          json_logs=args.log_json)
     try:
         return args.fn(args)
     except ReproError as exc:

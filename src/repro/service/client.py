@@ -12,7 +12,15 @@ simulation loop needs handled inside —
   the server's ``retry_after_ms`` hint, up to ``busy_retries`` times
   before :class:`~repro.errors.ServiceBusyError`;
 * **timeouts**: ``request_timeout_s`` bounds each socket wait;
-  ``timeout_ms`` per call becomes the server-side queue deadline.
+  ``timeout_ms`` per call becomes the server-side queue deadline;
+* **distributed tracing**: when telemetry is enabled in the client
+  process (or a :mod:`repro.telemetry.context` trace is already
+  active), every call runs inside a ``client.<op>`` span — busy
+  retries get nested ``client.busy_wait`` spans — and the active
+  context travels in the MSG1 header's optional ``trace`` field, so
+  the daemon's queue/batch/worker spans stitch under this call in one
+  trace (see ``docs/OBSERVABILITY.md``).  With telemetry off and no
+  ambient trace, nothing is added to the header and nothing is timed.
 
 One client owns one socket and is **not** thread-safe — give each
 thread its own client (they are cheap; the stress tests do exactly
@@ -35,6 +43,8 @@ import numpy as np
 from repro.compressors.base import CompressedBuffer, CompressorMode
 from repro.errors import ProtocolError, ServiceBusyError, ServiceError
 from repro.service import protocol
+from repro.telemetry import context as trace_context
+from repro.telemetry import get_telemetry
 
 DEFAULT_PORT = 9461
 
@@ -126,9 +136,30 @@ class ServiceClient:
     def _request(
         self, header: dict[str, Any], payload: bytes = b""
     ) -> tuple[dict[str, Any], bytes]:
-        """Send a request, retrying ``busy`` replies with jittered backoff."""
+        """Send a request, retrying ``busy`` replies with jittered backoff.
+
+        Traced calls (telemetry enabled, or an ambient trace context)
+        run inside a ``client.<op>`` span and carry the context in the
+        header; the untraced path is byte-identical to before.
+        """
         self._next_id += 1
         header = {**header, "id": self._next_id}
+        tm = get_telemetry()
+        if not tm.enabled and trace_context.current() is None:
+            return self._request_once(header, payload)
+        op = header.get("op")
+        with trace_context.start_trace():
+            with tm.span(f"client.{op}", op=op, bytes=len(payload)):
+                # Inject *inside* the span so the daemon parents under it.
+                return self._request_once(
+                    trace_context.inject(header), payload
+                )
+
+    def _request_once(
+        self, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
+        """The busy-retry loop around one logical request."""
+        tm = get_telemetry()
         for attempt in range(self.busy_retries + 1):
             reply, body = self._roundtrip(header, payload)
             status = reply.get("status")
@@ -141,7 +172,14 @@ class ServiceClient:
                 backoff = min(
                     self.retry_max_s, self.retry_base_s * (2 ** attempt)
                 )
-                time.sleep(max(hint_s, backoff) * self._rng.uniform(0.5, 1.5))
+                delay = max(hint_s, backoff) * self._rng.uniform(0.5, 1.5)
+                with tm.span(
+                    "client.busy_wait",
+                    attempt=attempt + 1,
+                    delay_ms=delay * 1e3,
+                    code=reply.get("code", "busy"),
+                ):
+                    time.sleep(delay)
                 continue
             raise ServiceError(
                 f"{header.get('op')} failed "
@@ -260,3 +298,8 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         reply, _ = self._request({"op": "stats"})
         return reply
+
+    def metrics_text(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        _, body = self._request({"op": "metrics"})
+        return body.decode("utf-8")

@@ -24,6 +24,14 @@ treat any other exception as a bug rather than a hostile peer.
 Request headers carry ``op`` plus op-specific fields (see
 ``docs/SERVICE.md`` for the full table); reply headers carry ``status``
 (``"ok"``, ``"error"``, or ``"busy"``) and echo the request ``id``.
+
+Request headers may additionally carry an **optional** ``trace`` field
+(:data:`TRACE_FIELD`): a W3C-traceparent-style string linking the
+request into a distributed trace (see :mod:`repro.telemetry.context`).
+The field is backward- and forward-compatible by construction — JSON
+headers tolerate unknown keys, so an old server ignores it and an old
+client simply never sends it; a malformed value is ignored rather than
+rejected.  The frame format itself is unchanged (still MSG1).
 """
 
 from __future__ import annotations
@@ -39,6 +47,10 @@ from repro.errors import ProtocolError
 
 #: Frame magic (protocol version 1); bump to MSG2 on incompatible change.
 MAGIC = b"MSG1"
+
+#: Optional request-header field carrying a serialized trace context
+#: (re-exported from :mod:`repro.telemetry.context` for wire-level docs).
+TRACE_FIELD = "trace"
 
 #: Fixed-size frame prefix: magic + u32 header length + u64 payload length.
 PREFIX = struct.Struct(">4sIQ")

@@ -22,10 +22,18 @@ SWEEP      server-side CBench cell fan-out over one field; rows out; repeat
 LIST       registered compressor names
 HEALTH     liveness + drain state + queue depth (never queued)
 STATS      telemetry counters, batch sizes, bytes in/out, p50/p99 latency
+METRICS    the same registry in Prometheus text exposition format
 ========== ===================================================================
 
-Control-plane ops (HEALTH/STATS/LIST) bypass the admission queue: a
-saturated daemon must still answer its monitoring.
+Control-plane ops (HEALTH/STATS/LIST/METRICS) bypass the admission
+queue: a saturated daemon must still answer its monitoring.
+
+**Tracing.**  A request header carrying a ``trace`` field (see
+:mod:`repro.telemetry.context`) is served under that distributed trace:
+the ``service.request`` span, the batcher's queue-wait/dispatch spans,
+and worker-process codec spans all stitch under the client's call span.
+``trace_out`` dumps every finished span as JSONL when the daemon drains
+(one stitched timeline per traced request).
 
 Backpressure: the admission queue is bounded (``max_pending``); when it
 is full the reply is ``status="busy"`` with a suggested
@@ -56,6 +64,7 @@ from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.service import protocol
 from repro.service.batch import Batcher, PendingRequest, jsonable
 from repro.telemetry import Telemetry, get_telemetry, set_telemetry
+from repro.telemetry import context as trace_context
 
 logger = logging.getLogger("repro.service")
 
@@ -64,6 +73,14 @@ DEFAULT_RETRY_AFTER_MS = 50
 
 #: How many recent request latencies the percentile window keeps.
 LATENCY_WINDOW = 4096
+
+#: Span retention for a self-installed daemon tracer (unless spans are
+#: being kept for a ``trace_out`` dump) — bounds long-run memory while
+#: the periodic harvest still sees every span via ``finished_total``.
+SPAN_RETENTION = 1 << 16
+
+#: Request-latency histogram bucket edges (milliseconds).
+LATENCY_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -98,11 +115,13 @@ class CompressionService:
         cache: ResultCache | str | None = None,
         max_payload_bytes: int = protocol.MAX_PAYLOAD_BYTES,
         default_timeout_s: float | None = None,
+        trace_out: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_payload_bytes = max_payload_bytes
         self.default_timeout_s = default_timeout_s
+        self.trace_out = trace_out
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -118,9 +137,17 @@ class CompressionService:
         self._connections: set[asyncio.Task] = set()
         self._started = time.perf_counter()
         self._requests_total = 0
+        self._request_seq = 0
+        self._inflight = 0
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._lat_lock = threading.Lock()
         self._installed_telemetry = False
+        # Span-harvest state: how many finished spans have been folded
+        # into the stage-time counters, plus child durations whose parent
+        # span had not finished at harvest time (needed for self-time).
+        self._harvest_mark = 0
+        self._harvest_lock = threading.Lock()
+        self._orphan_child_s: dict[Any, float] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -131,7 +158,11 @@ class CompressionService:
             # process-wide registry, so serving without telemetry would
             # expose empty counters.  Restored at shutdown — an embedding
             # process (tests, notebooks) must get its NullTelemetry back.
-            set_telemetry(Telemetry("service"))
+            # Retention is capped unless spans must survive for trace_out.
+            set_telemetry(Telemetry(
+                "service",
+                max_finished=None if self.trace_out else SPAN_RETENTION,
+            ))
             self._installed_telemetry = True
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port
@@ -179,6 +210,8 @@ class CompressionService:
         logger.info(
             "drained after %d request(s); bye", self._requests_total
         )
+        if self.trace_out:
+            self._dump_trace()
         if self._installed_telemetry:
             from repro.telemetry import NullTelemetry
 
@@ -240,6 +273,10 @@ class CompressionService:
         rid = header.get("id")
         t0 = time.perf_counter()
         self._requests_total += 1
+        self._request_seq += 1
+        seq = self._request_seq
+        self._inflight += 1
+        tm.set_gauge("service.requests_inflight", float(self._inflight))
         tm.count("service.requests")
         tm.count(f"service.requests.{op or 'unknown'}")
         tm.count("service.bytes_in", len(payload))
@@ -254,28 +291,49 @@ class CompressionService:
             with self._lat_lock:
                 self._latencies.append(latency)
             tm.observe(
-                "service.latency_ms", latency * 1e3,
-                bounds=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000),
+                "service.latency_ms", latency * 1e3, bounds=LATENCY_BOUNDS
+            )
+            tm.observe(
+                f'service.latency_ms{{op="{op or "unknown"}"}}',
+                latency * 1e3,
+                bounds=LATENCY_BOUNDS,
             )
 
+        # Serve under the client's trace context (if the header carries
+        # one): the service.request span then chains under the client's
+        # call span, and everything below chains under service.request.
+        # Contextvars are task-local, so concurrent connections don't
+        # bleed into each other.
+        ctx = trace_context.extract(header)
         try:
-            with tm.span("service.request", op=op, bytes=len(payload)):
-                if op == "health":
-                    await reply(self._health())
-                elif op == "stats":
-                    await reply(self._stats())
-                elif op == "list":
-                    await reply(
-                        {"status": "ok",
-                         "compressors": available_compressors()}
-                    )
-                elif op in ("compress", "decompress", "sweep"):
-                    await self._serve_queued(op, header, payload, reply)
-                else:
-                    await reply(
-                        {"status": "error", "code": "bad_op",
-                         "error": f"unknown op {op!r}"}
-                    )
+            with trace_context.use(ctx), \
+                    trace_context.use_request_id(str(seq)):
+                with tm.span(
+                    "service.request",
+                    op=op, bytes=len(payload), request_id=seq,
+                ):
+                    if op == "health":
+                        await reply(self._health())
+                    elif op == "stats":
+                        await reply(self._stats())
+                    elif op == "metrics":
+                        text, ctype = self._metrics()
+                        await reply(
+                            {"status": "ok", "content_type": ctype},
+                            text.encode("utf-8"),
+                        )
+                    elif op == "list":
+                        await reply(
+                            {"status": "ok",
+                             "compressors": available_compressors()}
+                        )
+                    elif op in ("compress", "decompress", "sweep"):
+                        await self._serve_queued(op, header, payload, reply)
+                    else:
+                        await reply(
+                            {"status": "error", "code": "bad_op",
+                             "error": f"unknown op {op!r}"}
+                        )
         except (ConnectionResetError, BrokenPipeError):
             raise
         except ProtocolError as exc:
@@ -295,6 +353,11 @@ class CompressionService:
             await reply(
                 {"status": "error", "code": "internal",
                  "error": f"{type(exc).__name__}: {exc}"}
+            )
+        finally:
+            self._inflight -= 1
+            tm.set_gauge(
+                "service.requests_inflight", float(self._inflight)
             )
 
     async def _serve_queued(
@@ -321,6 +384,10 @@ class CompressionService:
             payload=payload,
             future=asyncio.get_running_loop().create_future(),
             deadline=deadline,
+            # Inside the service.request span the contextvar points at
+            # that span's identity — queue/dispatch spans parent there.
+            ctx=trace_context.current(),
+            request_seq=self._request_seq,
         )
         if not self.batcher.admit(request):
             await reply(
@@ -373,9 +440,12 @@ class CompressionService:
 
     def _stats(self) -> dict[str, Any]:
         tm = get_telemetry()
+        self._harvest_spans()
         with self._lat_lock:
             window = list(self._latencies)
-        latency = {"window": len(window)}
+        # window_n is the sample count behind the percentiles ("window"
+        # kept as a deprecated alias for pre-existing consumers).
+        latency = {"window": len(window), "window_n": len(window)}
         if window:
             latency.update(
                 p50_ms=_percentile(window, 50) * 1e3,
@@ -384,8 +454,10 @@ class CompressionService:
             )
         out: dict[str, Any] = {
             "status": "ok",
+            "uptime_s": time.perf_counter() - self._started,
             "queue_depth": self.batcher.depth,
             "requests_total": self._requests_total,
+            "requests_inflight": max(0, self._inflight - 1),  # excl. STATS
             "latency": latency,
             "metrics": (
                 tm.metrics.snapshot() if tm.enabled else {}
@@ -394,6 +466,83 @@ class CompressionService:
         if self.cache is not None:
             out["cache"] = self.cache.stats.to_dict()
         return out
+
+    def _metrics(self) -> tuple[str, str]:
+        """The registry rendered for Prometheus (text, content-type)."""
+        from repro.telemetry.exposition import PROM_CONTENT_TYPE, render_prometheus
+
+        tm = get_telemetry()
+        self._harvest_spans()
+        extra_gauges = {
+            "service_uptime_seconds": time.perf_counter() - self._started,
+            "service_queue_depth_now": float(self.batcher.depth),
+        }
+        text = render_prometheus(
+            tm.metrics if tm.enabled else None, extra_gauges=extra_gauges
+        )
+        return text, PROM_CONTENT_TYPE
+
+    def _harvest_spans(self) -> None:
+        """Fold spans finished since the last harvest into the registry.
+
+        Each span contributes to three labelled counters —
+        ``spans.count{name=...}``, ``spans.seconds{name=...}``, and
+        ``spans.self_seconds{name=...}`` (duration minus direct
+        children) — so stage-level hot-spot data survives the tracer's
+        retention cap and reaches STATS/METRICS consumers (the live
+        dashboard's "top stages" panel reads these).
+        """
+        tm = get_telemetry()
+        if not tm.enabled:
+            return
+        tracer = tm.tracer
+        with self._harvest_lock:
+            retained = tracer.finished_spans()
+            total = tracer.finished_total()
+            dropped = total - len(retained)
+            new = retained[max(0, self._harvest_mark - dropped):]
+            self._harvest_mark = total
+            if not new:
+                return
+            # Children finish (and are appended) before their parents, so
+            # a parent's direct-child time is normally available in the
+            # same batch; still-open parents pick theirs up from the
+            # orphan carry-over on a later harvest.
+            child_s = self._orphan_child_s
+            for sp in new:
+                d = sp.duration
+                if sp.parent_id is not None:
+                    child_s[sp.parent_id] = child_s.get(sp.parent_id, 0.0) + d
+                elif sp.ctx_parent_id is not None:
+                    child_s[sp.ctx_parent_id] = (
+                        child_s.get(sp.ctx_parent_id, 0.0) + d
+                    )
+            for sp in new:
+                own = child_s.pop(sp.span_id, 0.0)
+                if sp.ctx_id is not None:
+                    own += child_s.pop(sp.ctx_id, 0.0)
+                self_s = max(0.0, sp.duration - own)
+                tm.count(f'spans.count{{name="{sp.name}"}}')
+                tm.count(f'spans.seconds{{name="{sp.name}"}}', sp.duration)
+                tm.count(f'spans.self_seconds{{name="{sp.name}"}}', self_s)
+            if len(child_s) > SPAN_RETENTION:
+                child_s.clear()  # parents were dropped; stop the leak
+
+    def _dump_trace(self) -> None:
+        """Write every retained span as JSONL (the ``--trace-out`` dump)."""
+        from repro.telemetry import export
+
+        tm = get_telemetry()
+        if not tm.enabled:
+            return
+        spans = tm.tracer.finished_spans()
+        try:
+            export.write_jsonl(self.trace_out, spans)
+            logger.info(
+                "wrote %d span(s) to %s", len(spans), self.trace_out
+            )
+        except OSError as exc:  # pragma: no cover - disk full etc.
+            logger.error("could not write %s: %s", self.trace_out, exc)
 
     # -- SWEEP body (runs on the executor thread via the batcher) ----------
 

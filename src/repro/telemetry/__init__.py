@@ -30,7 +30,8 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.telemetry import export, metrics, process, report, spans  # noqa: F401 (re-export)
+from repro.telemetry import context, export, exposition, metrics, process, report, spans  # noqa: F401 (re-export)
+from repro.telemetry.context import TraceContext
 from repro.telemetry.metrics import (
     DEFAULT_BIT_BUCKETS,
     DEFAULT_BYTE_BUCKETS,
@@ -49,6 +50,7 @@ __all__ = [
     "NullTelemetry",
     "Tracer",
     "Span",
+    "TraceContext",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -68,8 +70,10 @@ class Telemetry:
 
     enabled = True
 
-    def __init__(self, name: str = "repro") -> None:
-        self.tracer = Tracer(name)
+    def __init__(
+        self, name: str = "repro", max_finished: int | None = None
+    ) -> None:
+        self.tracer = Tracer(name, max_finished=max_finished)
         self.metrics = MetricsRegistry()
 
     def span(self, name: str, **attrs: Any):

@@ -6,6 +6,12 @@ Subcommands:
   for a JSONL or Chrome-format trace.
 * ``convert <trace> -o out.json`` — rewrite a JSONL trace as a Chrome
   trace-event file loadable in chrome://tracing / Perfetto.
+* ``top [--host H] [--port P] [--interval S] [--once]`` — live dashboard
+  over a running compression daemon (qps, queue depth, latency
+  percentiles, cache hit rate, hottest stages by self-time).
+* ``serve-metrics [--host H] [--port P] [--listen-host H] [--listen-port P]``
+  — stdlib HTTP endpoint re-exposing the daemon's METRICS op at
+  ``/metrics`` for a Prometheus scrape job.
 """
 
 from __future__ import annotations
@@ -19,10 +25,50 @@ from repro.telemetry.export import load_trace, write_chrome
 from repro.telemetry.report import report_file
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.top import run_top
+
+    return run_top(
+        host=args.host,
+        port=args.port,
+        interval_s=args.interval,
+        once=args.once,
+    )
+
+
+def _cmd_serve_metrics(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+    from repro.telemetry.exposition import serve_metrics
+
+    def fetch() -> str:
+        # One short-lived client per scrape: scrapes are seconds apart
+        # and a dead daemon then fails the scrape, not the exporter.
+        with ServiceClient(host=args.host, port=args.port) as client:
+            return client.metrics_text()
+
+    def announce(port: int) -> None:
+        print(
+            f"serving http://{args.listen_host}:{port}/metrics "
+            f"(daemon {args.host}:{args.port})",
+            flush=True,
+        )
+
+    try:
+        serve_metrics(
+            fetch, host=args.listen_host, port=args.listen_port,
+            ready=announce,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro.service.client import DEFAULT_PORT
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry",
-        description="Inspect repro telemetry traces.",
+        description="Inspect repro telemetry traces and live services.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -36,14 +82,36 @@ def main(argv: list[str] | None = None) -> int:
     p_convert.add_argument("-o", "--output", required=True,
                            help="output Chrome trace-event JSON path")
 
+    p_top = sub.add_parser("top", help="live dashboard over a daemon")
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval in seconds (default 1)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit (no screen clearing)")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_serve = sub.add_parser(
+        "serve-metrics", help="HTTP /metrics endpoint proxying a daemon"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="daemon host to scrape")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="daemon port to scrape")
+    p_serve.add_argument("--listen-host", default="127.0.0.1")
+    p_serve.add_argument("--listen-port", type=int, default=9464)
+    p_serve.set_defaults(fn=_cmd_serve_metrics)
+
     args = parser.parse_args(argv)
     try:
         if args.command == "report":
             print(report_file(args.trace, name_filter=args.filter))
-        else:
+        elif args.command == "convert":
             events = load_trace(args.trace)
             write_chrome(Path(args.output), events)
             print(f"wrote {args.output} ({len(events)} events)")
+        else:
+            return args.fn(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

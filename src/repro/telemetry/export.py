@@ -82,6 +82,10 @@ def spans_to_chrome(
             args["parent_id"] = record["parent_id"]
         if record.get("status", "ok") != "ok":
             args["status"] = record["status"]
+        if record.get("trace_id") is not None:
+            args["trace_id"] = record["trace_id"]
+            args["ctx_id"] = record.get("ctx_id")
+            args["ctx_parent_id"] = record.get("ctx_parent_id")
         events.append(
             chrome_event(
                 record["name"],

@@ -1,0 +1,234 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a
+:class:`~repro.telemetry.metrics.MetricsRegistry` into the Prometheus
+text format (version 0.0.4) — the lingua franca every scraper, agent,
+and ``curl | grep`` reader understands.  Pure stdlib: the registry's
+snapshot is rendered with string formatting, no client library.
+
+Two naming conventions bridge the registry's flat key space onto
+Prometheus' name+labels model:
+
+* Registry keys are dotted (``service.bytes_in``); dots and other
+  illegal characters become underscores (``service_bytes_in``).
+* A key may carry **labels in the name** — ``service.latency_ms{op=
+  "compress"}`` — which this module parses back into real Prometheus
+  labels.  Keys with and without labels under the same base name join
+  one metric family with a single ``# TYPE`` header.
+
+Type mapping: counters gain the conventional ``_total`` suffix;
+gauges are emitted verbatim; histograms expand into cumulative
+``_bucket{le="..."}`` series (the registry stores per-bucket counts),
+a ``+Inf`` bucket equal to ``_count``, plus ``_sum`` and ``_count``.
+
+:func:`serve_metrics` is the optional pull endpoint: a blocking
+stdlib ``http.server`` that answers ``GET /metrics`` — enough for a
+Prometheus scrape job against a process that is not the daemon (the
+daemon itself answers the METRICS op over MSG1 instead).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Mapping
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "PROM_CONTENT_TYPE",
+    "parse_metric_key",
+    "render_prometheus",
+    "serve_metrics",
+]
+
+#: Content type of text exposition format version 0.0.4.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: ``base{key="value",key2="value2"}`` — the label-in-name convention.
+_LABELED_KEY_RE = re.compile(r"^([^{]+)\{(.*)\}$")
+_LABEL_PAIR_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+_ILLEGAL_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a registry key into (sanitized name, labels).
+
+    ``service.latency_ms{op="compress"}`` →
+    ``("service_latency_ms", {"op": "compress"})``; a plain key has no
+    labels.  A malformed label block degrades to part of the name
+    (sanitized) rather than failing the whole exposition.
+    """
+    labels: dict[str, str] = {}
+    name = key
+    match = _LABELED_KEY_RE.match(key)
+    if match is not None:
+        name = match.group(1)
+        body = match.group(2)
+        pairs = _LABEL_PAIR_RE.findall(body)
+        # Only accept the parse when it consumed the whole label body.
+        rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+        if rebuilt == body:
+            labels = dict(pairs)
+        else:
+            name = key  # malformed: sanitize the key wholesale
+    name = _ILLEGAL_CHARS.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name, labels
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: integers without the trailing ``.0``."""
+    as_float = float(value)
+    if math.isnan(as_float):
+        return "NaN"
+    if math.isinf(as_float):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None,
+    extra_gauges: Mapping[str, float] | None = None,
+) -> str:
+    """Render ``registry`` (and ad-hoc ``extra_gauges``) as exposition text.
+
+    Families are emitted sorted by name, each with one ``# TYPE`` line;
+    series within a family are sorted by their label sets, so output is
+    deterministic and diff-friendly.  ``registry=None`` renders only the
+    extras (a daemon running without telemetry still exposes uptime).
+    """
+    snapshot = registry.snapshot() if registry is not None else {}
+    # family name -> (type, list of (labels, snapshot))
+    families: dict[str, tuple[str, list[tuple[dict[str, str], dict[str, Any]]]]] = {}
+    for key, snap in snapshot.items():
+        name, labels = parse_metric_key(key)
+        kind = snap.get("type", "gauge")
+        fam = families.get(name)
+        if fam is None:
+            families[name] = (kind, [(labels, snap)])
+        elif fam[0] == kind:
+            fam[1].append((labels, snap))
+        else:
+            # Same base name, conflicting types: keep both by suffixing.
+            alt = f"{name}_{kind}"
+            families.setdefault(alt, (kind, []))[1].append((labels, snap))
+    for name, value in (extra_gauges or {}).items():
+        clean, labels = parse_metric_key(name)
+        families.setdefault(clean, ("gauge", []))[1].append(
+            (labels, {"type": "gauge", "value": float(value)})
+        )
+
+    lines: list[str] = []
+    for name in sorted(families):
+        kind, series = families[name]
+        series.sort(key=lambda item: sorted(item[0].items()))
+        if kind == "counter":
+            lines.append(f"# TYPE {name}_total counter")
+            for labels, snap in series:
+                lines.append(
+                    f"{name}_total{_labels_text(labels)} "
+                    f"{_fmt(snap['value'])}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            for labels, snap in series:
+                bounds = snap.get("bounds", [])
+                counts = snap.get("counts", [])
+                cumulative = 0
+                for bound, count in zip(bounds, counts):
+                    cumulative += int(count)
+                    le = dict(labels, le=_fmt(float(bound)))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(le)} {cumulative}"
+                    )
+                le = dict(labels, le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_labels_text(le)} "
+                    f"{_fmt(snap.get('count', cumulative))}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_fmt(snap.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} "
+                    f"{_fmt(snap.get('count', 0))}"
+                )
+        else:
+            lines.append(f"# TYPE {name} gauge")
+            for labels, snap in series:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_fmt(snap['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def serve_metrics(
+    source: Callable[[], str] | MetricsRegistry,
+    host: str = "127.0.0.1",
+    port: int = 9464,
+    *,
+    ready: "Callable[[int], None] | None" = None,
+) -> None:
+    """Serve ``GET /metrics`` forever over stdlib ``http.server``.
+
+    ``source`` is either a registry (re-rendered per scrape) or a
+    zero-argument callable returning exposition text (letting a caller
+    compose, e.g., daemon STATS polling).  ``ready`` is called with the
+    bound port once listening — the CLI uses it to print the URL, tests
+    use it to learn an ephemeral port.  Blocks until interrupted.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    if isinstance(source, MetricsRegistry):
+        registry = source
+        text_source = lambda: render_prometheus(registry)  # noqa: E731
+    else:
+        text_source = source
+
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path not in ("", "/metrics"):
+                self.send_error(404, "try /metrics")
+                return
+            try:
+                body = text_source().encode("utf-8")
+            except Exception as exc:  # noqa: BLE001 - scrape must not kill serving
+                self.send_error(500, f"{type(exc).__name__}: {exc}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", PROM_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass  # scrapes are periodic; default stderr logging is noise
+
+    with ThreadingHTTPServer((host, port), Handler) as httpd:
+        if ready is not None:
+            ready(httpd.server_address[1])
+        httpd.serve_forever()

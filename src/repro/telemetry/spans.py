@@ -17,6 +17,17 @@ Timing uses :func:`time.perf_counter` (monotonic, the resolution the
 paper's per-stage breakdowns need); wall-clock epochs never enter a
 duration.  Finished spans accumulate on the tracer and are exported by
 :mod:`repro.telemetry.export`.
+
+**Distributed traces.**  When a :class:`repro.telemetry.context.TraceContext`
+is active (the service client/server and the parallel executor activate
+one), every span additionally gets a *context identity*: the shared
+``trace_id``, a fresh random 64-bit ``ctx_id``, and the enclosing
+context's span id as ``ctx_parent_id``; the contextvar is advanced for
+the span's duration so nested spans — including spans opened in other
+processes that re-activate the propagated context — chain into one
+cross-process tree.  Local integer ``span_id``s keep working unchanged
+for single-process traces; ctx ids are ``None`` when no context is
+active, so nothing changes for existing callers.
 """
 
 from __future__ import annotations
@@ -28,6 +39,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from repro.telemetry import context as trace_context
 
 __all__ = ["Span", "Tracer"]
 
@@ -44,6 +57,12 @@ class Span:
     end: float | None = None
     status: str = "ok"  # "ok" or "error"
     attrs: dict[str, Any] = field(default_factory=dict)
+    # Distributed-trace identity (None outside an active TraceContext).
+    # ctx ids are random 64-bit hex, unique across processes, so stitched
+    # trees need no id remapping the way local integer ids do.
+    trace_id: str | None = None
+    ctx_id: str | None = None
+    ctx_parent_id: str | None = None
 
     @property
     def duration(self) -> float:
@@ -52,7 +71,7 @@ class Span:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready flat record (the JSONL line schema)."""
-        return {
+        record = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -63,6 +82,11 @@ class Span:
             "status": self.status,
             "attrs": self.attrs,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+            record["ctx_id"] = self.ctx_id
+            record["ctx_parent_id"] = self.ctx_parent_id
+        return record
 
     @classmethod
     def from_dict(cls, raw: dict[str, Any]) -> "Span":
@@ -76,6 +100,9 @@ class Span:
             end=raw.get("end"),
             status=raw.get("status", "ok"),
             attrs=dict(raw.get("attrs", {})),
+            trace_id=raw.get("trace_id"),
+            ctx_id=raw.get("ctx_id"),
+            ctx_parent_id=raw.get("ctx_parent_id"),
         )
 
 
@@ -85,13 +112,21 @@ class Tracer:
     The per-thread span stack lives in a ``threading.local``; the finished
     span list is guarded by a lock.  Span ids are globally unique within
     the tracer so parent/child edges survive export and merging.
+
+    ``max_finished`` bounds retention for long-lived processes (the
+    compression daemon): once the finished list exceeds the cap, the
+    oldest spans are dropped.  :meth:`finished_total` keeps counting
+    everything ever finished so periodic harvesters can tell how many
+    spans they missed.
     """
 
-    def __init__(self, name: str = "repro") -> None:
+    def __init__(self, name: str = "repro", max_finished: int | None = None) -> None:
         self.name = name
+        self.max_finished = max_finished
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._finished: list[Span] = []
+        self._dropped = 0
         self._local = threading.local()
         self._epoch = time.perf_counter()
 
@@ -106,12 +141,33 @@ class Tracer:
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
 
+    def now(self) -> float:
+        """Current time on the tracer clock (seconds since its epoch);
+        the timebase :meth:`add_span` timestamps live in."""
+        return self._now()
+
+    def _append_finished(self, spans: list[Span]) -> None:
+        """Append under the lock, enforcing ``max_finished`` retention."""
+        with self._lock:
+            self._finished.extend(spans)
+            cap = self.max_finished
+            if cap is not None and len(self._finished) > cap:
+                drop = len(self._finished) - cap
+                del self._finished[:drop]
+                self._dropped += drop
+
     # -- span production ----------------------------------------------------
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:
         """Open a nested span; exceptions mark it ``status="error"`` and
-        propagate, with the parent span restored either way."""
+        propagate, with the parent span restored either way.
+
+        Inside an active :class:`~repro.telemetry.context.TraceContext`
+        the span is stamped with the trace id and a fresh ctx id, and the
+        context is advanced to point at this span for its duration, so
+        downstream hops (and nested spans) parent under it.
+        """
         stack = self._stack()
         parent = stack[-1] if stack else None
         sp = Span(
@@ -122,6 +178,15 @@ class Tracer:
             start=self._now(),
             attrs=dict(attrs),
         )
+        ctx = trace_context.current()
+        token = None
+        if ctx is not None:
+            sp.trace_id = ctx.trace_id
+            sp.ctx_id = trace_context.new_span_id()
+            sp.ctx_parent_id = ctx.span_id
+            token = trace_context._current.set(
+                trace_context.TraceContext(ctx.trace_id, sp.ctx_id, ctx.span_id)
+            )
         stack.append(sp)
         try:
             yield sp
@@ -131,9 +196,19 @@ class Tracer:
             raise
         finally:
             sp.end = self._now()
-            stack.pop()
-            with self._lock:
-                self._finished.append(sp)
+            # Concurrent asyncio tasks interleave enter/exit on one thread
+            # stack; remove *this* span wherever it sits rather than
+            # blindly popping the top (which may belong to another task).
+            if stack and stack[-1] is sp:
+                stack.pop()
+            else:
+                try:
+                    stack.remove(sp)
+                except ValueError:
+                    pass
+            if token is not None:
+                trace_context._current.reset(token)
+            self._append_finished([sp])
 
     def trace(self, name: str | None = None, **attrs: Any) -> Callable:
         """Decorator form of :meth:`span` (span named after the function
@@ -157,14 +232,24 @@ class Tracer:
         start: float,
         end: float,
         parent: Span | None = None,
+        ctx: "trace_context.TraceContext | None" = None,
+        root: bool = False,
         **attrs: Any,
     ) -> Span:
         """Record a synthetic span with explicit timestamps.
 
         Used to merge *simulated* timelines (the :mod:`repro.gpu` runtime's
-        Fig. 7 stage breakdowns) into the same trace as measured spans.
+        Fig. 7 stage breakdowns) into the same trace as measured spans,
+        and by the service batcher to record queue-wait/dispatch spans
+        after the fact.  ``ctx``, when given, is the span's *identity* in
+        a distributed trace: the span adopts ``ctx.span_id`` as its ctx
+        id and ``ctx.parent_id`` as its ctx parent (pre-minting the id
+        with :meth:`TraceContext.child` lets a caller hand the identity
+        to a worker before the span is recorded).  ``root=True`` skips
+        the thread-stack parent lookup entirely — for callers (the
+        service batcher) whose thread may have unrelated spans open.
         """
-        if parent is None:
+        if parent is None and not root:
             stack = self._stack()
             parent = stack[-1] if stack else None
         sp = Span(
@@ -176,8 +261,11 @@ class Tracer:
             end=end,
             attrs=dict(attrs),
         )
-        with self._lock:
-            self._finished.append(sp)
+        if ctx is not None:
+            sp.trace_id = ctx.trace_id
+            sp.ctx_id = ctx.span_id
+            sp.ctx_parent_id = ctx.parent_id
+        self._append_finished([sp])
         return sp
 
     def ingest(
@@ -215,11 +303,15 @@ class Tracer:
                 end=None if s.end is None else s.end + offset,
                 status=s.status,
                 attrs=dict(s.attrs),
+                # ctx ids are globally unique hex — adopted verbatim, so a
+                # worker subtree stays attached to its remote parent span.
+                trace_id=s.trace_id,
+                ctx_id=s.ctx_id,
+                ctx_parent_id=s.ctx_parent_id,
             )
             for s in batch
         ]
-        with self._lock:
-            self._finished.extend(adopted)
+        self._append_finished(adopted)
         return adopted
 
     # -- inspection ---------------------------------------------------------
@@ -233,6 +325,15 @@ class Tracer:
         """Snapshot of completed spans (oldest first)."""
         with self._lock:
             return list(self._finished)
+
+    def finished_total(self) -> int:
+        """Spans ever finished, including any dropped by ``max_finished``.
+
+        ``finished_total() - len(finished_spans())`` is the drop count; a
+        periodic harvester uses it to index into the retained window.
+        """
+        with self._lock:
+            return self._dropped + len(self._finished)
 
     def drain(self, since_id: int = 0) -> list[Span]:
         """Finished spans with ``span_id > since_id`` (for incremental
