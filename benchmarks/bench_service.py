@@ -26,6 +26,19 @@ from STATS).
 Run standalone for the CI smoke: ``python benchmarks/bench_service.py
 --quick`` (8 requests, same 3x floor — subprocess start-up dominates at
 any request count, so the floor holds even on the smallest run).
+
+**Cluster saturation** (the multi-node fabric, ``docs/CLUSTER.md``):
+an offered-load sweep against a :class:`repro.service.cluster.ClusterThread`
+fleet of 1 vs N locally spawned shard daemons, requests spread over
+distinct fields so consistent-hash placement uses the whole ring.
+Acceptance: at saturating load the N-shard fleet must beat the 1-shard
+fleet's throughput.  **Availability**: a steady request stream during
+which one spawned shard is SIGKILLed mid-run — every accepted request
+must still be answered (the router fails the orphaned forwards over to
+the surviving shard), i.e. zero client-visible losses.
+
+CI smoke for the fleet: ``python benchmarks/bench_service.py --quick
+--shards 2``.
 """
 
 from __future__ import annotations
@@ -47,13 +60,28 @@ if SRC not in sys.path:  # standalone `python benchmarks/bench_service.py`
 
 from repro.compressors.registry import get_compressor
 from repro.cosmo.nyx import make_nyx_dataset
-from repro.service import ServiceClient, ServiceThread
+from repro.service import ClusterThread, ServiceClient, ServiceThread
 
 GRID = 16
 COMPRESSOR = "sz"
 ERROR_BOUND = 0.5
 CLIENTS = 8
 SPEEDUP_FLOOR = 3.0
+
+#: Saturation sweep: bigger fields (32^3, ~10 ms of SZ per request) so
+#: shard CPU — not router overhead — is what saturates.
+SAT_GRID = 32
+#: Distinct fields cycled across requests: distinct routing keys, so
+#: placement spreads the load over the whole ring.
+SAT_FIELDS = 16
+#: N-shard fleet must beat 1 shard by at least this at saturating load.
+CLUSTER_FLOOR = 1.1
+#: Shard scaling needs hardware parallelism: on a single-core host two
+#: compressing processes time-slice one core, so the scaling acceptance
+#: is waived (the sweep still runs and the fabric-overhead floor below
+#: still applies — routing must never *halve* throughput).
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+OVERHEAD_FLOOR = 0.5
 
 
 def _field() -> np.ndarray:
@@ -168,6 +196,163 @@ def _run_daemon(
 
 
 # --------------------------------------------------------------------------
+# cluster: saturation sweep and kill-a-shard availability
+# --------------------------------------------------------------------------
+
+
+def _sat_fields() -> list[np.ndarray]:
+    return [
+        make_nyx_dataset(grid_size=SAT_GRID, seed=seed)
+        .fields["baryon_density"]
+        for seed in range(SAT_FIELDS)
+    ]
+
+
+def _run_cluster_load(
+    port: int,
+    clients: int,
+    requests: int,
+    fields: list[np.ndarray],
+    on_request_done=None,
+) -> tuple[float, list[float], list[str]]:
+    """Closed-loop load: ``clients`` threads hammer the router at ``port``.
+
+    Returns (wall seconds, per-request latencies, failure descriptions).
+    """
+    per_client, remainder = divmod(requests, clients)
+    counts = [per_client + (1 if c < remainder else 0) for c in range(clients)]
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def worker(cid: int) -> None:
+        mine: list[float] = []
+        with ServiceClient(port=port, seed=cid,
+                           request_timeout_s=120.0) as client:
+            for i in range(counts[cid]):
+                field = fields[(cid + i * clients) % len(fields)]
+                r0 = time.perf_counter()
+                try:
+                    buf = client.compress(
+                        field, COMPRESSOR, mode="abs", value=ERROR_BOUND
+                    )
+                    if buf.compressed_nbytes <= 0:
+                        raise RuntimeError("empty reply payload")
+                except Exception as exc:  # noqa: BLE001 - count every loss
+                    with lock:
+                        failures.append(f"client {cid} request {i}: {exc}")
+                else:
+                    mine.append(time.perf_counter() - r0)
+                if on_request_done is not None:
+                    on_request_done()
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(c,)) for c in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(600)
+    return time.perf_counter() - t0, latencies, failures
+
+
+def _saturation(
+    shard_counts: tuple[int, ...],
+    loads: tuple[int, ...],
+    requests: int,
+) -> tuple[list[str], dict[int, float]]:
+    """Offered-load sweep per fleet size; returns (report, peak rps)."""
+    fields = _sat_fields()
+    lines = [
+        f"cluster saturation: {requests} {SAT_GRID}^3 f4 "
+        f"{COMPRESSOR.upper()} requests per load level, "
+        f"{SAT_FIELDS} distinct fields (consistent-hash spread)",
+    ]
+    peaks: dict[int, float] = {}
+    for n_shards in shard_counts:
+        with ClusterThread(spawn=n_shards,
+                           shard_options={"max_pending": 256}) as cluster:
+            # Warm every shard (codec paths, connection pool) so the
+            # timed levels measure steady state, not first-touch costs.
+            _, _, warm_failures = _run_cluster_load(
+                cluster.port, 4, 2 * SAT_FIELDS, fields
+            )
+            if warm_failures:
+                raise AssertionError(f"warmup failed: {warm_failures[:3]}")
+            lines.append(f"{n_shards} shard(s):")
+            for clients in loads:
+                elapsed, lat, failures = _run_cluster_load(
+                    cluster.port, clients, requests, fields
+                )
+                if failures:
+                    raise AssertionError(
+                        f"{len(failures)} request(s) lost at "
+                        f"{clients} clients / {n_shards} shard(s): "
+                        f"{failures[:3]}"
+                    )
+                rps = len(lat) / elapsed
+                peaks[n_shards] = max(peaks.get(n_shards, 0.0), rps)
+                lines.append(
+                    f"  {clients:3d} clients  {elapsed:7.2f} s  "
+                    f"{rps:8.2f} req/s  "
+                    f"p50 {_percentile(lat, 50) * 1e3:7.1f} ms  "
+                    f"p99 {_percentile(lat, 99) * 1e3:7.1f} ms"
+                )
+    return lines, peaks
+
+
+def _availability(requests: int, clients: int = 4) -> list[str]:
+    """Kill one of two spawned shards mid-run; count client-visible losses."""
+    fields = _sat_fields()
+    done = threading.Event()
+    progress = {"n": 0}
+    lock = threading.Lock()
+
+    def tick() -> None:
+        with lock:
+            progress["n"] += 1
+            if progress["n"] >= requests // 3:
+                done.set()
+
+    with ClusterThread(spawn=2, probe_interval_s=0.05, fail_after=2,
+                       recover_after=1,
+                       shard_options={"max_pending": 256}) as cluster:
+        victim = cluster.router.shard_handles["s1"].proc
+
+        killer_fired = threading.Event()
+
+        def killer() -> None:
+            done.wait(timeout=120)
+            victim.kill()  # SIGKILL: no drain, orphaned forwards and all
+            killer_fired.set()
+
+        k = threading.Thread(target=killer)
+        k.start()
+        elapsed, lat, failures = _run_cluster_load(
+            cluster.port, clients, requests, fields, on_request_done=tick
+        )
+        k.join(120)
+        with ServiceClient(port=cluster.port) as client:
+            serving = client.health()["serving"]
+
+    assert killer_fired.is_set(), "the kill never happened"
+    assert not failures, (
+        f"{len(failures)} accepted request(s) lost after the shard kill: "
+        f"{failures[:5]}"
+    )
+    return [
+        f"cluster availability: {requests} requests over {clients} clients, "
+        f"shard s1 SIGKILLed after ~{requests // 3} completions",
+        f"  {elapsed:7.2f} s  {len(lat) / elapsed:8.2f} req/s  "
+        f"p99 {_percentile(lat, 99) * 1e3:7.1f} ms",
+        f"  losses: 0 of {requests}; serving after kill: {serving}",
+    ]
+
+
+# --------------------------------------------------------------------------
 # the benchmark
 # --------------------------------------------------------------------------
 
@@ -212,6 +397,38 @@ def test_service_throughput():
     )
 
 
+def test_cluster_saturation():
+    lines, peaks = _saturation(
+        shard_counts=(1, 2), loads=(4, 12), requests=96
+    )
+    gain = peaks[2] / peaks[1]
+    if MULTI_CORE:
+        lines.append(
+            f"2-shard peak / 1-shard peak: {gain:.2f}x "
+            f"(floor: {CLUSTER_FLOOR:.2f}x)"
+        )
+    else:
+        lines.append(
+            f"2-shard peak / 1-shard peak: {gain:.2f}x "
+            f"(single-core host: scaling acceptance waived, "
+            f"overhead floor {OVERHEAD_FLOOR:.2f}x applies)"
+        )
+    write_result("service_cluster", "\n".join(lines))
+    if MULTI_CORE:
+        assert gain >= CLUSTER_FLOOR, (
+            f"2 shards only {gain:.2f}x of 1 shard at saturation"
+        )
+    else:
+        assert gain >= OVERHEAD_FLOOR, (
+            f"routing fabric overhead out of bounds: {gain:.2f}x"
+        )
+
+
+def test_cluster_availability():
+    lines = _availability(requests=96)
+    write_result("service_availability", "\n".join(lines))
+
+
 # --------------------------------------------------------------------------
 # entry points
 # --------------------------------------------------------------------------
@@ -234,11 +451,38 @@ def _quick() -> None:
     )
 
 
+def _quick_cluster(shards: int) -> None:
+    """CI smoke for the fleet: small saturation sweep + kill-a-shard."""
+    lines, peaks = _saturation(
+        shard_counts=(1, shards), loads=(8,), requests=48
+    )
+    gain = peaks[shards] / peaks[1]
+    lines.append(
+        f"{shards}-shard peak / 1-shard peak: {gain:.2f}x"
+        + ("" if MULTI_CORE else " (single-core host)")
+    )
+    print("\n".join(lines))
+    floor = 1.0 if MULTI_CORE else OVERHEAD_FLOOR
+    assert gain > floor, (
+        f"{shards}-shard fleet at {gain:.2f}x of 1 shard "
+        f"(floor {floor:.2f}x)"
+    )
+    print("\n".join(_availability(requests=48)))
+
+
 def main(argv: list[str]) -> None:
-    if argv[:1] == ["--quick"]:
-        _quick()
+    if argv and argv[0] == "--quick":
+        rest = argv[1:]
+        if rest[:1] == ["--shards"] and len(rest) == 2:
+            _quick_cluster(int(rest[1]))
+        elif not rest:
+            _quick()
+        else:
+            raise SystemExit(
+                "usage: bench_service.py --quick [--shards N]"
+            )
     else:
-        raise SystemExit("usage: bench_service.py --quick")
+        raise SystemExit("usage: bench_service.py --quick [--shards N]")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,170 @@
+"""Supervised daemon subprocesses: spawn, await readiness, drain.
+
+The cluster router (:mod:`repro.service.cluster`) can spawn its shard
+daemons locally instead of being pointed at pre-started ``host:port``
+endpoints.  :class:`DaemonProcess` is the small supervisor that makes
+that safe:
+
+* **readiness**: the child announces itself with one stdout line (the
+  service CLI prints ``serving on HOST:PORT``); :meth:`start` blocks
+  until a caller-supplied regex matches it, so the spawner learns the
+  ephemeral port without racing the bind;
+* **graceful stop**: :meth:`terminate` sends SIGTERM — the same signal
+  an operator or init system would — which the compression daemon
+  answers with its graceful drain (admitted requests finish and get
+  replies); only if the child outlives the timeout is it SIGKILLed;
+* **crash injection**: :meth:`kill` is immediate SIGKILL, used by the
+  availability probe in ``benchmarks/bench_service.py`` to murder a
+  shard mid-sweep and assert the router loses nothing.
+
+The supervisor is service-agnostic — command line in, ready-line match
+out — so it lives in :mod:`repro.parallel` with the other
+process-lifecycle machinery rather than in the service package.
+
+>>> import sys
+>>> d = DaemonProcess([sys.executable, "-u", "-c",
+...                    "import time; print('ready on 1234'); time.sleep(60)"],
+...                   ready_pattern=r"ready on (\\d+)")
+>>> d.start().group(1)
+'1234'
+>>> d.alive
+True
+>>> d.terminate(timeout_s=10.0)
+"""
+
+from __future__ import annotations
+
+import queue
+import re
+import signal
+import subprocess
+import threading
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+
+__all__ = ["DaemonProcess"]
+
+
+class DaemonProcess:
+    """One supervised child process (see module docstring)."""
+
+    def __init__(
+        self,
+        argv: list[str],
+        *,
+        ready_pattern: str,
+        name: str | None = None,
+        env: dict[str, str] | None = None,
+        start_timeout_s: float = 30.0,
+    ) -> None:
+        self.argv = list(argv)
+        self.ready_re = re.compile(ready_pattern)
+        self.name = name or self.argv[0]
+        self.env = env
+        self.start_timeout_s = start_timeout_s
+        self.proc: subprocess.Popen | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "re.Match[str]":
+        """Spawn and block until the ready line appears; returns its match.
+
+        Raises :class:`~repro.errors.ServiceError` if the child exits or
+        stays silent past ``start_timeout_s`` — with the child's stderr
+        tail in the message, because "my shard never came up" is only
+        debuggable with the child's own words.
+        """
+        self.proc = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=self.env,
+        )
+        # A blocking readline would wedge on a child that is alive but
+        # silent; a daemon reader thread keeps the timeout honest (and
+        # keeps draining stdout afterwards so the child can never block
+        # on a full pipe).
+        lines: queue.Queue[str | None] = queue.Queue()
+        stdout = self.proc.stdout
+        assert stdout is not None
+
+        def _read() -> None:
+            try:
+                for line in stdout:
+                    lines.put(line)
+            except ValueError:  # pipe closed under the reader
+                pass
+            lines.put(None)
+
+        threading.Thread(
+            target=_read, name=f"{self.name}-stdout", daemon=True
+        ).start()
+        deadline = time.monotonic() + self.start_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                line = lines.get(timeout=min(remaining, 0.2))
+            except queue.Empty:
+                continue
+            if line is None:  # EOF: the child exited
+                break
+            match = self.ready_re.search(line)
+            if match is not None:
+                return match
+        stderr = ""
+        if self.proc.poll() is not None and self.proc.stderr is not None:
+            stderr = self.proc.stderr.read()[-2000:]
+        self.kill()
+        raise ServiceError(
+            f"{self.name} did not become ready within "
+            f"{self.start_timeout_s:.0f}s"
+            + (f"; stderr tail:\n{stderr}" if stderr else "")
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> int | None:
+        return None if self.proc is None else self.proc.pid
+
+    def terminate(self, timeout_s: float = 15.0) -> None:
+        """SIGTERM (graceful drain) first; SIGKILL if it overstays."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout_s)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(5.0)
+        self._close_pipes()
+
+    def kill(self) -> None:
+        """Immediate SIGKILL — crash injection, no drain."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(5.0)
+        self._close_pipes()
+
+    def _close_pipes(self) -> None:
+        assert self.proc is not None
+        for stream in (self.proc.stdout, self.proc.stderr):
+            if stream is not None:
+                stream.close()
+
+    def __enter__(self) -> "DaemonProcess":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.terminate()

@@ -15,18 +15,35 @@ process start-up and codec warm-up per field.
   SIGTERM, telemetry-backed STATS; :class:`ServiceThread` embeds it.
 * :mod:`repro.service.client` — the blocking :class:`ServiceClient`
   with connect/busy retry (jittered backoff) and per-call deadlines.
-* ``python -m repro.service serve|compress|stats|health`` — the CLI.
+* :mod:`repro.service.cluster` — the multi-node fabric: a
+  :class:`ClusterRouter` front-end spreading requests over N daemon
+  shards by consistent hash (:mod:`repro.service.ring`), with
+  health-gated membership (:mod:`repro.service.membership`), hedging/
+  failover, and fleet-wide STATS/METRICS; :class:`ClusterThread`
+  embeds it.
+* ``python -m repro.service serve|route|compress|stats|health|cluster``
+  — the CLI.
 
 See ``docs/SERVICE.md`` for the protocol specification and deployment
-tuning.
+tuning, and ``docs/CLUSTER.md`` for the cluster operator's handbook.
 """
 
 from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.cluster import (
+    DEFAULT_ROUTER_PORT,
+    ClusterRouter,
+    ClusterThread,
+    routing_key,
+)
 from repro.service.server import CompressionService, ServiceThread
 
 __all__ = [
     "DEFAULT_PORT",
+    "DEFAULT_ROUTER_PORT",
     "ServiceClient",
+    "ClusterRouter",
+    "ClusterThread",
     "CompressionService",
     "ServiceThread",
+    "routing_key",
 ]

@@ -6,22 +6,40 @@
                                     [--max-pending N] [--batch-window-ms MS]
                                     [--cache DIR] [--cache-max-bytes BYTES]
                                     [--timeout-s S] [--trace-out PATH]
+                                    [--shard-id ID]
                                     [--log-json] [-v | --quiet]
+    python -m repro.service route   [--shards H:P,H:P,...] [--spawn N]
+                                    [--host H] [--port P]
+                                    [--hedge-after-ms MS] [--fail-after K]
+                                    [--recover-after K] [--probe-interval-ms MS]
+                                    [--workers N] [--cache DIR] ...
     python -m repro.service compress INPUT.npy --compressor NAME
                                     [--mode abs] [--value 1e-3]
                                     [--out OUT.rsz] [--host H] [--port P]
     python -m repro.service stats   [--host H] [--port P]
     python -m repro.service health  [--host H] [--port P]
+    python -m repro.service cluster [--host H] [--port P]
 
 ``serve`` prints ``serving on HOST:PORT`` on stdout once bound (with
 ``--port 0`` this is how callers learn the ephemeral port), then runs
 until SIGTERM/SIGINT, draining gracefully: admitted requests finish and
 receive replies, new ones are refused with a ``busy``/``draining``
-frame.
+frame.  ``--shard-id`` stamps the daemon's identity on every reply
+header and Prometheus sample — set it when the daemon is one shard of a
+cluster (``docs/CLUSTER.md``).
+
+``route`` runs the cluster router (:mod:`repro.service.cluster`) over a
+fleet of shard daemons — pre-started ones via ``--shards``, locally
+spawned ones via ``--spawn N`` — and prints ``routing on HOST:PORT``
+once bound.  It speaks the same MSG1 protocol as ``serve``, so
+``compress``/``stats``/``health``/``cluster`` all work against it.
 
 ``compress`` writes the compressed stream to ``--out`` (default: input
 path + ``.rsz``) and prints the achieved ratio — a smoke client, not a
 replacement for :class:`repro.service.client.ServiceClient`.
+
+``cluster`` dumps the router's CLUSTER op — topology, membership
+states, and ring ownership shares — as JSON.
 """
 
 from __future__ import annotations
@@ -60,6 +78,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache=cache,
         default_timeout_s=args.timeout_s,
         trace_out=args.trace_out,
+        shard_id=args.shard_id,
     )
 
     async def _main() -> None:
@@ -68,6 +87,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # wrappers that started us with --port 0.
         print(f"serving on {service.host}:{service.port}", flush=True)
         await service.serve()
+
+    asyncio.run(_main())
+    print("drained", flush=True)
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.service.cluster import DEFAULT_ROUTER_PORT, ClusterRouter
+
+    port = DEFAULT_ROUTER_PORT if args.port is None else args.port
+    shard_options = {
+        "workers": args.workers,
+        "max_pending": args.max_pending,
+        "batch_window_ms": args.batch_window_ms,
+        "max_batch": args.max_batch,
+        "timeout_s": args.timeout_s,
+        "cache_dir": args.cache,
+        "cache_max_bytes": args.cache_max_bytes,
+    }
+    router = ClusterRouter(
+        shards=[s for s in (args.shards or "").split(",") if s],
+        spawn=args.spawn,
+        host=args.host,
+        port=port,
+        shard_options={k: v for k, v in shard_options.items() if v is not None},
+        hedge_after_s=(
+            None if args.hedge_after_ms is None else args.hedge_after_ms / 1e3
+        ),
+        fail_after=args.fail_after,
+        recover_after=args.recover_after,
+        probe_interval_s=args.probe_interval_ms / 1e3,
+        trace_out=args.trace_out,
+    )
+
+    async def _main() -> None:
+        await router.start()
+        print(f"routing on {router.host}:{router.port}", flush=True)
+        await router.serve()
 
     asyncio.run(_main())
     print("drained", flush=True)
@@ -102,6 +159,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.service.cluster import DEFAULT_ROUTER_PORT
+
+    port = DEFAULT_ROUTER_PORT if args.port is None else args.port
+    with ServiceClient(host=args.host, port=port) as client:
+        print(json.dumps(client.cluster(), indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.service",
@@ -130,11 +196,50 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="dump every span (stitched distributed traces "
                             "included) as JSONL here when the daemon drains")
+    serve.add_argument("--shard-id", default=None, metavar="ID",
+                       help="fleet identity: stamp replies and metrics with "
+                            "shard=ID (set by the cluster router's --spawn)")
     serve.add_argument("--log-json", action="store_true",
                        help="JSON log records stamped with trace/request ids")
     serve.add_argument("--quiet", action="store_true")
     serve.add_argument("-v", "--verbose", action="count", default=0)
     serve.set_defaults(fn=_cmd_serve)
+
+    route = sub.add_parser(
+        "route", help="run the cluster router over N shard daemons"
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=None,
+                       help="router port (default 9470)")
+    route.add_argument("--shards", default=None, metavar="H:P,H:P",
+                       help="comma-separated pre-started shard endpoints")
+    route.add_argument("--spawn", type=int, default=0, metavar="N",
+                       help="spawn N local shard daemons (ephemeral ports)")
+    route.add_argument("--hedge-after-ms", type=float, default=None,
+                       help="duplicate a slow forward after this budget "
+                            "(default: hedging off)")
+    route.add_argument("--fail-after", type=int, default=3,
+                       help="consecutive probe misses that drain a shard")
+    route.add_argument("--recover-after", type=int, default=2,
+                       help="consecutive probe hits that re-admit a shard")
+    route.add_argument("--probe-interval-ms", type=float, default=250.0,
+                       help="healthy-shard HEALTH probe cadence (default 250)")
+    route.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="dump router spans as JSONL on drain")
+    # Spawned-shard knobs (ignored for --shards endpoints, which were
+    # configured by whoever started them).
+    route.add_argument("--workers", type=int, default=None, metavar="N")
+    route.add_argument("--max-pending", type=int, default=None)
+    route.add_argument("--batch-window-ms", type=float, default=None)
+    route.add_argument("--max-batch", type=int, default=None)
+    route.add_argument("--timeout-s", type=float, default=None)
+    route.add_argument("--cache", default=None, metavar="DIR",
+                       help="parent dir for per-shard result caches")
+    route.add_argument("--cache-max-bytes", default=None, metavar="BYTES")
+    route.add_argument("--log-json", action="store_true")
+    route.add_argument("--quiet", action="store_true")
+    route.add_argument("-v", "--verbose", action="count", default=0)
+    route.set_defaults(fn=_cmd_route)
 
     compress = sub.add_parser("compress", help="compress one .npy file")
     compress.add_argument("input", help="input array (.npy)")
@@ -153,8 +258,16 @@ def main(argv: list[str] | None = None) -> int:
     _add_endpoint_args(health)
     health.set_defaults(fn=_cmd_health)
 
+    cluster = sub.add_parser(
+        "cluster", help="dump router topology and membership"
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=None,
+                         help="router port (default 9470)")
+    cluster.set_defaults(fn=_cmd_cluster)
+
     args = parser.parse_args(argv)
-    if args.command == "serve":
+    if args.command in ("serve", "route"):
         configure_logging(verbosity=args.verbose, quiet=args.quiet,
                           json_logs=args.log_json)
     try:

@@ -22,9 +22,25 @@ simulation loop needs handled inside —
   trace (see ``docs/OBSERVABILITY.md``).  With telemetry off and no
   ambient trace, nothing is added to the header and nothing is timed.
 
+Both retry paths share one delay policy —
+:func:`repro.util.backoff.backoff_delay` — so the whole fleet
+(clients, and the cluster router's membership re-probe) jitters the
+same way.
+
 One client owns one socket and is **not** thread-safe — give each
 thread its own client (they are cheap; the stress tests do exactly
 this).  Use as a context manager to close the socket deterministically.
+Construction is free of I/O — the socket dials lazily on the first
+call (or on ``__enter__``), so a client can be built before its daemon
+is up:
+
+>>> client = ServiceClient(port=7777, busy_retries=3, seed=42)
+>>> (client.host, client.port, client.busy_retries)
+('127.0.0.1', 7777, 3)
+>>> client.close()                     # idempotent, even if never dialed
+
+Against a live daemon (or a cluster router — the client is oblivious
+to which one it dialed):
 
 >>> with ServiceClient(port=7777) as client:        # doctest: +SKIP
 ...     buf = client.compress(field, "sz", mode="abs", value=1e-3)
@@ -45,6 +61,7 @@ from repro.errors import ProtocolError, ServiceBusyError, ServiceError
 from repro.service import protocol
 from repro.telemetry import context as trace_context
 from repro.telemetry import get_telemetry
+from repro.util.backoff import backoff_delay
 
 DEFAULT_PORT = 9461
 
@@ -91,9 +108,13 @@ class ServiceClient:
                 break
             except OSError as exc:
                 attempt += 1
-                delay = min(
-                    self.retry_max_s, self.retry_base_s * (2 ** attempt)
-                ) * self._rng.uniform(0.5, 1.0)
+                delay = backoff_delay(
+                    attempt,
+                    base_s=self.retry_base_s,
+                    cap_s=self.retry_max_s,
+                    jitter=(0.5, 1.0),
+                    rng=self._rng,
+                )
                 if time.monotonic() + delay >= deadline:
                     raise ServiceError(
                         f"cannot connect to {self.host}:{self.port}: {exc}"
@@ -168,11 +189,13 @@ class ServiceClient:
             if status == "busy":
                 if attempt >= self.busy_retries:
                     break
-                hint_s = float(reply.get("retry_after_ms", 0)) / 1e3
-                backoff = min(
-                    self.retry_max_s, self.retry_base_s * (2 ** attempt)
+                delay = backoff_delay(
+                    attempt,
+                    base_s=self.retry_base_s,
+                    cap_s=self.retry_max_s,
+                    hint_s=float(reply.get("retry_after_ms", 0)) / 1e3,
+                    rng=self._rng,
                 )
-                delay = max(hint_s, backoff) * self._rng.uniform(0.5, 1.5)
                 with tm.span(
                     "client.busy_wait",
                     attempt=attempt + 1,
@@ -300,6 +323,23 @@ class ServiceClient:
         return reply
 
     def metrics_text(self) -> str:
-        """The daemon's metrics in Prometheus text exposition format."""
+        """The daemon's metrics in Prometheus text exposition format.
+
+        Against a cluster router this is the *fleet* exposition: every
+        per-shard sample gains a ``shard="..."`` label and the router's
+        own metrics appear under ``shard="router"``.
+        """
         _, body = self._request({"op": "metrics"})
         return body.decode("utf-8")
+
+    def cluster(self) -> dict[str, Any]:
+        """Topology and membership of the cluster router this client dialed.
+
+        Only a :class:`repro.service.cluster.ClusterRouter` answers the
+        CLUSTER op — a plain daemon replies with ``bad_op``, which
+        surfaces here as :class:`~repro.errors.ServiceError`.  The reply
+        carries per-shard membership state, probe/hedge counters, and
+        ring ownership shares (see ``docs/CLUSTER.md``).
+        """
+        reply, _ = self._request({"op": "cluster"})
+        return reply

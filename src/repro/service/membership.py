@@ -1,0 +1,200 @@
+"""Health-gated shard membership: who is in the ring right now.
+
+The router only sends work to shards it believes are alive, and its
+belief is driven by evidence — periodic HEALTH probes plus the outcome
+of every forwarded request.  :class:`MembershipTable` is that belief as
+a pure, synchronous state machine (no sockets, no clock of its own), so
+the gating policy is unit-testable without a fleet; the asyncio probe
+loop in :mod:`repro.service.cluster` feeds it observations and applies
+its verdicts to the :class:`~repro.service.ring.HashRing`.
+
+Per shard the table runs a three-state machine:
+
+* ``up`` — serving; in the ring.
+* ``suspect`` — one or more consecutive failures, but fewer than
+  ``fail_after``; still in the ring (a single dropped probe on a busy
+  box must not trigger a rebalance).
+* ``down`` — ``fail_after`` consecutive failures; *drained from the
+  ring*.  Probing continues with jittered exponential backoff
+  (:func:`repro.util.backoff.backoff_delay` — the same policy the
+  client's retry paths use) and ``recover_after`` consecutive
+  successes re-admit the shard.
+
+Transitions are reported to the caller as the return value of
+:meth:`record_success` / :meth:`record_failure` — ``"drain"`` means
+"take it out of the ring now", ``"admit"`` means "put it back" — so the
+ring mutation and the verdict can never disagree.
+
+>>> table = MembershipTable(fail_after=2, recover_after=1)
+>>> table.add("s0")
+'admit'
+>>> table.record_failure("s0"), table.state("s0")   # 1 miss: suspect
+(None, 'suspect')
+>>> table.record_failure("s0"), table.state("s0")   # 2nd miss: drained
+('drain', 'down')
+>>> table.record_success("s0"), table.state("s0")   # recovery: re-admitted
+('admit', 'up')
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.util.backoff import backoff_delay
+
+__all__ = ["MembershipTable", "ShardHealth"]
+
+Verdict = Literal["admit", "drain", None]
+
+
+@dataclass
+class ShardHealth:
+    """Observed health of one shard (see module docstring for states)."""
+
+    shard_id: str
+    state: str = "up"
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    #: Totals over the shard's lifetime (CLUSTER op diagnostics).
+    probes_total: int = 0
+    failures_total: int = 0
+    #: Wall time of the last observation (diagnostics only).
+    last_seen: float = field(default_factory=time.time)
+    last_error: str | None = None
+
+    @property
+    def in_ring(self) -> bool:
+        return self.state != "down"
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "probes_total": self.probes_total,
+            "failures_total": self.failures_total,
+            "last_seen": self.last_seen,
+            "last_error": self.last_error,
+        }
+
+
+class MembershipTable:
+    """Failure-evidence accumulator with drain/admit verdicts.
+
+    ``fail_after`` consecutive failures drain a shard; ``recover_after``
+    consecutive successes re-admit it.  ``probe_interval_s`` is the
+    healthy-shard probe cadence; :meth:`probe_delay` stretches it with
+    jittered exponential backoff while a shard stays down, capped at
+    ``reprobe_cap_s`` so recovery is still noticed promptly.
+    """
+
+    def __init__(
+        self,
+        *,
+        fail_after: int = 3,
+        recover_after: int = 2,
+        probe_interval_s: float = 0.5,
+        reprobe_cap_s: float = 5.0,
+        seed: int | None = None,
+    ) -> None:
+        if fail_after < 1 or recover_after < 1:
+            raise ValueError("fail_after and recover_after must be >= 1")
+        self.fail_after = fail_after
+        self.recover_after = recover_after
+        self.probe_interval_s = probe_interval_s
+        self.reprobe_cap_s = reprobe_cap_s
+        self._rng = random.Random(seed)
+        self._shards: dict[str, ShardHealth] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, shard_id: str) -> Verdict:
+        """Register a shard, optimistically ``up`` (idempotent)."""
+        if shard_id in self._shards:
+            return None
+        self._shards[shard_id] = ShardHealth(shard_id)
+        return "admit"
+
+    def shard(self, shard_id: str) -> ShardHealth:
+        return self._shards[shard_id]
+
+    def state(self, shard_id: str) -> str:
+        return self._shards[shard_id].state
+
+    @property
+    def shards(self) -> list[ShardHealth]:
+        return [self._shards[k] for k in sorted(self._shards)]
+
+    def serving(self) -> list[str]:
+        """Shard ids currently eligible for work (up or suspect)."""
+        return [s.shard_id for s in self.shards if s.in_ring]
+
+    # -- evidence ----------------------------------------------------------
+
+    def record_success(self, shard_id: str) -> Verdict:
+        """A probe or forward succeeded; ``"admit"`` if this re-admits."""
+        s = self._shards[shard_id]
+        s.probes_total += 1
+        s.last_seen = time.time()
+        s.last_error = None
+        s.consecutive_failures = 0
+        s.consecutive_successes += 1
+        if s.state == "down":
+            if s.consecutive_successes >= self.recover_after:
+                s.state = "up"
+                return "admit"
+            return None
+        s.state = "up"
+        return None
+
+    def record_failure(self, shard_id: str, error: str = "") -> Verdict:
+        """A probe or forward failed; ``"drain"`` if this drains the shard."""
+        s = self._shards[shard_id]
+        s.probes_total += 1
+        s.failures_total += 1
+        s.last_seen = time.time()
+        s.last_error = error or s.last_error
+        s.consecutive_successes = 0
+        s.consecutive_failures += 1
+        if s.state == "down":
+            return None
+        if s.consecutive_failures >= self.fail_after:
+            s.state = "down"
+            return "drain"
+        s.state = "suspect"
+        return None
+
+    # -- probe scheduling --------------------------------------------------
+
+    def probe_delay(self, shard_id: str) -> float:
+        """Seconds until this shard's next probe.
+
+        Healthy (and suspect) shards are probed every
+        ``probe_interval_s``.  A down shard is re-probed with jittered
+        exponential backoff over the failures *beyond* the drain
+        threshold, capped at ``reprobe_cap_s`` — a flapping shard costs
+        probe traffic proportional to its flakiness, not to fleet size.
+        """
+        s = self._shards[shard_id]
+        if s.state != "down":
+            return self.probe_interval_s
+        over = s.consecutive_failures - self.fail_after
+        return backoff_delay(
+            max(0, over),
+            base_s=self.probe_interval_s,
+            cap_s=self.reprobe_cap_s,
+            jitter=(0.8, 1.2),
+            rng=self._rng,
+        )
+
+    def to_dict(self) -> dict:
+        """The CLUSTER-op membership view."""
+        return {
+            "fail_after": self.fail_after,
+            "recover_after": self.recover_after,
+            "probe_interval_s": self.probe_interval_s,
+            "shards": [s.to_dict() for s in self.shards],
+        }

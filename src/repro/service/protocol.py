@@ -32,6 +32,13 @@ The field is backward- and forward-compatible by construction — JSON
 headers tolerate unknown keys, so an old server ignores it and an old
 client simply never sends it; a malformed value is ignored rather than
 rejected.  The frame format itself is unchanged (still MSG1).
+
+Reply headers may carry an **optional** ``shard`` field
+(:data:`SHARD_FIELD`): the identity of the daemon shard that served
+the request.  A standalone daemon sends it when started with
+``--shard-id``; the cluster router (:mod:`repro.service.cluster`)
+stamps it on every routed reply.  Like ``trace``, it is pure metadata —
+clients that do not know it ignore it.
 """
 
 from __future__ import annotations
@@ -51,6 +58,10 @@ MAGIC = b"MSG1"
 #: Optional request-header field carrying a serialized trace context
 #: (re-exported from :mod:`repro.telemetry.context` for wire-level docs).
 TRACE_FIELD = "trace"
+
+#: Optional reply-header field naming the shard that served the request
+#: (set by ``serve --shard-id`` and by the cluster router on routed ops).
+SHARD_FIELD = "shard"
 
 #: Fixed-size frame prefix: magic + u32 header length + u64 payload length.
 PREFIX = struct.Struct(">4sIQ")

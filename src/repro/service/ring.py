@@ -1,0 +1,159 @@
+"""Consistent-hash ring: which shard owns which cache key.
+
+The cluster router (:mod:`repro.service.cluster`) spreads requests over
+N daemon shards.  Routing them round-robin would work for throughput
+but would scatter repeat requests across the fleet — and the whole
+point of the shards' :class:`~repro.cache.ResultCache` is that the
+*same* sweep of the *same* field served twice is served warm.  The
+classic fix is a consistent-hash ring (Karger et al.; the memcached /
+Dynamo placement scheme):
+
+* each shard is hashed to ``replicas`` pseudo-random points on a
+  circle (virtual nodes smooth the load between unequal arcs);
+* a key is hashed to one point and owned by the first shard point at
+  or after it, wrapping around;
+* adding or removing one shard only moves the keys in the arcs that
+  shard gains or loses — about ``1/N`` of the key space — so a health
+  drain does not invalidate every other shard's warm cache.
+
+Hashing is :func:`hashlib.blake2b` over stable byte strings, so ring
+placement is deterministic across processes and Python versions — the
+property the tests in ``tests/test_ring.py`` lock in, and the reason a
+restarted router reaches the same warm shards as its predecessor.
+
+>>> ring = HashRing(["s0", "s1", "s2"])
+>>> owner = ring.lookup(b"some cache key")
+>>> owner in {"s0", "s1", "s2"}
+True
+>>> ring.lookup(b"some cache key") == owner         # deterministic
+True
+>>> ring.preference(b"some cache key", 2)[0] == owner
+True
+>>> ring.remove(owner)
+>>> ring.lookup(b"some cache key") != owner         # moved, predictably
+True
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per shard.  128 points keeps the largest/smallest
+#: ownership share within a few tens of percent of fair for small
+#: fleets (the property tests assert the bound).
+DEFAULT_REPLICAS = 128
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit position on the ring for ``data``."""
+    return int.from_bytes(
+        hashlib.blake2b(data, digest_size=8).digest(), "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over string node ids.
+
+    Not thread-safe; the router mutates it only from its event loop.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str] = (),
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []       # sorted ring positions
+        self._owners: dict[int, str] = {}  # position -> node id
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Place ``node`` on the ring (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.replicas):
+            point = _point(f"{node}#{i}".encode())
+            # Collisions across 64-bit points are ~impossible; keep the
+            # first owner if one happens so placement stays deterministic.
+            if point in self._owners:
+                continue
+            self._owners[point] = node
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        """Take ``node`` off the ring (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        dead = [p for p, owner in self._owners.items() if owner == node]
+        for point in dead:
+            del self._owners[point]
+        dead_set = set(dead)
+        self._points = [p for p in self._points if p not in dead_set]
+
+    @property
+    def nodes(self) -> list[str]:
+        """Current node ids, sorted (stable for display and tests)."""
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: bytes | str) -> str:
+        """The node owning ``key`` (raises ``LookupError`` on an empty ring)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: bytes | str, n: int) -> list[str]:
+        """The first ``n`` *distinct* nodes clockwise from ``key``.
+
+        Index 0 is the primary owner; the rest are the failover /
+        hedging order.  Fewer than ``n`` nodes on the ring returns them
+        all.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        if isinstance(key, str):
+            key = key.encode()
+        start = bisect.bisect_right(self._points, _point(key))
+        found: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + i) % len(self._points)]
+            ]
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) >= n:
+                    break
+        return found
+
+    def shares(self, sample: int = 4096) -> dict[str, float]:
+        """Approximate ownership share per node over ``sample`` probe keys.
+
+        Diagnostic only (the CLUSTER op reports it): the fraction of
+        ``sample`` deterministic probe keys each node owns.
+        """
+        counts: dict[str, int] = {node: 0 for node in self._nodes}
+        if not self._points or not sample:
+            return {node: 0.0 for node in self._nodes}
+        for i in range(sample):
+            counts[self.lookup(f"probe:{i}".encode())] += 1
+        return {node: counts[node] / sample for node in sorted(counts)}

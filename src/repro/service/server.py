@@ -116,12 +116,17 @@ class CompressionService:
         max_payload_bytes: int = protocol.MAX_PAYLOAD_BYTES,
         default_timeout_s: float | None = None,
         trace_out: str | None = None,
+        shard_id: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_payload_bytes = max_payload_bytes
         self.default_timeout_s = default_timeout_s
         self.trace_out = trace_out
+        #: Fleet identity (``serve --shard-id``): stamped on every reply
+        #: header and on Prometheus samples as a ``shard`` label, so a
+        #: cluster's aggregated views stay attributable (docs/CLUSTER.md).
+        self.shard_id = shard_id
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache = cache
@@ -284,6 +289,8 @@ class CompressionService:
         async def reply(h: dict[str, Any], body: bytes = b"") -> None:
             if rid is not None:
                 h["id"] = rid
+            if self.shard_id is not None:
+                h.setdefault(protocol.SHARD_FIELD, self.shard_id)
             tm.count("service.bytes_out", len(body))
             with tm.span("service.reply", op=op, bytes=len(body)):
                 await protocol.write_frame(writer, h, body)
@@ -477,8 +484,13 @@ class CompressionService:
             "service_uptime_seconds": time.perf_counter() - self._started,
             "service_queue_depth_now": float(self.batcher.depth),
         }
+        extra_labels = (
+            {"shard": self.shard_id} if self.shard_id is not None else None
+        )
         text = render_prometheus(
-            tm.metrics if tm.enabled else None, extra_gauges=extra_gauges
+            tm.metrics if tm.enabled else None,
+            extra_gauges=extra_gauges,
+            extra_labels=extra_labels,
         )
         return text, PROM_CONTENT_TYPE
 

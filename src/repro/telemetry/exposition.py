@@ -38,6 +38,7 @@ from repro.telemetry.metrics import MetricsRegistry
 __all__ = [
     "PROM_CONTENT_TYPE",
     "parse_metric_key",
+    "relabel_exposition",
     "render_prometheus",
     "serve_metrics",
 ]
@@ -108,9 +109,45 @@ def _fmt(value: float) -> str:
     return repr(as_float)
 
 
+def relabel_exposition(text: str, labels: Mapping[str, str]) -> str:
+    """Add ``labels`` to every sample of an exposition ``text``.
+
+    The cluster router uses this to merge per-shard scrapes into one
+    fleet exposition: each shard's samples gain ``shard="<id>"`` without
+    re-parsing values or histograms.  Comment lines (``# TYPE``/
+    ``# HELP``) pass through; a label key already present in a sample is
+    left alone (the shard's own claim wins over the router's).
+    """
+    extra = dict(labels)
+    out: list[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        series, _, value = line.rpartition(" ")
+        if not series:
+            out.append(line)
+            continue
+        if series.endswith("}") and "{" in series:
+            name, _, body = series.partition("{")
+            body = body[:-1]
+            add = {
+                k: v for k, v in extra.items() if f'{k}="' not in body
+            }
+            inner = ",".join(
+                f'{k}="{_escape_label(v)}"' for k, v in sorted(add.items())
+            )
+            joined = ",".join(p for p in (inner, body) if p)
+            out.append(f"{name}{{{joined}}} {value}")
+        else:
+            out.append(f"{series}{_labels_text(extra)} {value}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
 def render_prometheus(
     registry: MetricsRegistry | None,
     extra_gauges: Mapping[str, float] | None = None,
+    extra_labels: Mapping[str, str] | None = None,
 ) -> str:
     """Render ``registry`` (and ad-hoc ``extra_gauges``) as exposition text.
 
@@ -118,12 +155,21 @@ def render_prometheus(
     series within a family are sorted by their label sets, so output is
     deterministic and diff-friendly.  ``registry=None`` renders only the
     extras (a daemon running without telemetry still exposes uptime).
+
+    ``extra_labels`` are stamped on every series — the shard-identity
+    hook: a daemon started with ``--shard-id s0`` exposes all its
+    samples as ``...{shard="s0"}``, so a fleet's scrapes stay
+    distinguishable after aggregation.  A label-in-name key that
+    already carries one of the extra keys wins over the extra.
     """
     snapshot = registry.snapshot() if registry is not None else {}
+    stamp = dict(extra_labels or {})
     # family name -> (type, list of (labels, snapshot))
     families: dict[str, tuple[str, list[tuple[dict[str, str], dict[str, Any]]]]] = {}
     for key, snap in snapshot.items():
         name, labels = parse_metric_key(key)
+        if stamp:
+            labels = {**stamp, **labels}
         kind = snap.get("type", "gauge")
         fam = families.get(name)
         if fam is None:
@@ -136,6 +182,8 @@ def render_prometheus(
             families.setdefault(alt, (kind, []))[1].append((labels, snap))
     for name, value in (extra_gauges or {}).items():
         clean, labels = parse_metric_key(name)
+        if stamp:
+            labels = {**stamp, **labels}
         families.setdefault(clean, ("gauge", []))[1].append(
             (labels, {"type": "gauge", "value": float(value)})
         )

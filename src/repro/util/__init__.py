@@ -1,5 +1,6 @@
 """Shared low-level utilities: bit streams, blocking, dimension conversion."""
 
+from repro.util.backoff import backoff_delay
 from repro.util.bits import (
     BitReader,
     BitWriter,
@@ -29,6 +30,7 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "backoff_delay",
     "BitReader",
     "BitWriter",
     "pack_varlen_codes",

@@ -1,0 +1,53 @@
+"""Jittered exponential backoff — the one retry-delay policy.
+
+Three call sites in the service fabric retry with a delay: the client's
+connect loop (the daemon may still be binding), the client's busy loop
+(the admission queue was full), and the cluster router's re-probe of a
+drained shard (is it back yet?).  They all want the same shape —
+exponential growth from a base, a hard cap, a server hint that acts as
+a floor, and *jitter* so a fleet of retriers decorrelates instead of
+hammering in lockstep — so the arithmetic lives here once.
+
+>>> from random import Random
+>>> d = backoff_delay(0, base_s=0.1, cap_s=1.0, rng=Random(7))
+>>> 0.05 <= d <= 0.15                       # base * jitter in [0.5, 1.5]
+True
+>>> backoff_delay(10, base_s=0.1, cap_s=1.0, jitter=(1.0, 1.0))
+1.0
+>>> backoff_delay(0, base_s=0.01, cap_s=1.0, hint_s=0.5, jitter=(1.0, 1.0))
+0.5
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["backoff_delay"]
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base_s: float,
+    cap_s: float,
+    hint_s: float = 0.0,
+    jitter: tuple[float, float] = (0.5, 1.5),
+    rng: random.Random | None = None,
+) -> float:
+    """The delay before retry number ``attempt`` (0-based).
+
+    ``max(hint_s, min(cap_s, base_s * 2**attempt))`` scaled by a uniform
+    sample from ``jitter``.  ``hint_s`` is a server-provided floor (the
+    BUSY reply's ``retry_after_ms``); the cap applies to the exponential
+    term only, so a hint larger than the cap is still honored.  Pass a
+    seeded ``rng`` for reproducible schedules (tests, per-client
+    decorrelation by seed).
+    """
+    if rng is None:
+        rng = random
+    # Clamp the exponent before 2**attempt: a long-downed shard reaches
+    # attempt counts where the power overflows a float, and the cap
+    # would have won anyway.
+    exp = min(cap_s, base_s * (2.0 ** min(attempt, 63)))
+    lo, hi = jitter
+    return max(hint_s, exp) * rng.uniform(lo, hi)

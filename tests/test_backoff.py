@@ -1,0 +1,94 @@
+"""The shared jittered-backoff policy (repro.util.backoff).
+
+One helper serves three retry paths — client connect, client busy-wait,
+and the router's membership re-probe — so these tests pin the contract
+they all rely on: exponential growth, the cap, the server hint floor,
+and jitter staying inside its band.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.backoff import backoff_delay
+
+
+class _FixedRng:
+    """rng stub returning a constant from uniform() — jitter pinned."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def uniform(self, lo: float, hi: float) -> float:
+        assert lo <= self.value <= hi
+        return self.value
+
+
+class TestExponentialShape:
+    def test_doubles_per_attempt_until_cap(self):
+        rng = _FixedRng(1.0)
+        delays = [
+            backoff_delay(a, base_s=0.1, cap_s=100.0, jitter=(1.0, 1.0),
+                          rng=rng)
+            for a in range(5)
+        ]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.6])
+
+    def test_cap_bounds_the_exponent(self):
+        rng = _FixedRng(1.0)
+        capped = backoff_delay(50, base_s=0.1, cap_s=2.0, jitter=(1.0, 1.0),
+                               rng=rng)
+        assert capped == pytest.approx(2.0)
+
+    def test_huge_attempt_does_not_overflow(self):
+        # 2**10_000 is a bignum; the cap must short-circuit before the
+        # float conversion, not after.
+        delay = backoff_delay(10_000, base_s=0.5, cap_s=3.0)
+        assert 0.0 < delay <= 4.5  # cap * max default jitter
+
+    def test_hint_is_a_floor_not_a_ceiling(self):
+        rng = _FixedRng(1.0)
+        # Early attempt: the server's retry_after_ms hint dominates.
+        early = backoff_delay(0, base_s=0.01, cap_s=10.0, hint_s=0.5,
+                              jitter=(1.0, 1.0), rng=rng)
+        assert early == pytest.approx(0.5)
+        # Late attempt: the exponential term has outgrown the hint.
+        late = backoff_delay(8, base_s=0.01, cap_s=10.0, hint_s=0.5,
+                             jitter=(1.0, 1.0), rng=rng)
+        assert late == pytest.approx(2.56)
+
+
+class TestJitter:
+    @given(
+        attempt=st.integers(0, 20),
+        base=st.floats(1e-3, 1.0),
+        cap=st.floats(1e-3, 60.0),
+        hint=st.floats(0.0, 5.0),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_delay_stays_in_the_jitter_band(self, attempt, base, cap, hint, seed):
+        rng = random.Random(seed)
+        lo, hi = 0.5, 1.5
+        deterministic = max(hint, min(cap, base * 2**attempt))
+        delay = backoff_delay(attempt, base_s=base, cap_s=cap, hint_s=hint,
+                              jitter=(lo, hi), rng=rng)
+        assert deterministic * lo <= delay <= deterministic * hi
+
+    def test_seeded_rng_reproduces(self):
+        a = [backoff_delay(i, base_s=0.1, cap_s=2.0, rng=random.Random(7))
+             for i in range(5)]
+        b = [backoff_delay(i, base_s=0.1, cap_s=2.0, rng=random.Random(7))
+             for i in range(5)]
+        assert a == b
+
+    def test_decorrelates_two_clients(self):
+        # The whole point of jitter: two fleets with different rngs do
+        # not sleep in lockstep.
+        a = [backoff_delay(i, base_s=0.1, cap_s=2.0, rng=random.Random(1))
+             for i in range(8)]
+        b = [backoff_delay(i, base_s=0.1, cap_s=2.0, rng=random.Random(2))
+             for i in range(8)]
+        assert a != b

@@ -90,6 +90,19 @@ def test_docs_pages_cross_link() -> None:
     assert "docs/EXPERIMENTS.md" in root_exp
 
 
+def test_cluster_handbook_is_cross_linked() -> None:
+    """The cluster operator's handbook is reachable from the service,
+    architecture, and observability pages, and links back into the set
+    — an operator landing on any of them finds the fleet docs."""
+    docs = REPO_ROOT / "docs"
+    for page in ("SERVICE.md", "ARCHITECTURE.md", "OBSERVABILITY.md"):
+        text = (docs / page).read_text(encoding="utf-8")
+        assert "CLUSTER.md" in text, f"docs/{page} does not link CLUSTER.md"
+    cluster = (docs / "CLUSTER.md").read_text(encoding="utf-8")
+    for sibling in ("SERVICE.md", "OBSERVABILITY.md", "ARCHITECTURE.md"):
+        assert sibling in cluster, f"CLUSTER.md does not link {sibling}"
+
+
 def test_experiment_catalog_covers_every_module() -> None:
     """Every figure/table module in src/repro/experiments/ appears in
     the docs/EXPERIMENTS.md mapping table."""

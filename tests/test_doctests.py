@@ -5,9 +5,27 @@ import doctest
 import pytest
 
 import repro.lossless.pipeline
+import repro.parallel.daemons
+import repro.service.client
+import repro.service.cluster
+import repro.service.membership
+import repro.service.ring
+import repro.util.backoff
 
 
-@pytest.mark.parametrize("module", [repro.lossless.pipeline])
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.lossless.pipeline,
+        repro.parallel.daemons,
+        repro.service.client,
+        repro.service.cluster,
+        repro.service.membership,
+        repro.service.ring,
+        repro.util.backoff,
+    ],
+    ids=lambda m: m.__name__,
+)
 def test_module_doctests(module):
     results = doctest.testmod(module, verbose=False)
     assert results.failed == 0

@@ -1,0 +1,158 @@
+"""Properties of the consistent-hash ring (repro.service.ring).
+
+The cluster's cache-locality story rests on exactly three promises —
+determinism, rough balance, and minimal key movement on membership
+change — so each is pinned as a property over generated fleets and
+keys, plus the exact arc-transfer law: adding a node moves keys only
+*onto* it, removing a node moves only *its* keys.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.service.ring import DEFAULT_REPLICAS, HashRing
+
+_slow = settings(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+_node_ids = st.lists(
+    st.text(st.characters(min_codepoint=48, max_codepoint=122), min_size=1,
+            max_size=12),
+    min_size=1, max_size=8, unique=True,
+)
+
+_keys = st.lists(st.binary(min_size=0, max_size=64), min_size=1,
+                 max_size=50, unique=True)
+
+
+def _ownership(ring: HashRing, keys: list[bytes]) -> dict[bytes, str]:
+    return {k: ring.lookup(k) for k in keys}
+
+
+class TestDeterminism:
+    @given(nodes=_node_ids, keys=_keys)
+    @_slow
+    def test_two_rings_agree(self, nodes, keys):
+        # A restarted router must reach the same warm shards as its
+        # predecessor: placement depends only on membership, not on
+        # construction order or process identity.
+        a = HashRing(nodes)
+        b = HashRing(reversed(nodes))
+        assert _ownership(a, keys) == _ownership(b, keys)
+
+    @given(nodes=_node_ids, key=st.binary(max_size=64))
+    @_slow
+    def test_str_and_bytes_keys_agree(self, nodes, key):
+        ring = HashRing(nodes)
+        try:
+            text = key.decode("utf-8")
+        except UnicodeDecodeError:
+            return
+        assert ring.lookup(key) == ring.lookup(text)
+
+    @given(nodes=_node_ids, key=st.binary(max_size=64), n=st.integers(1, 8))
+    @_slow
+    def test_preference_is_distinct_and_led_by_owner(self, nodes, key, n):
+        ring = HashRing(nodes)
+        prefs = ring.preference(key, n)
+        assert prefs[0] == ring.lookup(key)
+        assert len(prefs) == len(set(prefs)) == min(n, len(nodes))
+
+
+class TestBalance:
+    def test_three_shards_share_1k_keys_fairly(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        counts = {"s0": 0, "s1": 0, "s2": 0}
+        for i in range(1000):
+            counts[ring.lookup(f"key-{i}".encode())] += 1
+        # 128 vnodes keeps every share within ~2x of fair (1/3); the
+        # bound is loose on purpose — it guards against degenerate
+        # placement (one shard owning ~everything), not perfection.
+        for shard, count in counts.items():
+            assert 1000 / 6 <= count <= 1000 / 1.5, (shard, counts)
+
+    @given(n_nodes=st.integers(2, 6))
+    @_slow
+    def test_every_node_owns_something(self, n_nodes):
+        ring = HashRing([f"s{i}" for i in range(n_nodes)])
+        shares = ring.shares(1024)
+        assert set(shares) == set(ring.nodes)
+        assert all(share > 0 for share in shares.values())
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+
+class TestMinimalMovement:
+    @given(nodes=_node_ids, keys=_keys)
+    @_slow
+    def test_join_moves_keys_only_onto_the_joiner(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = _ownership(ring, keys)
+        joiner = "joining-node"
+        ring.add(joiner)
+        after = _ownership(ring, keys)
+        moved = {k for k in keys if before[k] != after[k]}
+        assert all(after[k] == joiner for k in moved)
+
+    @given(nodes=_node_ids, keys=_keys)
+    @_slow
+    def test_leave_moves_only_the_leavers_keys(self, nodes, keys):
+        leaver = "leaving-node"
+        ring = HashRing([*nodes, leaver])
+        before = _ownership(ring, keys)
+        ring.remove(leaver)
+        after = _ownership(ring, keys)
+        moved = {k for k in keys if before[k] != after[k]}
+        assert all(before[k] == leaver for k in moved)
+        assert all(after[k] != leaver for k in keys)
+
+    def test_join_leave_round_trips_exactly(self):
+        # Drain then re-admit (the health-gate cycle) must restore the
+        # original placement bit-for-bit — that is why a recovered
+        # shard's cache is still warm.
+        ring = HashRing(["s0", "s1", "s2"])
+        keys = [f"key-{i}".encode() for i in range(500)]
+        before = _ownership(ring, keys)
+        ring.remove("s1")
+        ring.add("s1")
+        assert _ownership(ring, keys) == before
+
+    def test_about_one_nth_moves(self):
+        keys = [f"key-{i}".encode() for i in range(2000)]
+        ring = HashRing([f"s{i}" for i in range(4)])
+        before = _ownership(ring, keys)
+        ring.add("s4")
+        after = _ownership(ring, keys)
+        moved = sum(before[k] != after[k] for k in keys)
+        # Expect ~1/5 of keys to land on the joiner; allow wide slack.
+        assert 0.05 * len(keys) <= moved <= 0.40 * len(keys)
+
+
+class TestEdges:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.lookup(b"anything")
+        ring.add("s0")
+        ring.remove("s0")
+        with pytest.raises(LookupError):
+            ring.lookup(b"anything")
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(replicas=DEFAULT_REPLICAS)
+        ring.add("s0")
+        ring.add("s0")
+        assert len(ring) == 1
+        ring.remove("s0")
+        ring.remove("s0")
+        assert len(ring) == 0 and "s0" not in ring
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(
+            ring.lookup(f"k{i}".encode()) == "only" for i in range(64)
+        )
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
