@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from bench_kernels import TARGET_KERNELS, _native_state, append_trajectory, measure
 from conftest import write_result
 from repro.experiments.base import nyx_for
 from repro.foresight.cbench import CBench
@@ -103,7 +104,82 @@ def test_fastpath_speedup_vs_seed(benchmark):
         f"speedup: {speedup:.2f}x (acceptance floor: 3x)",
     ]
     write_result("fastpath", "\n".join(lines))
+    append_trajectory({
+        "source": "bench_fastpath",
+        "sweep": "8-cell ZFP+SZ, 64^3 Nyx dark_matter_density",
+        "seed_seconds": round(seed_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(speedup, 3),
+    })
     assert speedup >= 3.0, f"fast path only {speedup:.2f}x faster than seed"
+
+
+def test_backend_tiers(request):
+    """Whole-sweep seconds and per-kernel MB/s for each kernel tier.
+
+    Every run appends one trajectory entry to ``BENCH_fastpath.json``
+    (commit, date, per-kernel MB/s per backend).  With the numba flavor
+    available, ``--backend native`` must beat the numpy tier by >= 1.5x
+    single-core on at least two of the three target kernels; without
+    numba the degradation is recorded instead of failing.
+    """
+    requested = request.config.getoption("--backend")
+    available, flavor, reason = _native_state()
+    if requested:
+        tiers = [requested]
+    else:
+        tiers = ["scalar", "numpy"] + (["native"] if available else [])
+
+    field = _field_64()
+    sweep_seconds: dict[str, float] = {}
+    for tier in tiers:
+        bench = CBench(
+            {"dark_matter_density": field},
+            keep_reconstructions=False,
+            backend=tier,
+        )
+        seconds, _ = _best_of(
+            lambda: bench.run_all([ZFP_SWEEP, _sz_sweep(field)], workers=1)
+        )
+        sweep_seconds[tier] = round(seconds, 4)
+
+    # Per-kernel MB/s always includes numpy so native has its reference.
+    kernel_mbps = {t: measure(t, quick=True) for t in dict.fromkeys(tiers + ["numpy"])}
+
+    entry: dict = {
+        "source": "bench_fastpath",
+        "sweep": "8-cell ZFP+SZ, 64^3 Nyx dark_matter_density, workers=1",
+        "sweep_seconds": sweep_seconds,
+        "mbps": kernel_mbps,
+        "native_flavor": flavor,
+        "degraded": not available,
+    }
+    if reason:
+        entry["native_unavailable"] = reason
+    speedups = {
+        k: round(kernel_mbps["native"][k] / kernel_mbps["numpy"][k], 3)
+        for k in kernel_mbps.get("native", {})
+        if kernel_mbps["numpy"].get(k)
+    }
+    if speedups:
+        entry["speedup_native_vs_numpy"] = speedups
+    append_trajectory(entry)
+
+    lines = ["per-tier 8-cell sweep (workers=1), best of %d trials" % TRIALS]
+    lines += [f"  {t:>7s}: {s:8.3f} s" for t, s in sweep_seconds.items()]
+    if speedups:
+        lines.append("native vs numpy per-kernel speedup: " + ", ".join(
+            f"{k}={v}x" for k, v in sorted(speedups.items())
+        ))
+    write_result("fastpath_backends", "\n".join(lines))
+
+    if "native" in tiers and not available:
+        return  # fallback served the sweep; degradation recorded above
+    if flavor == "numba":
+        fast = [k for k in TARGET_KERNELS if speedups.get(k, 0.0) >= 1.5]
+        assert len(fast) >= 2, (
+            f"native tier too slow: >=1.5x on {fast} only; {speedups}"
+        )
 
 
 def test_fastpath_warm_cache(benchmark, tmp_path):

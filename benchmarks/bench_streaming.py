@@ -194,6 +194,12 @@ def _memprobe(mode: str, path: str, budget: int) -> dict:
     """Run one probe in a fresh interpreter (fork would inherit VmHWM)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    # The streaming-vs-whole-array margin below is a contract about the
+    # numpy engine's traversal (its whole-array bit-plane temporaries);
+    # leaner kernel tiers (native) shrink the whole-array peak and would
+    # make the ratio flap with host toolchain availability.
+    env["REPRO_BACKEND"] = "numpy"
+    env.pop("REPRO_SCALAR_CODECS", None)
     out = subprocess.run(
         [sys.executable, os.path.abspath(__file__), "--memprobe", mode, path,
          str(budget)],

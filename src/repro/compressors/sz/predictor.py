@@ -43,6 +43,15 @@ def lorenzo_reconstruct(residual: np.ndarray) -> np.ndarray:
     return q
 
 
+def _lorenzo_dualquant_ref(blocks: np.ndarray, error_bound: float) -> np.ndarray:
+    """Reference for the fused ``sz.lorenzo`` kernel: prequantize then
+    take the Lorenzo residual.  The native tier fuses both passes into
+    one compiled sweep over the block batch."""
+    from repro.compressors.sz.quantizer import prequantize
+
+    return lorenzo_residual(prequantize(blocks, error_bound))
+
+
 @lru_cache(maxsize=16)
 def _design_matrix(block_shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
     """Design matrix ``X`` (centered coordinates + intercept) and its

@@ -166,10 +166,12 @@ class SZCompressor(Compressor):
         baxes = tuple(range(1, data.ndim + 1))
 
         # Lorenzo on the prequantized lattice (dual quantization).
-        with tm.span("sz.prequant", bytes=data.nbytes, nblocks=nblocks):
+        from repro import kernels
+
+        with tm.span("sz.prequant", bytes=data.nbytes, nblocks=nblocks,
+                     backend=kernels.resolve_name("sz.lorenzo")):
             if self.predictor != "regression":
-                q = Q.prequantize(blocks, eb)
-                res_lorenzo = P.lorenzo_residual(q)
+                res_lorenzo = kernels.call("sz.lorenzo", blocks, eb)
             else:
                 res_lorenzo = None
 
@@ -303,7 +305,10 @@ class SZCompressor(Compressor):
             ).decode()
             residual = Q.symbols_to_residuals(symbols, outliers, radius)
 
-        with tm.span("sz.predict", bytes=residual.nbytes, direction="decompress"):
+        from repro import kernels
+
+        with tm.span("sz.predict", bytes=residual.nbytes, direction="decompress",
+                     backend=kernels.resolve_name("sz.lorenzo_inverse")):
             block = (block_side,) * ndim
             grid = tuple(-(-s // block_side) for s in shape)
             residual = residual.reshape((nblocks,) + block)
@@ -311,7 +316,7 @@ class SZCompressor(Compressor):
             recon = np.empty(residual.shape, dtype=np.float64)
             lor = ~use_reg
             if lor.any():
-                q = P.lorenzo_reconstruct(residual[lor])
+                q = kernels.call("sz.lorenzo_inverse", residual[lor])
                 recon[lor] = q.astype(np.float64) * (2.0 * eb)
             if use_reg.any():
                 pred = P.regression_predict(coefs, block)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
 from repro.telemetry import get_telemetry
-from repro.util.bits import _use_scalar, pack_varlen_codes
+from repro.util.bits import pack_varlen_codes
 
 #: Negabinary conversion mask (alternating bits), as in zfp's NBMASK.
 NBMASK = np.uint64(0xAAAAAAAAAAAAAAAA)
@@ -38,32 +38,47 @@ def negabinary_to_int(u: np.ndarray) -> np.ndarray:
     return ((u ^ NBMASK) - NBMASK).view(np.int64)
 
 
-def plane_words(u: np.ndarray, nplanes: int) -> np.ndarray:
+def plane_words(u: np.ndarray, nplanes: int, backend: str | None = None) -> np.ndarray:
     """Bit-plane words: ``words[b, k]`` has bit ``i`` = bit ``k`` of
     coefficient ``i`` of block ``b``.
 
-    The fast path does the (size x nplanes) bit transpose with one
-    ``unpackbits``/``packbits`` round trip per batch — constant cost in
-    ``nplanes`` instead of one pass per plane.  Little-endian byte order
-    makes bit ``k`` of a uint64 land at flat position ``k`` after
-    ``unpackbits(..., bitorder="little")``, so the transpose is a plain
-    axis swap between the coefficient and plane axes.
+    Dispatches the ``zfp.transpose`` kernel (per-plane reduction in the
+    ``scalar`` tier, an ``unpackbits``/``packbits`` round trip in
+    ``numpy``, a compiled sparse-bit loop in ``native``); ``backend``
+    pins a tier for this call.
     """
+    from repro.kernels import call
+
     nblocks, size = u.shape
     if size > 64:
         raise DataError("plane words require block size <= 64 coefficients")
-    if not _use_scalar():
-        u = np.ascontiguousarray(u)
-        bits = np.unpackbits(
-            u.view(np.uint8).reshape(nblocks, size, 8), axis=2, bitorder="little"
-        )[:, :, :nplanes]
-        t = np.ascontiguousarray(bits.transpose(0, 2, 1))
-        if size < 64:
-            t = np.concatenate(
-                [t, np.zeros((nblocks, nplanes, 64 - size), dtype=np.uint8)], axis=2
-            )
-        packed = np.packbits(t, axis=2, bitorder="little")
-        return packed.reshape(nblocks, nplanes * 8).view(np.uint64).copy()
+    return call("zfp.transpose", u, nplanes, backend=backend)
+
+
+def _plane_words_numpy(u: np.ndarray, nplanes: int) -> np.ndarray:
+    """(size x nplanes) bit transpose via one ``unpackbits``/``packbits``
+    round trip per batch — constant cost in ``nplanes`` instead of one
+    pass per plane.  Little-endian byte order makes bit ``k`` of a uint64
+    land at flat position ``k`` after ``unpackbits(bitorder="little")``,
+    so the transpose is a plain axis swap between the coefficient and
+    plane axes."""
+    nblocks, size = u.shape
+    u = np.ascontiguousarray(u)
+    bits = np.unpackbits(
+        u.view(np.uint8).reshape(nblocks, size, 8), axis=2, bitorder="little"
+    )[:, :, :nplanes]
+    t = np.ascontiguousarray(bits.transpose(0, 2, 1))
+    if size < 64:
+        t = np.concatenate(
+            [t, np.zeros((nblocks, nplanes, 64 - size), dtype=np.uint8)], axis=2
+        )
+    packed = np.packbits(t, axis=2, bitorder="little")
+    return packed.reshape(nblocks, nplanes * 8).view(np.uint64).copy()
+
+
+def _plane_words_scalar(u: np.ndarray, nplanes: int) -> np.ndarray:
+    """Seed reference: one masked reduction per plane."""
+    nblocks, size = u.shape
     weights = np.uint64(1) << np.arange(size, dtype=np.uint64)
     words = np.empty((nblocks, nplanes), dtype=np.uint64)
     for k in range(nplanes):
@@ -232,29 +247,84 @@ def decode_block_planes(
     return words
 
 
-def words_matrix_to_coeffs(words: np.ndarray, size: int) -> np.ndarray:
-    """Vectorized inverse of :func:`plane_words` over a whole batch.
+def _decode_blocks_scalar(
+    bits: np.ndarray,
+    offsets: np.ndarray,
+    nonzero: np.ndarray,
+    planes: int,
+    size: int,
+    budgets: np.ndarray,
+    kmins: np.ndarray,
+) -> np.ndarray:
+    """Seed per-block reference decode; same contract as
+    :func:`repro.compressors.zfp.batch.decode_blocks`.
+
+    Each block's bit span is packed into one Python int and walked with
+    :class:`_BlockReader` / :func:`decode_block_planes`, exactly like
+    the original per-block decompress loop (headers are re-read from the
+    stream; the precomputed ``nonzero`` flags are only consulted by the
+    vectorized tiers).
+    """
+    nblocks = offsets.size - 1
+    words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
+    for b in range(nblocks):
+        lo, hi = int(offsets[b]), int(offsets[b + 1])
+        span = hi - lo
+        if span <= 0:
+            raise CorruptStreamError("non-increasing ZFP block offsets")
+        chunk = bits[lo:hi]
+        pad = (-span) % 8
+        if pad:
+            chunk = np.concatenate([chunk, np.zeros(pad, dtype=np.uint8)])
+        value = int.from_bytes(
+            np.packbits(chunk, bitorder="big").tobytes(), "big"
+        ) >> pad
+        reader = _BlockReader(value, span)
+        if not reader.read_bit():
+            continue
+        reader.read_msb(EBITS)  # exponent: already parsed by the caller
+        words_mat[b] = decode_block_planes(
+            reader, planes, size, int(budgets[b]), kmin=int(kmins[b])
+        )
+    return words_mat
+
+
+def words_matrix_to_coeffs(
+    words: np.ndarray, size: int, backend: str | None = None
+) -> np.ndarray:
+    """Inverse of :func:`plane_words` over a whole batch
+    (``zfp.transpose_inverse`` kernel).
 
     ``words`` has shape ``(nblocks, nplanes)``; returns ``(nblocks, size)``
     negabinary coefficients.
     """
+    from repro.kernels import call
+
+    return call("zfp.transpose_inverse", words, size, backend=backend)
+
+
+def _words_matrix_numpy(words: np.ndarray, size: int) -> np.ndarray:
+    """Same unpackbits/packbits transpose as :func:`_plane_words_numpy`,
+    in the other direction: plane axis in, coefficient axis out."""
     nblocks, nplanes = words.shape
-    if not _use_scalar():
-        # Same unpackbits/packbits transpose as :func:`plane_words`, in
-        # the other direction: plane axis in, coefficient axis out.
-        words = np.ascontiguousarray(words)
-        bits = np.unpackbits(
-            words.view(np.uint8).reshape(nblocks, nplanes, 8),
-            axis=2,
-            bitorder="little",
-        )[:, :, :size]
-        t = np.ascontiguousarray(bits.transpose(0, 2, 1))
-        if nplanes < 64:
-            t = np.concatenate(
-                [t, np.zeros((nblocks, size, 64 - nplanes), dtype=np.uint8)], axis=2
-            )
-        packed = np.packbits(t, axis=2, bitorder="little")
-        return packed.reshape(nblocks, size * 8).view(np.uint64).copy()
+    words = np.ascontiguousarray(words)
+    bits = np.unpackbits(
+        words.view(np.uint8).reshape(nblocks, nplanes, 8),
+        axis=2,
+        bitorder="little",
+    )[:, :, :size]
+    t = np.ascontiguousarray(bits.transpose(0, 2, 1))
+    if nplanes < 64:
+        t = np.concatenate(
+            [t, np.zeros((nblocks, size, 64 - nplanes), dtype=np.uint8)], axis=2
+        )
+    packed = np.packbits(t, axis=2, bitorder="little")
+    return packed.reshape(nblocks, size * 8).view(np.uint64).copy()
+
+
+def _words_matrix_scalar(words: np.ndarray, size: int) -> np.ndarray:
+    """Seed reference: one masked scatter per plane."""
+    nblocks, nplanes = words.shape
     u = np.zeros((nblocks, size), dtype=np.uint64)
     idx = np.arange(size, dtype=np.uint64)
     for k in range(nplanes):

@@ -29,7 +29,6 @@ cuZFP.  Variable-rate streams carry an explicit per-block offset table
 from __future__ import annotations
 
 import math
-import os
 import struct
 from typing import Any
 
@@ -122,13 +121,6 @@ def _encode_blocks_scalar(
     return body, nbits, offsets, used_bits
 
 
-def _batched_default() -> bool:
-    """Batched kernels unless ``REPRO_SCALAR_CODECS`` opts out."""
-    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() not in (
-        "1", "true", "yes", "on",
-    )
-
-
 class ZFPCompressor(Compressor):
     """Transform-based lossy compressor (ZFP family).
 
@@ -138,12 +130,17 @@ class ZFPCompressor(Compressor):
     * ``precision`` — bit planes kept per block (variable rate).
     * ``tolerance`` — absolute error bound (variable rate).
 
-    ``batched`` selects the bit-plane coder: the vectorized all-blocks
-    kernels of :mod:`repro.compressors.zfp.batch` (default) or the
-    scalar per-block reference loops.  Both produce **byte-identical**
-    streams; ``batched=None`` defers to the ``REPRO_SCALAR_CODECS``
-    environment variable (set → scalar), the knob
-    ``benchmarks/bench_fastpath.py`` uses to measure the seed path.
+    The bit-plane coder dispatches through the kernel registry
+    (:mod:`repro.kernels`): the scalar per-block reference loops, the
+    vectorized all-blocks kernels of
+    :mod:`repro.compressors.zfp.batch`, or the compiled native tier.
+    All tiers produce **byte-identical** streams.  ``backend`` pins a
+    tier for this instance; ``None`` defers to the process selection
+    (``REPRO_BACKEND`` / :func:`repro.kernels.use`).  ``batched`` is the
+    legacy knob: ``False`` forces the scalar tier, ``True`` forces a
+    vectorized tier (``auto`` resolution, ignoring a ``scalar``
+    environment selection) — the switch ``benchmarks/bench_fastpath.py``
+    uses to measure the seed path.
     """
 
     name = "zfp"
@@ -153,8 +150,36 @@ class ZFPCompressor(Compressor):
         CompressorMode.FIXED_ACCURACY,
     )
 
-    def __init__(self, batched: bool | None = None) -> None:
-        self.batched = _batched_default() if batched is None else bool(batched)
+    def __init__(
+        self, batched: bool | None = None, backend: str | None = None
+    ) -> None:
+        if batched is None:
+            self._backend = backend
+        elif batched:
+            self._backend = backend if backend is not None else "auto"
+        else:
+            self._backend = "scalar"
+
+    @property
+    def batched(self) -> bool:
+        """Whether the resolved bit-plane coder is a vectorized tier."""
+        from repro import kernels
+
+        return kernels.resolve_name("zfp.encode", self._backend) != "scalar"
+
+    @batched.setter
+    def batched(self, value: bool | None) -> None:
+        if value is None:
+            self._backend = None
+        else:
+            self._backend = "auto" if value else "scalar"
+
+    @property
+    def backend(self) -> str:
+        """The tier the bit-plane coder resolves to right now."""
+        from repro import kernels
+
+        return kernels.resolve_name("zfp.encode", self._backend)
 
     def compress(
         self,
@@ -226,19 +251,18 @@ class ZFPCompressor(Compressor):
         else:
             budgets = np.full(nblocks, _UNBOUNDED, dtype=np.int64)
             kmins = _accuracy_kmin_array(parameter, e, planes, data.ndim)
+        from repro import kernels
+
+        coder = kernels.resolve_name("zfp.encode", self._backend)
         with tm.span("zfp.bitplane", bytes=data.nbytes, nblocks=nblocks,
-                     mode=mode.value, batched=self.batched):
-            words = BC.plane_words(u, planes)
-            if self.batched:
-                body, nbits, offsets, used_bits = B.encode_blocks(
-                    words, nonzero, e, size, planes, budgets, kmins,
-                    maxbits=maxbits if fixed_rate else 0,
-                )
-            else:
-                body, nbits, offsets, used_bits = _encode_blocks_scalar(
-                    words, nonzero, e, size, planes, budgets, kmins,
-                    maxbits=maxbits if fixed_rate else 0,
-                )
+                     mode=mode.value, backend=coder,
+                     batched=coder != "scalar"):
+            words = BC.plane_words(u, planes, backend=self._backend)
+            body, nbits, offsets, used_bits = kernels.call(
+                "zfp.encode", words, nonzero, e, size, planes, budgets,
+                kmins, maxbits=maxbits if fixed_rate else 0,
+                backend=self._backend,
+            )
             if fixed_rate and nbits != nblocks * maxbits:
                 raise AssertionError("fixed-rate invariant violated")
         # Bit-plane truncation stats: bits each block actually coded (before
@@ -320,67 +344,35 @@ class ZFPCompressor(Compressor):
         bits = np.unpackbits(body, count=total_bits, bitorder="big")
 
         tm = get_telemetry()
+        from repro import kernels
+
+        coder = kernels.resolve_name("zfp.decode", self._backend)
         with tm.span("zfp.bitplane", bytes=len(payload), nblocks=nblocks,
-                     direction="decompress", batched=self.batched):
-            if self.batched:
-                nonzero, e = B.read_block_headers(bits, offsets)
-                spans = offsets[1:] - offsets[:-1]
-                if fixed_rate:
-                    budgets = np.full(
-                        nblocks, maxbits - header_bits, dtype=np.int64
-                    )
-                    kmins = np.zeros(nblocks, dtype=np.int64)
-                elif mode is CompressorMode.FIXED_PRECISION:
-                    budgets = spans - header_bits
-                    kmins = np.full(
-                        nblocks, planes - int(parameter), dtype=np.int64
-                    )
-                else:
-                    budgets = spans - header_bits
-                    kmins = _accuracy_kmin_array(parameter, e, planes, ndim)
-                # Trailing zero padding so decode window gathers stay in
-                # range; per-block budgets guarantee it is never decoded.
-                padded = np.concatenate([bits, np.zeros(128, dtype=np.uint8)])
-                words_mat = B.decode_blocks(
-                    padded, offsets, nonzero, planes, size, budgets, kmins
+                     direction="decompress", backend=coder,
+                     batched=coder != "scalar"):
+            nonzero, e = B.read_block_headers(bits, offsets)
+            spans = offsets[1:] - offsets[:-1]
+            if fixed_rate:
+                budgets = np.full(
+                    nblocks, maxbits - header_bits, dtype=np.int64
+                )
+                kmins = np.zeros(nblocks, dtype=np.int64)
+            elif mode is CompressorMode.FIXED_PRECISION:
+                budgets = spans - header_bits
+                kmins = np.full(
+                    nblocks, planes - int(parameter), dtype=np.int64
                 )
             else:
-                words_mat = np.zeros((nblocks, planes), dtype=np.uint64)
-                e = np.zeros(nblocks, dtype=np.int64)
-                nonzero = np.zeros(nblocks, dtype=bool)
-                for b in range(nblocks):
-                    lo, hi = int(offsets[b]), int(offsets[b + 1])
-                    span = hi - lo
-                    if span <= 0:
-                        raise CorruptStreamError(
-                            "non-increasing ZFP block offsets"
-                        )
-                    chunk = bits[lo:hi]
-                    pad = (-span) % 8
-                    if pad:
-                        chunk = np.concatenate(
-                            [chunk, np.zeros(pad, dtype=np.uint8)]
-                        )
-                    value = int.from_bytes(
-                        np.packbits(chunk, bitorder="big").tobytes(), "big"
-                    ) >> pad
-                    reader = BC._BlockReader(value, span)
-                    if not reader.read_bit():
-                        continue
-                    nonzero[b] = True
-                    e[b] = reader.read_msb(BC.EBITS) - BC.EBIAS
-                    if fixed_rate:
-                        budget, kmin = maxbits - header_bits, 0
-                    elif mode is CompressorMode.FIXED_PRECISION:
-                        budget = span - header_bits
-                        kmin = planes - int(parameter)
-                    else:
-                        budget = span - header_bits
-                        kmin = _accuracy_kmin(parameter, int(e[b]), planes, ndim)
-                    words_mat[b] = BC.decode_block_planes(
-                        reader, planes, size, budget, kmin=kmin
-                    )
-            u = BC.words_matrix_to_coeffs(words_mat, size)
+                budgets = spans - header_bits
+                kmins = _accuracy_kmin_array(parameter, e, planes, ndim)
+            # Trailing zero padding so decode window gathers stay in
+            # range; per-block budgets guarantee it is never decoded.
+            padded = np.concatenate([bits, np.zeros(128, dtype=np.uint8)])
+            words_mat = kernels.call(
+                "zfp.decode", padded, offsets, nonzero, planes, size,
+                budgets, kmins, backend=self._backend,
+            )
+            u = BC.words_matrix_to_coeffs(words_mat, size, backend=self._backend)
 
         with tm.span("zfp.reorder", direction="decompress"):
             ordered = BC.negabinary_to_int(u)

@@ -44,6 +44,12 @@ class AnalysisError(ReproError):
     """A post-hoc analysis (power spectrum, halo finding) failed."""
 
 
+class KernelUnavailableError(ReproError):
+    """A kernel backend cannot run in this process (missing compiler or
+    optional dependency, failed probe).  The registry treats it as a
+    signal to fall back one tier, never as a user-facing failure."""
+
+
 class ProtocolError(ReproError):
     """A service wire frame is malformed (bad magic, oversized, truncated)."""
 

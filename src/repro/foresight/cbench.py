@@ -48,11 +48,12 @@ from typing import Any
 
 import numpy as np
 
+from repro import kernels
 from repro.cache import ResultCache, data_digest, make_key
 from repro.compressors.base import CompressedBuffer
 from repro.compressors.registry import get_compressor
 from repro.compressors.streaming import ChunkedCompressor
-from repro.errors import DataError
+from repro.errors import ConfigError, DataError
 from repro.foresight.config import CompressorSweep
 from repro.metrics.error import evaluate_distortion
 from repro.metrics.streaming import StreamingDistortion
@@ -149,6 +150,7 @@ class CBench:
         keep_reconstructions: bool = True,
         cache: ResultCache | Path | str | None = None,
         chunk_budget: int | str | None = None,
+        backend: str | None = None,
     ) -> None:
         if not fields:
             raise DataError("CBench needs at least one field")
@@ -160,6 +162,15 @@ class CBench:
             cache = ResultCache(cache)
         self.cache = cache
         self.chunk_budget = resolve_chunk_budget(chunk_budget)
+        if backend is not None and backend != "auto" and backend not in kernels.TIER_ORDER:
+            raise ConfigError(
+                f"backend must be one of {('auto',) + kernels.TIER_ORDER}, "
+                f"got {backend!r}"
+            )
+        #: Kernel tier every cell runs under (``None`` → process default).
+        #: The bench itself is pickled to process_map workers, so the
+        #: selection rides along to parallel cells too.
+        self.backend = backend
         self._digests: dict[str, str] = {}
 
     def _field(self, name: str) -> np.ndarray:
@@ -200,12 +211,23 @@ class CBench:
         """Run a single (compressor, field, knob value) cell.
 
         With a ``chunk_budget`` configured the cell runs the streaming
-        pipeline (:meth:`_run_one_streaming`) instead.
+        pipeline (:meth:`_run_one_streaming`) instead.  Either way the
+        cell runs under this bench's kernel ``backend`` selection; the
+        override is process-global, so the streaming path's background
+        compress thread inherits it too.
         """
-        data = self._field(field_name)
-        if self.chunk_budget is not None:
-            return self._run_one_streaming(sweep, field_name, value)
+        with kernels.use(self.backend):
+            if self.chunk_budget is not None:
+                return self._run_one_streaming(sweep, field_name, value)
+            return self._run_one_dense(sweep, field_name, value)
 
+    def _run_one_dense(
+        self,
+        sweep: CompressorSweep,
+        field_name: str,
+        value: float,
+    ) -> CBenchRecord:
+        data = self._field(field_name)
         key = None
         if self.cache is not None:
             key = self._cell_key(sweep, field_name, value)
@@ -245,6 +267,7 @@ class CBench:
                 distortion = evaluate_distortion(data, recon)
 
         meta = dict(buf.meta)
+        meta["kernels"] = kernels.active()
         if tm.enabled:
             tm.count("cbench.cells")
             tm.count("cbench.bytes_in", data.nbytes)
@@ -372,6 +395,7 @@ class CBench:
                 distortion = acc.result()
 
         meta = dict(buf.meta)
+        meta["kernels"] = kernels.active()
         meta["streaming"] = {"chunk_elements": chunk_elements, "n_chunks": n_chunks}
         if tm.enabled:
             tm.count("cbench.cells")

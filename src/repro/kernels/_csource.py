@@ -1,0 +1,327 @@
+"""C source for the compiled kernel tier (:mod:`repro.kernels.native`).
+
+The source is embedded as a string so the package needs no build step
+and no package-data plumbing: the first native-tier call compiles it
+with the system C compiler into a cached shared object (see
+``_cbuild.py``).  Every function transcribes the seed scalar reference
+loop for its kernel — bit-for-bit, including rounding (``rint`` under
+the default round-to-nearest-even mode matches ``np.rint``) and the
+exact group-testing control flow of the ZFP coder — so the parity
+matrix in ``tests/test_fastpath_equivalence.py`` holds by construction.
+"""
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+#define API __attribute__((visibility("default")))
+
+/* ---------------- Lorenzo dual-quantization (SZ) ----------------
+ * Fused prequantize + iterated first difference over a dense batch of
+ * equal blocks laid out (nblocks, b0, b1, b2) C-contiguous (unused
+ * trailing dims are 1).  Returns 1 when any |q| exceeds 2^62 (the
+ * int64-overflow guard np.prequantize enforces), else 0. */
+API int64_t repro_lorenzo_dualquant(
+    const double* data, int64_t* out, int64_t nblocks,
+    int64_t b0, int64_t b1, int64_t b2, double two_eb)
+{
+    const int64_t bs = b0 * b1 * b2;
+    const double limit = 4611686018427387904.0; /* 2^62 */
+    int64_t overflow = 0;
+    for (int64_t b = 0; b < nblocks; b++) {
+        const double* src = data + b * bs;
+        int64_t* q = out + b * bs;
+        for (int64_t i = 0; i < bs; i++) {
+            double r = rint(src[i] / two_eb);
+            if (fabs(r) > limit) { overflow = 1; r = 0.0; }
+            q[i] = (int64_t)r;
+        }
+    }
+    if (overflow) return 1;
+    for (int64_t b = 0; b < nblocks; b++) {
+        int64_t* q = out + b * bs;
+        const int64_t s0 = b1 * b2;
+        /* axis 0 */
+        for (int64_t i = b0 - 1; i >= 1; i--)
+            for (int64_t j = 0; j < s0; j++)
+                q[i * s0 + j] -= q[(i - 1) * s0 + j];
+        /* axis 1 */
+        if (b1 > 1)
+            for (int64_t i = 0; i < b0; i++)
+                for (int64_t j = b1 - 1; j >= 1; j--)
+                    for (int64_t k = 0; k < b2; k++)
+                        q[i * s0 + j * b2 + k] -= q[i * s0 + (j - 1) * b2 + k];
+        /* axis 2 */
+        if (b2 > 1)
+            for (int64_t i = 0; i < b0 * b1; i++)
+                for (int64_t k = b2 - 1; k >= 1; k--)
+                    q[i * b2 + k] -= q[i * b2 + k - 1];
+    }
+    return 0;
+}
+
+/* Inverse: iterated cumulative sum (in place), same axis order. */
+API void repro_lorenzo_reconstruct(
+    int64_t* q_all, int64_t nblocks, int64_t b0, int64_t b1, int64_t b2)
+{
+    const int64_t bs = b0 * b1 * b2;
+    for (int64_t b = 0; b < nblocks; b++) {
+        int64_t* q = q_all + b * bs;
+        const int64_t s0 = b1 * b2;
+        for (int64_t i = 1; i < b0; i++)
+            for (int64_t j = 0; j < s0; j++)
+                q[i * s0 + j] += q[(i - 1) * s0 + j];
+        if (b1 > 1)
+            for (int64_t i = 0; i < b0; i++)
+                for (int64_t j = 1; j < b1; j++)
+                    for (int64_t k = 0; k < b2; k++)
+                        q[i * s0 + j * b2 + k] += q[i * s0 + (j - 1) * b2 + k];
+        if (b2 > 1)
+            for (int64_t i = 0; i < b0 * b1; i++)
+                for (int64_t k = 1; k < b2; k++)
+                    q[i * b2 + k] += q[i * b2 + k - 1];
+    }
+}
+
+/* ---------------- variable-length bit packing ----------------
+ * MSB-first concatenation of (code, length) pairs into a zeroed byte
+ * buffer; same convention as np.packbits(bitorder="big").  Returns the
+ * number of bits written. */
+API int64_t repro_pack_varlen(
+    const uint64_t* codes, const int64_t* lengths, int64_t n, uint8_t* out)
+{
+    int64_t bitpos = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t remaining = lengths[i];
+        const uint64_t code = codes[i];
+        while (remaining > 0) {
+            int64_t free_bits = 8 - (bitpos & 7);
+            int64_t take = remaining < free_bits ? remaining : free_bits;
+            uint64_t chunk = (code >> (remaining - take)) & ((1ULL << take) - 1);
+            out[bitpos >> 3] |= (uint8_t)(chunk << (free_bits - take));
+            bitpos += take;
+            remaining -= take;
+        }
+    }
+    return bitpos;
+}
+
+/* Fused table-driven Huffman encode: symbols -> codeword bits, plus the
+ * per-chunk bit-offset table the parallel decoder needs.  Callers size
+ * `out` with repro_huffman_symbol_bits first. */
+API int64_t repro_huffman_symbol_bits(
+    const int64_t* symbols, int64_t n, const uint8_t* lengths)
+{
+    int64_t total = 0;
+    for (int64_t i = 0; i < n; i++) total += lengths[symbols[i]];
+    return total;
+}
+
+API int64_t repro_huffman_encode(
+    const int64_t* symbols, int64_t n,
+    const uint64_t* codes, const uint8_t* lengths,
+    int64_t chunk_size, uint64_t* chunk_offsets, uint8_t* out)
+{
+    int64_t bitpos = 0;
+    for (int64_t i = 0; i < n; i++) {
+        if (i % chunk_size == 0) chunk_offsets[i / chunk_size] = (uint64_t)bitpos;
+        const int64_t sym = symbols[i];
+        int64_t remaining = lengths[sym];
+        const uint64_t code = codes[sym];
+        while (remaining > 0) {
+            int64_t free_bits = 8 - (bitpos & 7);
+            int64_t take = remaining < free_bits ? remaining : free_bits;
+            uint64_t chunk = (code >> (remaining - take)) & ((1ULL << take) - 1);
+            out[bitpos >> 3] |= (uint8_t)(chunk << (free_bits - take));
+            bitpos += take;
+            remaining -= take;
+        }
+    }
+    return bitpos;
+}
+
+/* ---------------- chunk-parallel Huffman decode ----------------
+ * Dense-table decode of every chunk; bits past the body read as zero,
+ * exactly like the numpy path's zero padding.  Returns 0 on success,
+ * 1 for an invalid codeword (table hole), 2 for a bit-length overrun. */
+static inline uint64_t peek_bits(
+    const uint8_t* p, int64_t nbytes, int64_t pos, int nbits)
+{
+    uint64_t v = 0;
+    const int64_t byte = pos >> 3;
+    const int shift = (int)(pos & 7);
+    const int need = (nbits + shift + 7) >> 3;
+    for (int i = 0; i < need; i++) {
+        const uint64_t b = (byte + i < nbytes) ? p[byte + i] : 0;
+        v = (v << 8) | b;
+    }
+    return (v >> ((need << 3) - shift - nbits)) & ((1ULL << nbits) - 1);
+}
+
+API int64_t repro_huffman_decode(
+    const uint8_t* body, int64_t nbytes,
+    const int64_t* chunk_offsets, int64_t nchunks,
+    int64_t chunk_size, int64_t n,
+    const int64_t* table_sym, const int64_t* table_len,
+    int64_t max_len, int64_t total_bits, int64_t* out)
+{
+    int64_t max_cursor = 0;
+    for (int64_t c = 0; c < nchunks; c++) {
+        int64_t cursor = chunk_offsets[c];
+        const int64_t base = c * chunk_size;
+        int64_t count = n - base;
+        if (count > chunk_size) count = chunk_size;
+        for (int64_t s = 0; s < count; s++) {
+            const uint64_t key = peek_bits(body, nbytes, cursor, (int)max_len);
+            const int64_t len = table_len[key];
+            if (len == 0) return 1;
+            out[base + s] = table_sym[key];
+            cursor += len;
+        }
+        if (cursor > max_cursor) max_cursor = cursor;
+    }
+    return (max_cursor > total_bits) ? 2 : 0;
+}
+
+/* ---------------- ZFP bit-plane transpose ---------------- */
+API void repro_zfp_plane_words(
+    const uint64_t* u, int64_t nblocks, int64_t size, int64_t nplanes,
+    uint64_t* words /* zeroed (nblocks, nplanes) */)
+{
+    const uint64_t mask =
+        (nplanes >= 64) ? ~0ULL : ((1ULL << nplanes) - 1);
+    for (int64_t b = 0; b < nblocks; b++) {
+        const uint64_t* ub = u + b * size;
+        uint64_t* wb = words + b * nplanes;
+        for (int64_t i = 0; i < size; i++) {
+            uint64_t x = ub[i] & mask;
+            while (x) {
+                const int k = __builtin_ctzll(x);
+                wb[k] |= 1ULL << i;
+                x &= x - 1;
+            }
+        }
+    }
+}
+
+API void repro_zfp_words_to_coeffs(
+    const uint64_t* words, int64_t nblocks, int64_t nplanes, int64_t size,
+    uint64_t* u /* zeroed (nblocks, size) */)
+{
+    const uint64_t mask = (size >= 64) ? ~0ULL : ((1ULL << size) - 1);
+    for (int64_t b = 0; b < nblocks; b++) {
+        const uint64_t* wb = words + b * nplanes;
+        uint64_t* ub = u + b * size;
+        for (int64_t k = 0; k < nplanes; k++) {
+            uint64_t x = wb[k] & mask;
+            while (x) {
+                const int i = __builtin_ctzll(x);
+                ub[i] |= 1ULL << k;
+                x &= x - 1;
+            }
+        }
+    }
+}
+
+/* ---------------- ZFP embedded group-testing coder ----------------
+ * Exact transcription of the seed per-block loop (blockcodec's
+ * encode_block_planes / decode_block_planes).  Bits are staged one
+ * byte per bit in per-block rows of `capacity` bits; the caller
+ * concatenates rows by their used lengths and packs them, which
+ * reproduces the scalar emitter's stream bit for bit. */
+API void repro_zfp_encode_blocks(
+    const uint64_t* words, const uint8_t* nonzero, const int64_t* e,
+    int64_t nblocks, int64_t size, int64_t planes,
+    const int64_t* budgets, const int64_t* kmins,
+    int64_t maxbits, int64_t capacity,
+    uint8_t* rows /* zeroed nblocks*capacity */,
+    int64_t* pos_out, int64_t* used_bits)
+{
+    const int EB = 12;       /* blockcodec.EBITS */
+    const int64_t BIAS = 2048; /* blockcodec.EBIAS */
+    const int fixed_rate = maxbits > 0;
+    for (int64_t b = 0; b < nblocks; b++) {
+        uint8_t* row = rows + b * capacity;
+        int64_t pos = 0;
+        used_bits[b] = 0;
+        if (!nonzero[b]) {
+            pos_out[b] = fixed_rate ? maxbits : 1; /* '0' flag + zero pad */
+            continue;
+        }
+        row[pos++] = 1;
+        const uint64_t biased = (uint64_t)(e[b] + BIAS);
+        for (int i = 0; i < EB; i++)
+            row[pos + i] = (uint8_t)((biased >> (EB - 1 - i)) & 1);
+        pos += EB;
+        const int64_t budget = budgets[b];
+        int64_t bits = budget;
+        int64_t n = 0;
+        const uint64_t* wb = words + b * planes;
+        for (int64_t k = planes - 1; k >= kmins[b]; k--) {
+            if (bits == 0) break;
+            uint64_t x = wb[k];
+            const int64_t m = n < bits ? n : bits;
+            for (int64_t j = 0; j < m; j++)
+                row[pos + j] = (uint8_t)((x >> j) & 1);
+            pos += m;
+            bits -= m;
+            x = (m >= 64) ? 0 : (x >> m);
+            while (n < size && bits) {
+                bits--;
+                const int test = x != 0;
+                row[pos++] = (uint8_t)test;
+                if (!test) break;
+                while (n < size - 1 && bits) {
+                    bits--;
+                    const int bit = (int)(x & 1);
+                    row[pos++] = (uint8_t)bit;
+                    if (bit) break;
+                    x >>= 1;
+                    n++;
+                }
+                x >>= 1;
+                n++;
+            }
+        }
+        used_bits[b] = 1 + EB + (budget - bits);
+        pos_out[b] = fixed_rate ? maxbits : pos;
+    }
+}
+
+API void repro_zfp_decode_blocks(
+    const uint8_t* bits_arr, const int64_t* offsets, const uint8_t* nonzero,
+    int64_t nblocks, int64_t planes, int64_t size,
+    const int64_t* budgets, const int64_t* kmins,
+    uint64_t* words /* zeroed (nblocks, planes) */)
+{
+    const int EB = 12;
+    for (int64_t b = 0; b < nblocks; b++) {
+        if (!nonzero[b]) continue;
+        int64_t cur = offsets[b] + 1 + EB;
+        int64_t bits = budgets[b];
+        int64_t n = 0;
+        uint64_t* wb = words + b * planes;
+        for (int64_t k = planes - 1; k >= kmins[b]; k--) {
+            if (bits == 0) break;
+            const int64_t m = n < bits ? n : bits;
+            uint64_t x = 0;
+            for (int64_t j = 0; j < m; j++)
+                x |= ((uint64_t)bits_arr[cur + j]) << j;
+            cur += m;
+            bits -= m;
+            while (n < size && bits) {
+                bits--;
+                if (!bits_arr[cur++]) break;
+                while (n < size - 1 && bits) {
+                    bits--;
+                    if (bits_arr[cur++]) break;
+                    n++;
+                }
+                x += 1ULL << n;
+                n++;
+            }
+            wb[k] = x;
+        }
+    }
+}
+"""

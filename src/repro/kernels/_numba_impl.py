@@ -1,0 +1,283 @@
+"""numba ``@njit`` flavor of the native kernel tier.
+
+This module hard-imports :mod:`numba`; :mod:`repro.kernels.native` only
+imports it after a successful probe, so a missing numba never breaks
+package import.  Each function mirrors the C implementation in
+``_csource.py`` line for line — same control flow, same rounding, same
+guarded shifts — because both flavors must be bit-exact with the scalar
+seed paths and CI runs the parity matrix against whichever flavor
+resolves.
+
+uint64 discipline: numba follows numpy's promotion rules, where mixing
+``uint64`` and ``int64`` operands produces ``float64``.  Every shift
+amount and mask on a plane/code word is therefore explicitly cast to
+``np.uint64`` before use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+_U1 = np.uint64(1)
+_U8 = np.uint64(8)
+_U0 = np.uint64(0)
+
+
+@njit(cache=True)
+def lorenzo_dualquant(data, out, nblocks, b0, b1, b2, two_eb):
+    bs = b0 * b1 * b2
+    limit = 4611686018427387904.0  # 2^62
+    overflow = 0
+    for b in range(nblocks):
+        base = b * bs
+        for i in range(bs):
+            r = np.rint(data[base + i] / two_eb)
+            if abs(r) > limit:
+                overflow = 1
+                r = 0.0
+            out[base + i] = np.int64(r)
+    if overflow:
+        return 1
+    s0 = b1 * b2
+    for b in range(nblocks):
+        base = b * bs
+        for i in range(b0 - 1, 0, -1):
+            for j in range(s0):
+                out[base + i * s0 + j] -= out[base + (i - 1) * s0 + j]
+        if b1 > 1:
+            for i in range(b0):
+                for j in range(b1 - 1, 0, -1):
+                    for k in range(b2):
+                        out[base + i * s0 + j * b2 + k] -= (
+                            out[base + i * s0 + (j - 1) * b2 + k]
+                        )
+        if b2 > 1:
+            for i in range(b0 * b1):
+                for k in range(b2 - 1, 0, -1):
+                    out[base + i * b2 + k] -= out[base + i * b2 + k - 1]
+    return 0
+
+
+@njit(cache=True)
+def lorenzo_reconstruct(q, nblocks, b0, b1, b2):
+    bs = b0 * b1 * b2
+    s0 = b1 * b2
+    for b in range(nblocks):
+        base = b * bs
+        for i in range(1, b0):
+            for j in range(s0):
+                q[base + i * s0 + j] += q[base + (i - 1) * s0 + j]
+        if b1 > 1:
+            for i in range(b0):
+                for j in range(1, b1):
+                    for k in range(b2):
+                        q[base + i * s0 + j * b2 + k] += (
+                            q[base + i * s0 + (j - 1) * b2 + k]
+                        )
+        if b2 > 1:
+            for i in range(b0 * b1):
+                for k in range(1, b2):
+                    q[base + i * b2 + k] += q[base + i * b2 + k - 1]
+
+
+@njit(cache=True)
+def pack_varlen(codes, lengths, out):
+    bitpos = 0
+    for i in range(codes.size):
+        remaining = lengths[i]
+        code = codes[i]
+        while remaining > 0:
+            free_bits = 8 - (bitpos & 7)
+            take = remaining if remaining < free_bits else free_bits
+            chunk = (code >> np.uint64(remaining - take)) & np.uint64(
+                (1 << take) - 1
+            )
+            out[bitpos >> 3] |= np.uint8(chunk << np.uint64(free_bits - take))
+            bitpos += take
+            remaining -= take
+    return bitpos
+
+
+@njit(cache=True)
+def huffman_symbol_bits(symbols, lengths):
+    total = 0
+    for i in range(symbols.size):
+        total += lengths[symbols[i]]
+    return total
+
+
+@njit(cache=True)
+def huffman_encode(symbols, codes, lengths, chunk_size, chunk_offsets, out):
+    bitpos = 0
+    for i in range(symbols.size):
+        if i % chunk_size == 0:
+            chunk_offsets[i // chunk_size] = np.uint64(bitpos)
+        sym = symbols[i]
+        remaining = np.int64(lengths[sym])
+        code = codes[sym]
+        while remaining > 0:
+            free_bits = 8 - (bitpos & 7)
+            take = remaining if remaining < free_bits else free_bits
+            chunk = (code >> np.uint64(remaining - take)) & np.uint64(
+                (1 << take) - 1
+            )
+            out[bitpos >> 3] |= np.uint8(chunk << np.uint64(free_bits - take))
+            bitpos += take
+            remaining -= take
+    return bitpos
+
+
+@njit(cache=True)
+def huffman_decode(body, chunk_offsets, chunk_size, n, table_sym, table_len,
+                   max_len, total_bits, out):
+    nbytes = body.size
+    max_cursor = 0
+    for c in range(chunk_offsets.size):
+        cursor = chunk_offsets[c]
+        base = c * chunk_size
+        count = n - base
+        if count > chunk_size:
+            count = chunk_size
+        for _s in range(count):
+            # peek max_len bits at cursor; bits past the body read as 0
+            v = _U0
+            byte = cursor >> 3
+            shift = cursor & 7
+            need = (max_len + shift + 7) >> 3
+            for i in range(need):
+                b = np.uint64(body[byte + i]) if byte + i < nbytes else _U0
+                v = (v << _U8) | b
+            key = (v >> np.uint64((need << 3) - shift - max_len)) & np.uint64(
+                (1 << max_len) - 1
+            )
+            ln = table_len[key]
+            if ln == 0:
+                return 1
+            out[base + _s] = table_sym[key]
+            cursor += ln
+        if cursor > max_cursor:
+            max_cursor = cursor
+    if max_cursor > total_bits:
+        return 2
+    return 0
+
+
+@njit(cache=True)
+def zfp_plane_words(u, nblocks, size, nplanes, words):
+    for b in range(nblocks):
+        ub = b * size
+        wb = b * nplanes
+        for i in range(size):
+            x = u[ub + i]
+            for k in range(nplanes):
+                if (x >> np.uint64(k)) & _U1:
+                    words[wb + k] |= _U1 << np.uint64(i)
+
+
+@njit(cache=True)
+def zfp_words_to_coeffs(words, nblocks, nplanes, size, u):
+    for b in range(nblocks):
+        wb = b * nplanes
+        ub = b * size
+        for k in range(nplanes):
+            x = words[wb + k]
+            for i in range(size):
+                if (x >> np.uint64(i)) & _U1:
+                    u[ub + i] |= _U1 << np.uint64(k)
+
+
+@njit(cache=True)
+def zfp_encode(words, nonzero, e, nblocks, size, planes, budgets, kmins,
+               maxbits, capacity, rows, pos_out, used_bits):
+    EB = 12
+    BIAS = 2048
+    fixed_rate = maxbits > 0
+    for b in range(nblocks):
+        row = b * capacity
+        pos = 0
+        used_bits[b] = 0
+        if nonzero[b] == 0:
+            pos_out[b] = maxbits if fixed_rate else 1
+            continue
+        rows[row + pos] = 1
+        pos += 1
+        biased = np.uint64(e[b] + BIAS)
+        for i in range(EB):
+            rows[row + pos + i] = np.uint8(
+                (biased >> np.uint64(EB - 1 - i)) & _U1
+            )
+        pos += EB
+        budget = budgets[b]
+        bits = budget
+        n = 0
+        wb = b * planes
+        for k in range(planes - 1, kmins[b] - 1, -1):
+            if bits == 0:
+                break
+            x = words[wb + k]
+            m = n if n < bits else bits
+            for j in range(m):
+                rows[row + pos + j] = np.uint8((x >> np.uint64(j)) & _U1)
+            pos += m
+            bits -= m
+            x = _U0 if m >= 64 else x >> np.uint64(m)
+            while n < size and bits > 0:
+                bits -= 1
+                test = 1 if x != _U0 else 0
+                rows[row + pos] = np.uint8(test)
+                pos += 1
+                if test == 0:
+                    break
+                while n < size - 1 and bits > 0:
+                    bits -= 1
+                    bit = np.int64(x & _U1)
+                    rows[row + pos] = np.uint8(bit)
+                    pos += 1
+                    if bit:
+                        break
+                    x >>= _U1
+                    n += 1
+                x >>= _U1
+                n += 1
+        used_bits[b] = 1 + EB + (budget - bits)
+        pos_out[b] = maxbits if fixed_rate else pos
+
+
+@njit(cache=True)
+def zfp_decode(bits_arr, offsets, nonzero, nblocks, planes, size, budgets,
+               kmins, words):
+    EB = 12
+    for b in range(nblocks):
+        if nonzero[b] == 0:
+            continue
+        cur = offsets[b] + 1 + EB
+        bits = budgets[b]
+        n = 0
+        wb = b * planes
+        for k in range(planes - 1, kmins[b] - 1, -1):
+            if bits == 0:
+                break
+            m = n if n < bits else bits
+            x = _U0
+            for j in range(m):
+                x |= np.uint64(bits_arr[cur + j]) << np.uint64(j)
+            cur += m
+            bits -= m
+            while n < size and bits > 0:
+                bits -= 1
+                t = bits_arr[cur]
+                cur += 1
+                if t == 0:
+                    break
+                while n < size - 1 and bits > 0:
+                    bits -= 1
+                    bb = bits_arr[cur]
+                    cur += 1
+                    if bb != 0:
+                        break
+                    n += 1
+                x += _U1 << np.uint64(n)
+                n += 1
+            words[wb + k] = x
+    return 0

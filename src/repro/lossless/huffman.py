@@ -25,26 +25,24 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import os
 import struct
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
-from repro.util.bits import pack_fixed_width, pack_varlen_codes, unpack_fixed_width
+from repro.kernels import call as _kcall
+from repro.util.bits import (
+    _pack_varlen_numpy,
+    _pack_varlen_scalar,
+    pack_fixed_width,
+    unpack_fixed_width,
+)
 
 _MAGIC = b"HUF1"
 
 #: Serialized record of the sparse code-length table: ``struct "<IB"``.
 _SPARSE_RECORD = np.dtype([("symbol", "<u4"), ("length", "u1")])
-
-
-def _use_scalar() -> bool:
-    """Seed scalar reference paths when ``REPRO_SCALAR_CODECS`` is set."""
-    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() in (
-        "1", "true", "yes", "on",
-    )
 
 
 def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
@@ -54,10 +52,10 @@ def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
     :class:`DataError` if the alphabet cannot be coded within ``max_len``
     bits (needs ``2^max_len >= number of used symbols``).
 
-    The default implementation is the vectorized two-pass formulation
-    (:func:`_package_merge_counts`); setting ``REPRO_SCALAR_CODECS``
-    selects the seed per-item reference loop.  Both produce identical
-    lengths (``tests/test_fastpath_equivalence.py``).
+    Dispatches the ``huffman.package_merge`` kernel: the vectorized
+    two-pass formulation (:func:`_package_merge_counts`, ``numpy``) or
+    the seed per-item reference loop (``scalar``).  Both produce
+    identical lengths (``tests/test_fastpath_equivalence.py``).
     """
     freqs = np.asarray(freqs, dtype=np.int64)
     used = np.flatnonzero(freqs > 0)
@@ -70,11 +68,7 @@ def package_merge_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
         return lengths
     if n > (1 << max_len):
         raise DataError(f"alphabet of {n} symbols cannot fit in {max_len}-bit codes")
-    counts = (
-        _package_merge_counts_scalar(freqs[used], max_len)
-        if _use_scalar()
-        else _package_merge_counts(freqs[used], max_len)
-    )
+    counts = _kcall("huffman.package_merge", freqs[used], max_len)
     lengths[used] = counts.astype(np.uint8)
     return lengths
 
@@ -217,20 +211,30 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     if kraft > 1.0 + 1e-9:
         raise DataError(f"invalid code lengths (Kraft sum {kraft:.6f} > 1)")
     order = used[np.lexsort((used, lengths[used]))]
-    if _use_scalar():
-        code = 0
-        prev_len = int(lengths[order[0]])
-        for s in order:
-            ln = int(lengths[s])
-            code <<= ln - prev_len
-            codes[s] = code
-            code += 1
-            prev_len = ln
-        return codes
-    # Canonical first-code recurrence: the code of the first symbol of
-    # length l is (first[l-1] + count[l-1]) << 1 (0 for the shortest
-    # class); within a class codes are consecutive by symbol order.
-    # Algebraically identical to the seed per-symbol walk above.
+    return _kcall("huffman.canonical", lengths, order)
+
+
+def _canonical_codes_scalar(lengths: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Seed reference: per-symbol canonical-code walk in (length, symbol)
+    order."""
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for s in order:
+        ln = int(lengths[s])
+        code <<= ln - prev_len
+        codes[s] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+def _canonical_codes_numpy(lengths: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Canonical first-code recurrence: the code of the first symbol of
+    length l is (first[l-1] + count[l-1]) << 1 (0 for the shortest
+    class); within a class codes are consecutive by symbol order.
+    Algebraically identical to the seed per-symbol walk."""
+    codes = np.zeros(lengths.size, dtype=np.uint64)
     lens = lengths[order].astype(np.int64)
     max_l = int(lens[-1])
     class_counts = np.bincount(lens, minlength=max_l + 1)
@@ -285,17 +289,11 @@ class HuffmanCodec:
         lengths = huffman_lengths(freqs, self.max_len)
         codes = canonical_codes(lengths)
 
-        sym_codes = codes[symbols]
-        sym_lengths = lengths[symbols].astype(np.int64)
-
-        # Per-chunk bit offsets for the parallel decoder.
         n = symbols.size
-        nchunks = max(1, -(-n // self.chunk_size))
-        bit_cumsum = np.concatenate(([0], np.cumsum(sym_lengths)))
-        chunk_starts_sym = np.arange(nchunks) * self.chunk_size
-        chunk_bit_offsets = bit_cumsum[chunk_starts_sym].astype(np.uint64)
-
-        body, total_bits = pack_varlen_codes(sym_codes, sym_lengths)
+        body, total_bits, chunk_bit_offsets = _kcall(
+            "huffman.encode", symbols, codes, lengths, self.chunk_size
+        )
+        nchunks = int(chunk_bit_offsets.size)
 
         header = struct.pack(
             "<4sIIQQI",
@@ -393,74 +391,12 @@ class HuffmanCodec:
         codes = canonical_codes(lengths)
         table_sym, table_len = self._build_decode_table(codes, lengths, max_len)
 
-        bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8), bitorder="big")
-        if bits.size < total_bits:
+        if len(body) * 8 < total_bits:
             raise CorruptStreamError("Huffman stream truncated (body)")
-        # Pad so that gathering max_len bits never runs off the end.
-        bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
-
-        out = np.empty(n, dtype=np.int64)
-        cursors = chunk_offsets.copy()
-        counts = np.minimum(
-            chunk_size, n - np.arange(nchunks, dtype=np.int64) * chunk_size
+        return _kcall(
+            "huffman.decode", body, table_sym, table_len, chunk_offsets,
+            n, chunk_size, max_len, total_bits,
         )
-        weights = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
-        window = np.arange(max_len, dtype=np.int64)
-        if _use_scalar():
-            # Seed reference loop: re-derive the active chunk set and
-            # check for table holes on every step.
-            max_iters = int(counts.max())
-            for step in range(max_iters):
-                active = np.flatnonzero(counts > step)
-                idx = cursors[active, None] + window[None, :]
-                keys = bits[idx].astype(np.int64) @ weights
-                syms = table_sym[keys]
-                lens = table_len[keys]
-                if np.any(lens == 0):
-                    raise CorruptStreamError("invalid codeword in Huffman stream")
-                out[active * chunk_size + step] = syms
-                cursors[active] += lens
-            if int(cursors.max(initial=0)) > total_bits:
-                raise CorruptStreamError(
-                    "Huffman decode overran declared bit length"
-                )
-            return out
-        # Symbol and length fused into one entry: one gather per step
-        # instead of two.  A *complete* canonical code covers every key,
-        # so the per-step invalid-codeword check is only needed when the
-        # table has holes (e.g. a single-symbol alphabet).
-        fused = (table_sym.astype(np.int64) << 6) | table_len
-        complete = bool(table_len.all())
-        base = np.arange(nchunks, dtype=np.int64) * chunk_size
-        # The live-chunk set only shrinks when ``step`` passes a chunk's
-        # symbol count, so compact the per-chunk state at those (few)
-        # steps and keep the hot loop free of active-set bookkeeping.
-        shrink_steps = set(np.unique(counts).tolist())
-        cur_live = cursors
-        base_live = base
-        counts_live = counts
-        finished_max = 0
-        max_iters = int(counts.max()) if nchunks else 0
-        for step in range(max_iters):
-            if step in shrink_steps:
-                keep = counts_live > step
-                finished_max = max(
-                    finished_max, int(cur_live[~keep].max(initial=0))
-                )
-                cur_live = cur_live[keep]
-                base_live = base_live[keep]
-                counts_live = counts_live[keep]
-            entry = fused[
-                bits[cur_live[:, None] + window].astype(np.int64) @ weights
-            ]
-            lens = entry & 63
-            if not complete and not lens.all():
-                raise CorruptStreamError("invalid codeword in Huffman stream")
-            out[base_live + step] = entry >> 6
-            cur_live += lens
-        if max(finished_max, int(cur_live.max(initial=0))) > total_bits:
-            raise CorruptStreamError("Huffman decode overran declared bit length")
-        return out
 
     @staticmethod
     def _build_decode_table(
@@ -484,3 +420,142 @@ class HuffmanCodec:
         table_sym[pos] = used[owner]
         table_len[pos] = lens[owner]
         return table_sym, table_len
+
+
+# -- ``huffman.encode`` / ``huffman.decode`` kernel implementations ----------
+#
+# Registered with the kernel registry (repro.kernels.defs); the native
+# tier lives in repro.kernels.native.  Uniform signatures across tiers.
+
+
+def _chunk_offsets_for(sym_lengths: np.ndarray, n: int, chunk_size: int) -> np.ndarray:
+    """Bit offset of every ``chunk_size``-symbol chunk (uint64)."""
+    nchunks = max(1, -(-n // chunk_size))
+    bit_cumsum = np.concatenate(([0], np.cumsum(sym_lengths)))
+    return bit_cumsum[np.arange(nchunks) * chunk_size].astype(np.uint64)
+
+
+def _encode_chunks_numpy(
+    symbols: np.ndarray, codes: np.ndarray, lengths: np.ndarray, chunk_size: int
+) -> tuple[bytes, int, np.ndarray]:
+    """Fancy-indexed gather + grouped vectorized pack."""
+    sym_lengths = lengths[symbols].astype(np.int64)
+    offsets = _chunk_offsets_for(sym_lengths, symbols.size, chunk_size)
+    if symbols.size == 0:
+        return b"", 0, offsets
+    body, total_bits = _pack_varlen_numpy(
+        np.ascontiguousarray(codes[symbols], dtype=np.uint64), sym_lengths
+    )
+    return body, total_bits, offsets
+
+
+def _encode_chunks_scalar(
+    symbols: np.ndarray, codes: np.ndarray, lengths: np.ndarray, chunk_size: int
+) -> tuple[bytes, int, np.ndarray]:
+    """Seed reference: same gather, ragged-expansion pack."""
+    sym_lengths = lengths[symbols].astype(np.int64)
+    offsets = _chunk_offsets_for(sym_lengths, symbols.size, chunk_size)
+    if symbols.size == 0:
+        return b"", 0, offsets
+    body, total_bits = _pack_varlen_scalar(
+        np.ascontiguousarray(codes[symbols], dtype=np.uint64), sym_lengths
+    )
+    return body, total_bits, offsets
+
+
+def _decode_chunks_scalar(
+    body: bytes,
+    table_sym: np.ndarray,
+    table_len: np.ndarray,
+    chunk_offsets: np.ndarray,
+    n: int,
+    chunk_size: int,
+    max_len: int,
+    total_bits: int,
+) -> np.ndarray:
+    """Seed reference loop: re-derive the active chunk set and check for
+    table holes on every step."""
+    bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8), bitorder="big")
+    # Pad so that gathering max_len bits never runs off the end.
+    bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+    nchunks = chunk_offsets.size
+    out = np.empty(n, dtype=np.int64)
+    cursors = chunk_offsets.copy()
+    counts = np.minimum(
+        chunk_size, n - np.arange(nchunks, dtype=np.int64) * chunk_size
+    )
+    weights = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
+    window = np.arange(max_len, dtype=np.int64)
+    max_iters = int(counts.max())
+    for step in range(max_iters):
+        active = np.flatnonzero(counts > step)
+        idx = cursors[active, None] + window[None, :]
+        keys = bits[idx].astype(np.int64) @ weights
+        syms = table_sym[keys]
+        lens = table_len[keys]
+        if np.any(lens == 0):
+            raise CorruptStreamError("invalid codeword in Huffman stream")
+        out[active * chunk_size + step] = syms
+        cursors[active] += lens
+    if int(cursors.max(initial=0)) > total_bits:
+        raise CorruptStreamError("Huffman decode overran declared bit length")
+    return out
+
+
+def _decode_chunks_numpy(
+    body: bytes,
+    table_sym: np.ndarray,
+    table_len: np.ndarray,
+    chunk_offsets: np.ndarray,
+    n: int,
+    chunk_size: int,
+    max_len: int,
+    total_bits: int,
+) -> np.ndarray:
+    """Lockstep chunk-parallel decode with a fused (symbol, length)
+    table: one gather per step instead of two.  A *complete* canonical
+    code covers every key, so the per-step invalid-codeword check is
+    only needed when the table has holes (e.g. a single-symbol
+    alphabet)."""
+    bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8), bitorder="big")
+    bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+    nchunks = chunk_offsets.size
+    out = np.empty(n, dtype=np.int64)
+    cursors = chunk_offsets.copy()
+    counts = np.minimum(
+        chunk_size, n - np.arange(nchunks, dtype=np.int64) * chunk_size
+    )
+    weights = (1 << np.arange(max_len - 1, -1, -1)).astype(np.int64)
+    window = np.arange(max_len, dtype=np.int64)
+    fused = (table_sym.astype(np.int64) << 6) | table_len
+    complete = bool(table_len.all())
+    base = np.arange(nchunks, dtype=np.int64) * chunk_size
+    # The live-chunk set only shrinks when ``step`` passes a chunk's
+    # symbol count, so compact the per-chunk state at those (few)
+    # steps and keep the hot loop free of active-set bookkeeping.
+    shrink_steps = set(np.unique(counts).tolist())
+    cur_live = cursors
+    base_live = base
+    counts_live = counts
+    finished_max = 0
+    max_iters = int(counts.max()) if nchunks else 0
+    for step in range(max_iters):
+        if step in shrink_steps:
+            keep = counts_live > step
+            finished_max = max(
+                finished_max, int(cur_live[~keep].max(initial=0))
+            )
+            cur_live = cur_live[keep]
+            base_live = base_live[keep]
+            counts_live = counts_live[keep]
+        entry = fused[
+            bits[cur_live[:, None] + window].astype(np.int64) @ weights
+        ]
+        lens = entry & 63
+        if not complete and not lens.all():
+            raise CorruptStreamError("invalid codeword in Huffman stream")
+        out[base_live + step] = entry >> 6
+        cur_live += lens
+    if max(finished_max, int(cur_live.max(initial=0))) > total_bits:
+        raise CorruptStreamError("Huffman decode overran declared bit length")
+    return out

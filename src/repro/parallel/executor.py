@@ -89,6 +89,7 @@ def _apply_chunk(
     fn: Callable[[T], R],
     chunk: Sequence[T],
     ctx: "trace_context.TraceContext | None" = None,
+    backend: str | None = None,
 ) -> list[R]:
     """Worker entry point: apply ``fn`` to every task of one chunk.
 
@@ -96,8 +97,16 @@ def _apply_chunk(
     bodies that capture telemetry locally (CBench cells, service batch
     workers) mint spans parented under the originating remote span —
     worker subtrees stitch back into the distributed trace on re-ingest.
+
+    ``backend`` is the submitter's kernel-backend override.  Workers are
+    fresh processes: they inherit ``REPRO_BACKEND`` through the
+    environment, but an override installed with
+    :func:`repro.kernels.use` / ``set_backend`` lives in parent memory
+    only, so it is re-installed here before any codec work runs.
     """
-    with trace_context.use(ctx):
+    from repro import kernels
+
+    with trace_context.use(ctx), kernels.use(backend):
         return [fn(task) for task in chunk]
 
 
@@ -141,9 +150,12 @@ def process_map(
         workers=nworkers,
     ):
         ctx = trace_context.current()  # carried into workers (picklable)
+        from repro import kernels
+
+        backend = kernels.current_override()  # re-installed in workers
         with ProcessPoolExecutor(max_workers=nworkers) as pool:
             futures = {
-                pool.submit(_apply_chunk, fn, chunk, ctx): index
+                pool.submit(_apply_chunk, fn, chunk, ctx, backend): index
                 for index, chunk in enumerate(chunks)
             }
             done, not_done = wait(futures, return_when=FIRST_EXCEPTION)

@@ -79,6 +79,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout_s,
         trace_out=args.trace_out,
         shard_id=args.shard_id,
+        backend=args.backend,
     )
 
     async def _main() -> None:
@@ -105,6 +106,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         "timeout_s": args.timeout_s,
         "cache_dir": args.cache,
         "cache_max_bytes": args.cache_max_bytes,
+        "backend": args.backend,
     }
     router = ClusterRouter(
         shards=[s for s in (args.shards or "").split(",") if s],
@@ -199,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--shard-id", default=None, metavar="ID",
                        help="fleet identity: stamp replies and metrics with "
                             "shard=ID (set by the cluster router's --spawn)")
+    serve.add_argument("--backend", default=None, metavar="TIER",
+                       choices=("scalar", "numpy", "native", "auto"),
+                       help="kernel tier for codec hot paths (default: "
+                            "REPRO_BACKEND, else auto)")
     serve.add_argument("--log-json", action="store_true",
                        help="JSON log records stamped with trace/request ids")
     serve.add_argument("--quiet", action="store_true")
@@ -236,6 +242,9 @@ def main(argv: list[str] | None = None) -> int:
     route.add_argument("--cache", default=None, metavar="DIR",
                        help="parent dir for per-shard result caches")
     route.add_argument("--cache-max-bytes", default=None, metavar="BYTES")
+    route.add_argument("--backend", default=None, metavar="TIER",
+                       choices=("scalar", "numpy", "native", "auto"),
+                       help="kernel tier for spawned shards")
     route.add_argument("--log-json", action="store_true")
     route.add_argument("--quiet", action="store_true")
     route.add_argument("-v", "--verbose", action="count", default=0)

@@ -208,12 +208,13 @@ def _spawn_argv(
         ("max_batch", "--max-batch"),
         ("timeout_s", "--timeout-s"),
         ("cache_max_bytes", "--cache-max-bytes"),
+        ("backend", "--backend"),
     ):
         if opts.get(key) is not None:
             argv += [flag, str(opts[key])]
     unknown = set(opts) - {
         "workers", "max_pending", "batch_window_ms", "max_batch",
-        "timeout_s", "cache_max_bytes",
+        "timeout_s", "cache_max_bytes", "backend",
     }
     if unknown:
         raise ServiceError(f"unknown shard option(s): {sorted(unknown)}")
@@ -230,8 +231,8 @@ class ClusterRouter:
     ``spawn`` asks the router to launch that many local shard daemons
     itself (``shard_options`` maps onto ``serve`` CLI flags:
     ``workers``, ``max_pending``, ``batch_window_ms``, ``max_batch``,
-    ``timeout_s``, ``cache_dir``, ``cache_max_bytes``).  At least one
-    shard must come from somewhere.
+    ``timeout_s``, ``cache_dir``, ``cache_max_bytes``, ``backend``).
+    At least one shard must come from somewhere.
 
     ``hedge_after_s=None`` disables hedging (failover on hard errors
     still happens); see ``docs/CLUSTER.md`` for how to pick a budget.

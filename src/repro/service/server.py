@@ -117,9 +117,16 @@ class CompressionService:
         default_timeout_s: float | None = None,
         trace_out: str | None = None,
         shard_id: str | None = None,
+        backend: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: Kernel tier (``scalar``/``numpy``/``native``/``auto``) this
+        #: daemon serves with; installed process-wide at :meth:`start`
+        #: and restored at shutdown (embedding processes keep theirs).
+        self.backend = backend
+        self._saved_backend: str | None = None
+        self._installed_backend = False
         self.max_payload_bytes = max_payload_bytes
         self.default_timeout_s = default_timeout_s
         self.trace_out = trace_out
@@ -169,6 +176,12 @@ class CompressionService:
                 max_finished=None if self.trace_out else SPAN_RETENTION,
             ))
             self._installed_telemetry = True
+        if self.backend is not None:
+            from repro import kernels
+
+            self._saved_backend = kernels.current_override()
+            kernels.set_backend(self.backend)
+            self._installed_backend = True
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port
         )
@@ -222,6 +235,11 @@ class CompressionService:
 
             set_telemetry(NullTelemetry())
             self._installed_telemetry = False
+        if self._installed_backend:
+            from repro import kernels
+
+            kernels.set_backend(self._saved_backend)
+            self._installed_backend = False
 
     # -- connection handling ----------------------------------------------
 
@@ -459,6 +477,8 @@ class CompressionService:
                 p99_ms=_percentile(window, 99) * 1e3,
                 mean_ms=sum(window) / len(window) * 1e3,
             )
+        from repro import kernels
+
         out: dict[str, Any] = {
             "status": "ok",
             "uptime_s": time.perf_counter() - self._started,
@@ -466,6 +486,14 @@ class CompressionService:
             "requests_total": self._requests_total,
             "requests_inflight": max(0, self._inflight - 1),  # excl. STATS
             "latency": latency,
+            "kernels": {
+                "requested": kernels.requested_backend(),
+                "active": kernels.active(),
+                "tripped": {
+                    f"{backend}:{kernel}": reason
+                    for (backend, kernel), reason in kernels.REGISTRY.tripped().items()
+                },
+            },
             "metrics": (
                 tm.metrics.snapshot() if tm.enabled else {}
             ),
@@ -476,10 +504,14 @@ class CompressionService:
 
     def _metrics(self) -> tuple[str, str]:
         """The registry rendered for Prometheus (text, content-type)."""
+        from repro import kernels
         from repro.telemetry.exposition import PROM_CONTENT_TYPE, render_prometheus
 
         tm = get_telemetry()
         self._harvest_spans()
+        if tm.enabled:
+            # Resolved tier per codec stage, for the fleet view / top.
+            kernels.publish_gauges(tm)
         extra_gauges = {
             "service_uptime_seconds": time.perf_counter() - self._started,
             "service_queue_depth_now": float(self.batcher.depth),

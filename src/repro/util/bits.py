@@ -15,8 +15,6 @@ as ``np.packbits(bitorder="big")``.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.errors import CorruptStreamError, DataError
@@ -25,16 +23,23 @@ _MAX_CODE_BITS = 57  # codes are staged in uint64; reads use shifts below 64
 
 
 def _use_scalar() -> bool:
-    """Seed reference paths when ``REPRO_SCALAR_CODECS`` is set — the
-    same knob the ZFP/Huffman kernels honor, so benchmarks can compare
-    the whole fast-path engine against the seed implementation."""
-    return os.environ.get("REPRO_SCALAR_CODECS", "").strip().lower() in (
-        "1", "true", "yes", "on",
-    )
+    """Deprecated: ``True`` when the ``scalar`` kernel tier is selected.
+
+    Kept for backward compatibility with callers that branched on
+    ``REPRO_SCALAR_CODECS`` directly; new code should dispatch through
+    :mod:`repro.kernels` instead.
+    """
+    from repro.kernels import requested_backend
+
+    return requested_backend() == "scalar"
 
 
 def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
     """Pack variable-length MSB-first codes into a byte string.
+
+    Dispatches the ``pack.varlen`` kernel: the seed ragged formulation
+    (``scalar``), the group-by-length scatter (``numpy``), or the
+    compiled bit writer (``native``), all byte-identical.
 
     Parameters
     ----------
@@ -50,44 +55,51 @@ def pack_varlen_codes(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, in
     (payload, nbits):
         The packed bytes and the exact number of meaningful bits.
     """
+    from repro.kernels import call
+
     codes = np.ascontiguousarray(codes, dtype=np.uint64)
     lengths = np.ascontiguousarray(lengths, dtype=np.int64)
     if codes.shape != lengths.shape:
         raise DataError("codes and lengths must have identical shapes")
     if lengths.size and (lengths.min() < 0 or lengths.max() > _MAX_CODE_BITS):
         raise DataError(f"code lengths must be in [0, {_MAX_CODE_BITS}]")
-
-    total_bits = int(lengths.sum())
-    if total_bits == 0:
+    if int(lengths.sum()) == 0:
         return b"", 0
+    return call("pack.varlen", codes, lengths)
 
-    if not _use_scalar():
-        # Group codes by bit length (Huffman emits only a handful of
-        # distinct lengths) and scatter each group's rectangular
-        # (count, L) bit matrix straight into the flat output at its
-        # cumulative start offsets.  Unlike a single (ncodes, max_len)
-        # rectangle this touches exactly ``total_bits`` elements and
-        # needs no boolean compaction pass.
-        starts = np.cumsum(lengths) - lengths
-        bits = np.zeros(total_bits, dtype=np.uint8)
-        for length in np.unique(lengths):
-            length = int(length)
-            if length == 0:
-                continue
-            sel = lengths == length
-            group = codes[sel]
-            cols = np.arange(length, dtype=np.int64)
-            shift = (length - 1 - cols).astype(np.uint64)
-            vals = (group[:, None] >> shift[None, :]) & np.uint64(1)
-            bits[starts[sel][:, None] + cols[None, :]] = vals.astype(np.uint8)
-    else:
-        # Index of the source code for every output bit.
-        owner = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
-        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-        # Position of each output bit inside its code, from the MSB.
-        pos_in_code = np.arange(total_bits, dtype=np.int64) - starts[owner]
-        shift = (lengths[owner] - 1 - pos_in_code).astype(np.uint64)
-        bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
+
+def _pack_varlen_numpy(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Group codes by bit length (Huffman emits only a handful of
+    distinct lengths) and scatter each group's rectangular (count, L)
+    bit matrix straight into the flat output at its cumulative start
+    offsets.  Unlike a single (ncodes, max_len) rectangle this touches
+    exactly ``total_bits`` elements and needs no boolean compaction."""
+    total_bits = int(lengths.sum())
+    starts = np.cumsum(lengths) - lengths
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    for length in np.unique(lengths):
+        length = int(length)
+        if length == 0:
+            continue
+        sel = lengths == length
+        group = codes[sel]
+        cols = np.arange(length, dtype=np.int64)
+        shift = (length - 1 - cols).astype(np.uint64)
+        vals = (group[:, None] >> shift[None, :]) & np.uint64(1)
+        bits[starts[sel][:, None] + cols[None, :]] = vals.astype(np.uint8)
+    return np.packbits(bits, bitorder="big").tobytes(), total_bits
+
+
+def _pack_varlen_scalar(codes: np.ndarray, lengths: np.ndarray) -> tuple[bytes, int]:
+    """Seed reference: one flat ragged expansion over every output bit."""
+    total_bits = int(lengths.sum())
+    # Index of the source code for every output bit.
+    owner = np.repeat(np.arange(codes.size, dtype=np.int64), lengths)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    # Position of each output bit inside its code, from the MSB.
+    pos_in_code = np.arange(total_bits, dtype=np.int64) - starts[owner]
+    shift = (lengths[owner] - 1 - pos_in_code).astype(np.uint64)
+    bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
     return np.packbits(bits, bitorder="big").tobytes(), total_bits
 
 

@@ -1,18 +1,23 @@
-"""Byte-identity of the fast-path (vectorized) codecs vs the seed scalar
-paths.
+"""Byte-identity of every kernel backend vs the seed scalar paths.
 
-The fast-path engine swaps every per-block / per-symbol python loop for a
-batched numpy kernel, but the *stream format is the contract*: for any
-input and any configuration the fast encoder must produce bit-identical
-payloads, and the fast decoder must accept (and identically decode)
-streams from either encoder.  ``REPRO_SCALAR_CODECS=1`` forces the seed
-implementations, which is also exactly what ``bench_fastpath.py`` times
-against.
+The kernel registry (:mod:`repro.kernels`) swaps per-block / per-symbol
+python loops for batched numpy kernels or compiled native code, but the
+*stream format is the contract*: for any input, any configuration and
+any backend tier the encoder must produce bit-identical payloads, and
+every decoder must accept (and identically decode) streams from any
+encoder.  ``REPRO_SCALAR_CODECS=1`` (the deprecated alias for
+``REPRO_BACKEND=scalar``) forces the seed implementations, which is also
+exactly what ``bench_fastpath.py`` times against; the
+``TestBackendParityMatrix`` class drives the same contract through the
+registry for the full backend x kernel matrix.
 """
+
+import hashlib
 
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.compressors.sz.szcompressor import SZCompressor
 from repro.compressors.zfp.zfpcompressor import ZFPCompressor
 from repro.foresight.cbench import CBench
@@ -21,15 +26,46 @@ from repro.lossless.huffman import HuffmanCodec
 from repro.util.bits import pack_varlen_codes
 
 
+def backend_params():
+    """All three tiers; ``native`` marked skip when it cannot run here.
+
+    The skip is *visible* (reported by pytest), never silent — CI's
+    native job fails collection of a silently-green matrix.
+    """
+    params = [pytest.param("scalar"), pytest.param("numpy")]
+    from repro.kernels import native
+
+    try:
+        native.probe()
+    except Exception as exc:
+        params.append(pytest.param(
+            "native",
+            marks=pytest.mark.skip(reason=f"native tier unavailable: {exc}"),
+        ))
+    else:
+        params.append(pytest.param("native"))
+    return params
+
+
+BACKENDS = backend_params()
+
+
 @pytest.fixture()
 def scalar_mode(monkeypatch):
-    """Run the wrapped code under the seed scalar implementations."""
+    """Run the wrapped code under the seed scalar implementations.
+
+    Pins ``REPRO_BACKEND`` itself (not just the deprecated alias) so
+    the toggle also works when the whole suite runs under an ambient
+    tier pin, as the CI backend matrix does.
+    """
 
     def enable():
-        monkeypatch.setenv("REPRO_SCALAR_CODECS", "1")
+        monkeypatch.setenv(kernels.BACKEND_ENV, "scalar")
+        monkeypatch.setenv(kernels.LEGACY_SCALAR_ENV, "1")
 
     def disable():
-        monkeypatch.delenv("REPRO_SCALAR_CODECS", raising=False)
+        monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+        monkeypatch.delenv(kernels.LEGACY_SCALAR_ENV, raising=False)
 
     disable()
     return enable, disable
@@ -144,9 +180,11 @@ class TestSweepEquivalence:
         else:
             monkeypatch.delenv("REPRO_NO_SHM", raising=False)
         if scalar:
-            monkeypatch.setenv("REPRO_SCALAR_CODECS", "1")
+            monkeypatch.setenv(kernels.BACKEND_ENV, "scalar")
+            monkeypatch.setenv(kernels.LEGACY_SCALAR_ENV, "1")
         else:
-            monkeypatch.delenv("REPRO_SCALAR_CODECS", raising=False)
+            monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+            monkeypatch.delenv(kernels.LEGACY_SCALAR_ENV, raising=False)
         sweep = CompressorSweep(
             name="sz", mode="abs", sweep={"error_bound": [0.05, 0.01]}
         )
@@ -177,6 +215,190 @@ class TestSweepEquivalence:
             dict(scalar=True, budget="64K"),
         ):
             assert self._rows(fields, monkeypatch, **kwargs) == reference
+
+
+class TestBackendParityMatrix:
+    """Backend x kernel bit-exactness, driven through the registry.
+
+    Every kernel is called directly on every available tier and compared
+    against the ``scalar`` reference output; the codec-level tests then
+    prove whole streams stay byte-identical per tier.
+    """
+
+    # -- primitive kernels --------------------------------------------------
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("eb", [1e-1, 1e-4])
+    def test_sz_lorenzo_roundtrip(self, backend, ndim, dtype, eb):
+        rng = np.random.default_rng(ndim * 7 + 1)
+        shape = (9,) + (6,) * ndim
+        blocks = (rng.standard_normal(shape) * 40.0).astype(dtype)
+        ref = kernels.call("sz.lorenzo", blocks, eb, backend="scalar")
+        out = kernels.call("sz.lorenzo", blocks, eb, backend=backend)
+        assert out.dtype == np.int64 and np.array_equal(out, ref)
+        back = kernels.call("sz.lorenzo_inverse", out, backend=backend)
+        assert np.array_equal(
+            back, kernels.call("sz.lorenzo_inverse", ref, backend="scalar")
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_pack_varlen(self, backend, seed):
+        rng = np.random.default_rng(seed)
+        n = 3001
+        lengths = rng.integers(0, 58, size=n).astype(np.int64)
+        shift = np.minimum(lengths, 57).astype(np.uint64)
+        codes = rng.integers(0, 1 << 57, size=n, dtype=np.uint64) & (
+            (np.uint64(1) << shift) - np.uint64(1)
+        )
+        ref = kernels.call("pack.varlen", codes, lengths, backend="scalar")
+        assert kernels.call("pack.varlen", codes, lengths, backend=backend) == ref
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n,alphabet", [(1, 1), (4096, 300), (30000, 1500)])
+    def test_huffman_codec(self, backend, n, alphabet):
+        rng = np.random.default_rng(n)
+        symbols = np.minimum(
+            rng.geometric(0.03, size=n) - 1, alphabet - 1
+        ).astype(np.int64)
+        with kernels.use("scalar"):
+            ref_enc = HuffmanCodec().encode(symbols, alphabet)
+        with kernels.use(backend):
+            enc = HuffmanCodec().encode(symbols, alphabet)
+            out = HuffmanCodec().decode(enc)
+        assert enc.payload == ref_enc.payload
+        assert np.array_equal(out, symbols)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("planes,size", [(32, 16), (52, 64), (52, 4)])
+    def test_zfp_transpose_roundtrip(self, backend, planes, size):
+        rng = np.random.default_rng(planes + size)
+        u = rng.integers(0, 1 << 62, size=(13, size), dtype=np.uint64) & (
+            (np.uint64(1) << np.uint64(planes)) - np.uint64(1)
+        )
+        ref = kernels.call("zfp.transpose", u, planes, backend="scalar")
+        words = kernels.call("zfp.transpose", u, planes, backend=backend)
+        assert np.array_equal(words, ref)
+        back = kernels.call("zfp.transpose_inverse", words, size, backend=backend)
+        assert np.array_equal(
+            back, kernels.call("zfp.transpose_inverse", ref, size, backend="scalar")
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("maxbits", [0, 210])
+    @pytest.mark.parametrize("size,planes", [(4, 32), (16, 32), (64, 52)])
+    def test_zfp_coder(self, backend, maxbits, size, planes):
+        rng = np.random.default_rng(size * planes + maxbits)
+        nblocks = 11
+        u = rng.integers(0, 1 << 62, size=(nblocks, size), dtype=np.uint64) & (
+            (np.uint64(1) << np.uint64(planes)) - np.uint64(1)
+        )
+        u[3] = 0  # a zero block in the middle
+        words = kernels.call("zfp.transpose", u, planes, backend="scalar")
+        nonzero = np.array([u[b].any() for b in range(nblocks)])
+        e = rng.integers(-60, 60, size=nblocks).astype(np.int64)
+        header = 13  # 1 flag bit + EBITS
+        if maxbits:
+            budgets = np.full(nblocks, maxbits - header, dtype=np.int64)
+        else:
+            budgets = np.full(nblocks, 1 << 20, dtype=np.int64)
+        kmins = rng.integers(0, planes // 2, size=nblocks).astype(np.int64)
+        ref = kernels.call(
+            "zfp.encode", words, nonzero, e, size, planes, budgets, kmins,
+            maxbits=maxbits, backend="scalar",
+        )
+        got = kernels.call(
+            "zfp.encode", words, nonzero, e, size, planes, budgets, kmins,
+            maxbits=maxbits, backend=backend,
+        )
+        assert got[0] == ref[0] and got[1] == ref[1]
+        assert np.array_equal(got[2], ref[2])
+        assert np.array_equal(got[3], ref[3])
+
+        body, nbits, offsets, _ = ref
+        bits = np.unpackbits(
+            np.frombuffer(body, dtype=np.uint8), count=nbits, bitorder="big"
+        )
+        padded = np.concatenate([bits, np.zeros(128, dtype=np.uint8)])
+        dec_ref = kernels.call(
+            "zfp.decode", padded, offsets.astype(np.int64), nonzero, planes,
+            size, budgets, kmins, backend="scalar",
+        )
+        dec = kernels.call(
+            "zfp.decode", padded, offsets.astype(np.int64), nonzero, planes,
+            size, budgets, kmins, backend=backend,
+        )
+        assert np.array_equal(dec, dec_ref)
+
+    # -- whole codecs -------------------------------------------------------
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sz_streams_identical(self, backend, dtype):
+        data = _field((17, 23, 19), dtype, seed=11)
+        with kernels.use("scalar"):
+            ref = SZCompressor().compress(data, mode="abs", error_bound=1e-3)
+        with kernels.use(backend):
+            buf = SZCompressor().compress(data, mode="abs", error_bound=1e-3)
+            rec = SZCompressor().decompress(ref)
+        assert buf.payload == ref.payload
+        from conftest import ulp_tolerance
+
+        assert np.abs(rec - data).max() <= 1e-3 + ulp_tolerance(data)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "mode,kwargs",
+        [
+            ("fixed_rate", {"rate": 7.0}),
+            ("fixed_precision", {"precision": 14}),
+            ("fixed_accuracy", {"tolerance": 1e-3}),
+        ],
+    )
+    def test_zfp_streams_identical(self, backend, mode, kwargs):
+        data = _field((9, 10, 11), np.float64, seed=5)
+        ref = ZFPCompressor(backend="scalar").compress(data, mode=mode, **kwargs)
+        buf = ZFPCompressor(backend=backend).compress(data, mode=mode, **kwargs)
+        assert buf.payload == ref.payload
+        assert np.array_equal(
+            ZFPCompressor(backend=backend).decompress(ref),
+            ZFPCompressor(backend="scalar").decompress(ref),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_adversarial_zfp_block(self, backend):
+        """A pinned worst-case field: one 4^3 block whose values span the
+        full float64 exponent range with mixed signs — maximal negabinary
+        carry activity, group tests on every plane, and the 64-coefficient
+        shift-guard path.  The scalar stream for this input is pinned by
+        digest so *every* tier (today's and future ones) must match the
+        frozen seed bytes, not merely each other."""
+        block = np.zeros((4, 4, 4), dtype=np.float64)
+        flat = block.reshape(-1)
+        flat[:] = [
+            (-1.0) ** i * 2.0 ** ((i * 5) % 120 - 60) for i in range(64)
+        ]
+        flat[7] = 0.0
+        flat[21] = -0.0
+        flat[63] = 2.0**60
+        for mode, kwargs, digest in [
+            ("fixed_rate", {"rate": 9.0}, None),
+            ("fixed_precision", {"precision": 24}, None),
+            ("fixed_accuracy", {"tolerance": 1e-6}, None),
+        ]:
+            ref = ZFPCompressor(backend="scalar").compress(block, mode=mode, **kwargs)
+            buf = ZFPCompressor(backend=backend).compress(block, mode=mode, **kwargs)
+            assert buf.payload == ref.payload, mode
+            rec = ZFPCompressor(backend=backend).decompress(buf)
+            assert np.array_equal(
+                rec, ZFPCompressor(backend="scalar").decompress(ref)
+            ), mode
+        pinned = ZFPCompressor(backend=backend).compress(block, precision=24)
+        assert hashlib.sha256(pinned.payload).hexdigest() == (
+            "844e1789d8e773854d6ec5d2c1e08058352bc35234688f7d1df546c3d5b50b1a"
+        )
 
 
 class TestPackEquivalence:

@@ -240,7 +240,7 @@ class TestInstrumentation:
         assert "telemetry" not in rec.meta
         assert set(rec.meta) == {
             "predictor_regression_fraction", "outlier_count",
-            "huffman_bits_per_symbol",
+            "huffman_bits_per_symbol", "kernels",
         }
         # deterministic row payload: two runs serialize byte-identically
         # (timings excluded — they are genuine measurements)
