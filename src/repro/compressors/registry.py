@@ -34,6 +34,7 @@ def available_compressors() -> list[str]:
 
 def _register_builtins() -> None:
     # Imported lazily to avoid import cycles at package init.
+    from repro.compressors.store import StoreCompressor
     from repro.compressors.sz import GPUSZ, SZCompressor
     from repro.compressors.zfp import CuZFP, ZFPCompressor
 
@@ -41,6 +42,7 @@ def _register_builtins() -> None:
     register_compressor("gpu-sz", GPUSZ)
     register_compressor("zfp", ZFPCompressor)
     register_compressor("cuzfp", CuZFP)
+    register_compressor("store", StoreCompressor)
 
 
 _register_builtins()

@@ -1,0 +1,82 @@
+"""Lossless passthrough "compressor" — the data plane's yardstick.
+
+``store`` copies bytes verbatim: compression ratio 1.0, zero error,
+essentially zero compute.  A service round trip through it therefore
+measures *pure data movement* — framing, copies, socket versus
+shared-memory transport — which is exactly what
+``benchmarks/bench_service.py --data-plane`` needs to isolate: any real
+codec would drown the transport difference in compute time.
+
+It is registered as a real codec (not a bench-only hack) so every
+service path — batching, result cache, sweeps, the cluster router —
+can exercise it, and so operators can measure their own deployment's
+transport ceiling with an ordinary client call.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
+from repro.errors import DataError
+
+#: Knob keyword per mode (mirrors the service's KNOB_FOR_MODE); store
+#: ignores the value but records it as the buffer's parameter.
+_KNOBS = ("error_bound", "pwrel", "rate", "precision", "tolerance")
+
+
+class StoreCompressor(Compressor):
+    """Identity codec: ``decompress(compress(x)) == x`` bit for bit."""
+
+    name = "store"
+    supported_modes = (
+        CompressorMode.ABS,
+        CompressorMode.PW_REL,
+        CompressorMode.FIXED_RATE,
+        CompressorMode.FIXED_PRECISION,
+        CompressorMode.FIXED_ACCURACY,
+    )
+
+    def __init__(self, **_: Any) -> None:
+        # Accepts (and ignores) arbitrary options so Foresight configs
+        # can sweep it alongside real codecs without special-casing.
+        pass
+
+    def compress(
+        self,
+        data: np.ndarray,
+        mode: CompressorMode | str = CompressorMode.ABS,
+        **params: Any,
+    ) -> CompressedBuffer:
+        if isinstance(mode, str):
+            try:
+                mode = CompressorMode(mode)
+            except ValueError as exc:
+                raise DataError(f"unknown mode {mode!r}") from exc
+        self.check_mode(mode)
+        data = np.ascontiguousarray(data)
+        parameter = 0.0
+        for knob in _KNOBS:
+            if params.get(knob) is not None:
+                parameter = float(params[knob])
+                break
+        return CompressedBuffer(
+            payload=data.tobytes(),
+            original_shape=data.shape,
+            original_dtype=data.dtype,
+            mode=mode,
+            parameter=parameter,
+            meta={"codec": "store", "lossless": True},
+        )
+
+    def decompress(self, buf: CompressedBuffer) -> np.ndarray:
+        expected = buf.original_nbytes
+        if len(buf.payload) != expected:
+            raise DataError(
+                f"store payload is {len(buf.payload)} bytes; "
+                f"shape/dtype imply {expected}"
+            )
+        arr = np.frombuffer(buf.payload, dtype=buf.original_dtype)
+        return arr.reshape(buf.original_shape).copy()

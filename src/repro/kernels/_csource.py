@@ -225,34 +225,44 @@ API void repro_zfp_words_to_coeffs(
 
 /* ---------------- ZFP embedded group-testing coder ----------------
  * Exact transcription of the seed per-block loop (blockcodec's
- * encode_block_planes / decode_block_planes).  Bits are staged one
- * byte per bit in per-block rows of `capacity` bits; the caller
- * concatenates rows by their used lengths and packs them, which
- * reproduces the scalar emitter's stream bit for bit. */
+ * encode_block_planes / decode_block_planes), with the output fused:
+ * bits go straight into the final MSB-first packed stream at a running
+ * cursor, so there is no byte-per-bit staging, no trim/gather, and no
+ * packbits pass afterwards.  `out` arrives zeroed — 0 bits are skips,
+ * only 1 bits are written — which also gives fixed-rate blocks their
+ * zero padding for free. */
+static inline void zfp_put1(uint8_t* out, int64_t cur)
+{
+    out[cur >> 3] |= (uint8_t)(1u << (7 - (cur & 7)));
+}
+
 API void repro_zfp_encode_blocks(
     const uint64_t* words, const uint8_t* nonzero, const int64_t* e,
     int64_t nblocks, int64_t size, int64_t planes,
     const int64_t* budgets, const int64_t* kmins,
-    int64_t maxbits, int64_t capacity,
-    uint8_t* rows /* zeroed nblocks*capacity */,
+    int64_t maxbits,
+    uint8_t* out /* zeroed; >= sum of per-block capacities, in bits */,
     int64_t* pos_out, int64_t* used_bits)
 {
     const int EB = 12;       /* blockcodec.EBITS */
     const int64_t BIAS = 2048; /* blockcodec.EBIAS */
     const int fixed_rate = maxbits > 0;
+    int64_t cur = 0;
     for (int64_t b = 0; b < nblocks; b++) {
-        uint8_t* row = rows + b * capacity;
-        int64_t pos = 0;
+        const int64_t start = cur;
         used_bits[b] = 0;
         if (!nonzero[b]) {
             pos_out[b] = fixed_rate ? maxbits : 1; /* '0' flag + zero pad */
+            cur = start + pos_out[b];
             continue;
         }
-        row[pos++] = 1;
+        zfp_put1(out, cur);
+        cur++;
         const uint64_t biased = (uint64_t)(e[b] + BIAS);
         for (int i = 0; i < EB; i++)
-            row[pos + i] = (uint8_t)((biased >> (EB - 1 - i)) & 1);
-        pos += EB;
+            if ((biased >> (EB - 1 - i)) & 1)
+                zfp_put1(out, cur + i);
+        cur += EB;
         const int64_t budget = budgets[b];
         int64_t bits = budget;
         int64_t n = 0;
@@ -262,19 +272,22 @@ API void repro_zfp_encode_blocks(
             uint64_t x = wb[k];
             const int64_t m = n < bits ? n : bits;
             for (int64_t j = 0; j < m; j++)
-                row[pos + j] = (uint8_t)((x >> j) & 1);
-            pos += m;
+                if ((x >> j) & 1)
+                    zfp_put1(out, cur + j);
+            cur += m;
             bits -= m;
             x = (m >= 64) ? 0 : (x >> m);
             while (n < size && bits) {
                 bits--;
                 const int test = x != 0;
-                row[pos++] = (uint8_t)test;
+                if (test) zfp_put1(out, cur);
+                cur++;
                 if (!test) break;
                 while (n < size - 1 && bits) {
                     bits--;
                     const int bit = (int)(x & 1);
-                    row[pos++] = (uint8_t)bit;
+                    if (bit) zfp_put1(out, cur);
+                    cur++;
                     if (bit) break;
                     x >>= 1;
                     n++;
@@ -284,7 +297,8 @@ API void repro_zfp_encode_blocks(
             }
         }
         used_bits[b] = 1 + EB + (budget - bits);
-        pos_out[b] = fixed_rate ? maxbits : pos;
+        pos_out[b] = fixed_rate ? maxbits : (cur - start);
+        if (fixed_rate) cur = start + maxbits;
     }
 }
 

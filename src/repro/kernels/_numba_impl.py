@@ -189,25 +189,29 @@ def zfp_words_to_coeffs(words, nblocks, nplanes, size, u):
 
 @njit(cache=True)
 def zfp_encode(words, nonzero, e, nblocks, size, planes, budgets, kmins,
-               maxbits, capacity, rows, pos_out, used_bits):
+               maxbits, out, pos_out, used_bits):
+    # Fused MSB-first packed emitter (mirror of the C kernel): bits land
+    # directly in the final stream at a running cursor; `out` is zeroed
+    # so only 1 bits are written.
     EB = 12
     BIAS = 2048
     fixed_rate = maxbits > 0
+    cur = 0
     for b in range(nblocks):
-        row = b * capacity
-        pos = 0
+        start = cur
         used_bits[b] = 0
         if nonzero[b] == 0:
             pos_out[b] = maxbits if fixed_rate else 1
+            cur = start + pos_out[b]
             continue
-        rows[row + pos] = 1
-        pos += 1
+        out[cur >> 3] |= np.uint8(1 << (7 - (cur & 7)))
+        cur += 1
         biased = np.uint64(e[b] + BIAS)
         for i in range(EB):
-            rows[row + pos + i] = np.uint8(
-                (biased >> np.uint64(EB - 1 - i)) & _U1
-            )
-        pos += EB
+            if (biased >> np.uint64(EB - 1 - i)) & _U1:
+                c = cur + i
+                out[c >> 3] |= np.uint8(1 << (7 - (c & 7)))
+        cur += EB
         budget = budgets[b]
         bits = budget
         n = 0
@@ -218,22 +222,26 @@ def zfp_encode(words, nonzero, e, nblocks, size, planes, budgets, kmins,
             x = words[wb + k]
             m = n if n < bits else bits
             for j in range(m):
-                rows[row + pos + j] = np.uint8((x >> np.uint64(j)) & _U1)
-            pos += m
+                if (x >> np.uint64(j)) & _U1:
+                    c = cur + j
+                    out[c >> 3] |= np.uint8(1 << (7 - (c & 7)))
+            cur += m
             bits -= m
             x = _U0 if m >= 64 else x >> np.uint64(m)
             while n < size and bits > 0:
                 bits -= 1
                 test = 1 if x != _U0 else 0
-                rows[row + pos] = np.uint8(test)
-                pos += 1
+                if test:
+                    out[cur >> 3] |= np.uint8(1 << (7 - (cur & 7)))
+                cur += 1
                 if test == 0:
                     break
                 while n < size - 1 and bits > 0:
                     bits -= 1
                     bit = np.int64(x & _U1)
-                    rows[row + pos] = np.uint8(bit)
-                    pos += 1
+                    if bit:
+                        out[cur >> 3] |= np.uint8(1 << (7 - (cur & 7)))
+                    cur += 1
                     if bit:
                         break
                     x >>= _U1
@@ -241,7 +249,9 @@ def zfp_encode(words, nonzero, e, nblocks, size, planes, budgets, kmins,
                 x >>= _U1
                 n += 1
         used_bits[b] = 1 + EB + (budget - bits)
-        pos_out[b] = maxbits if fixed_rate else pos
+        pos_out[b] = maxbits if fixed_rate else (cur - start)
+        if fixed_rate:
+            cur = start + maxbits
 
 
 @njit(cache=True)

@@ -122,7 +122,7 @@ class _CImpl:
             "repro_zfp_plane_words": ([ptr, i64, i64, i64, ptr], None),
             "repro_zfp_words_to_coeffs": ([ptr, i64, i64, i64, ptr], None),
             "repro_zfp_encode_blocks":
-                ([ptr, ptr, ptr, i64, i64, i64, ptr, ptr, i64, i64, ptr, ptr, ptr],
+                ([ptr, ptr, ptr, i64, i64, i64, ptr, ptr, i64, ptr, ptr, ptr],
                  None),
             "repro_zfp_decode_blocks":
                 ([ptr, ptr, ptr, i64, i64, i64, ptr, ptr, ptr], None),
@@ -174,11 +174,11 @@ class _CImpl:
             self._p(words), nblocks, nplanes, size, self._p(u))
 
     def zfp_encode(self, words, nonzero, e, nblocks, size, planes,
-                   budgets, kmins, maxbits, capacity, rows, pos, used):
+                   budgets, kmins, maxbits, out, pos, used):
         self._lib.repro_zfp_encode_blocks(
             self._p(words), self._p(nonzero), self._p(e), nblocks, size,
-            planes, self._p(budgets), self._p(kmins), maxbits, capacity,
-            self._p(rows), self._p(pos), self._p(used))
+            planes, self._p(budgets), self._p(kmins), maxbits,
+            self._p(out), self._p(pos), self._p(used))
 
     def zfp_decode(self, bits, offsets, nonzero, nblocks, planes, size,
                    budgets, kmins, words):
@@ -395,29 +395,22 @@ def zfp_encode_blocks(
     e = np.ascontiguousarray(e, dtype=np.int64)
     budgets = np.ascontiguousarray(budgets, dtype=np.int64)
     kmins = np.ascontiguousarray(kmins, dtype=np.int64)
-    rows = np.zeros(nblocks * capacity, dtype=np.uint8)
+    # The kernel emits straight into the packed MSB-first stream (one
+    # pass, no byte-per-bit staging or gather) — `capacity` is only an
+    # upper bound sizing the zeroed output buffer.
+    out = np.zeros((nblocks * capacity + 7) // 8, dtype=np.uint8)
     pos = np.zeros(nblocks, dtype=np.int64)
     used_bits = np.zeros(nblocks, dtype=np.int64)
     if nblocks:
         impl.zfp_encode(
             words.reshape(-1), nonzero_u8, e, nblocks, size, planes,
-            budgets, kmins, maxbits, capacity, rows, pos, used_bits,
+            budgets, kmins, maxbits, out, pos, used_bits,
         )
     offsets = np.zeros(nblocks + 1, dtype=np.uint64)
     np.cumsum(pos, out=offsets[1:])
-    # Same trim-and-concatenate as batch._BitMatrix.concatenate.
-    total = int(pos.sum())
-    if total == 0:
-        flat = np.zeros(0, dtype=np.uint8)
-    elif total == rows.size:
-        flat = rows
-    else:
-        owner = np.repeat(np.arange(nblocks), pos)
-        starts = np.concatenate(([0], np.cumsum(pos)[:-1]))
-        offset = np.arange(total, dtype=np.int64) - starts[owner]
-        flat = rows[owner * capacity + offset]
+    total = int(offsets[-1])
     get_telemetry().count("zfp.emitted_bits", total)
-    body = np.packbits(flat, bitorder="big").tobytes()
+    body = out[: (total + 7) // 8].tobytes()
     return body, total, offsets, used_bits
 
 

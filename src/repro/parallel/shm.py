@@ -34,6 +34,7 @@ process).
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -114,6 +115,11 @@ class SharedArray:
         self._shape = tuple(int(s) for s in shape)
         self._dtype = np.dtype(dtype)
         self._owner = owner
+        # Ownership is per *process*, not per object: a fork()ed child
+        # (e.g. a batch worker pool) inherits this handle, and its
+        # exit-time GC must not unlink a segment the parent still
+        # serves.  close() only unlinks when the pid matches.
+        self._owner_pid = os.getpid() if owner else None
         self._refs = 1
         self._closed = False
         arr = np.ndarray(self._shape, dtype=self._dtype, buffer=segment.buf)
@@ -121,6 +127,21 @@ class SharedArray:
         self._array = arr
 
     # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, nbytes: int) -> "SharedArray":
+        """A fresh *writable* owner segment of ``nbytes`` flat bytes.
+
+        Unlike :meth:`publish` nothing is copied in — the caller fills
+        (and refills) the segment through :meth:`view`.  This is the
+        data-plane scratch-buffer constructor (:class:`SegmentPool`).
+        """
+        if nbytes <= 0:
+            raise DataError("cannot create an empty shared segment")
+        segment = shared_memory.SharedMemory(create=True, size=int(nbytes))
+        tm = get_telemetry()
+        tm.count("shm.segments_published")
+        return cls(segment, (int(nbytes),), np.dtype(np.uint8), owner=True)
 
     @classmethod
     def publish(cls, array: np.ndarray) -> "SharedArray":
@@ -182,6 +203,35 @@ class SharedArray:
             name=self._segment.name, shape=self._shape, dtype=self._dtype.str
         )
 
+    def view(self, shape: tuple[int, ...], dtype: np.dtype | str) -> np.ndarray:
+        """An ndarray view of the segment's *prefix* with a caller shape.
+
+        The segment may be larger than the view needs (pooled scratch
+        buffers round capacities up); writability follows ownership.
+        """
+        if self._closed:
+            raise DataError("shared array handle is closed")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes > self._segment.size:
+            raise DataError(
+                f"view needs {nbytes} bytes, segment holds {self._segment.size}"
+            )
+        arr = np.ndarray(shape, dtype=dtype, buffer=self._segment.buf)
+        arr.flags.writeable = self._owner
+        return arr
+
+    def view_descriptor(
+        self, shape: tuple[int, ...], dtype: np.dtype | str
+    ) -> ShmDescriptor:
+        """Descriptor for a :meth:`view`-shaped prefix of this segment."""
+        return ShmDescriptor(
+            name=self._segment.name,
+            shape=tuple(int(s) for s in shape),
+            dtype=np.dtype(dtype).str,
+        )
+
     # -- refcounted lifecycle -----------------------------------------------
 
     def addref(self) -> "SharedArray":
@@ -208,7 +258,7 @@ class SharedArray:
         try:
             self._segment.close()
         finally:
-            if self._owner:
+            if self._owner and self._owner_pid == os.getpid():
                 try:
                     self._segment.unlink()
                 except FileNotFoundError:  # pragma: no cover - already gone
@@ -258,3 +308,96 @@ def detach_all() -> int:
             n += 1
     _ATTACHED.clear()
     return n
+
+
+@contextmanager
+def attached_view(desc: ShmDescriptor) -> "Iterator[np.ndarray]":
+    """Attach ``desc`` for the duration of a block (no per-process memo).
+
+    The service data plane uses this for one-shot request payloads: the
+    segment belongs to a *client* and is unlinked the moment its request
+    completes, so memoizing the attachment (:func:`attach_cached`) would
+    pin dead pages in the worker.  The mapping is closed on exit; the
+    caller must not let views escape the block.
+    """
+    handle = SharedArray.attach(desc)
+    try:
+        yield handle.array
+    finally:
+        handle.close()
+
+
+class SegmentPool:
+    """Reusable publisher-owned scratch segments for the service data plane.
+
+    The dominant cost of a fresh shm publish is not the copy but the
+    page faults of first-touching new pages (measured ~6x the memcpy
+    itself at 8 MB).  A client doing sustained large transfers therefore
+    *reuses* segments: :meth:`acquire` hands out an owner handle with
+    capacity rounded up to the next power of two (so a handful of size
+    classes serve any request mix), :meth:`release` returns it for the
+    next request, and :meth:`close` unlinks everything.
+
+    Thread-safe — one pool serves all connections of a pooled client.
+    Ownership never leaves the pool's process: segments acquired here
+    are registered with this process's ``resource_tracker``, so even a
+    SIGKILLed client leaks nothing (the tracker unlinks at teardown).
+    """
+
+    #: Smallest capacity handed out (matches the service's shm threshold).
+    MIN_CAPACITY = 1 << 16
+
+    def __init__(self, max_idle: int = 8) -> None:
+        self.max_idle = max_idle
+        self._idle: dict[int, list[SharedArray]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @staticmethod
+    def _capacity(nbytes: int) -> int:
+        cap = SegmentPool.MIN_CAPACITY
+        while cap < nbytes:
+            cap <<= 1
+        return cap
+
+    def acquire(self, nbytes: int) -> SharedArray:
+        """An owner handle with at least ``nbytes`` capacity (writable)."""
+        if nbytes <= 0:
+            raise DataError("cannot acquire an empty scratch segment")
+        cap = self._capacity(nbytes)
+        with self._lock:
+            if self._closed:
+                raise DataError("segment pool is closed")
+            free = self._idle.get(cap)
+            if free:
+                get_telemetry().count("shm.pool_reuses")
+                return free.pop()
+        get_telemetry().count("shm.pool_creates")
+        return SharedArray.create(cap)
+
+    def release(self, handle: SharedArray) -> None:
+        """Return ``handle`` for reuse (or unlink it if the pool is full)."""
+        if handle._closed:
+            return
+        with self._lock:
+            if not self._closed:
+                free = self._idle.setdefault(handle.nbytes, [])
+                if sum(len(v) for v in self._idle.values()) < self.max_idle:
+                    free.append(handle)
+                    return
+        handle.unlink()
+
+    def close(self) -> None:
+        """Unlink every idle segment; the pool refuses further acquires."""
+        with self._lock:
+            self._closed = True
+            idle = [h for free in self._idle.values() for h in free]
+            self._idle.clear()
+        for handle in idle:
+            handle.unlink()
+
+    def __enter__(self) -> "SegmentPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -28,7 +28,7 @@ See ``docs/SERVICE.md`` for the protocol specification and deployment
 tuning, and ``docs/CLUSTER.md`` for the cluster operator's handbook.
 """
 
-from repro.service.client import DEFAULT_PORT, ServiceClient
+from repro.service.client import DEFAULT_PORT, PooledClient, ServiceClient
 from repro.service.cluster import (
     DEFAULT_ROUTER_PORT,
     ClusterRouter,
@@ -40,6 +40,7 @@ from repro.service.server import CompressionService, ServiceThread
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_ROUTER_PORT",
+    "PooledClient",
     "ServiceClient",
     "ClusterRouter",
     "ClusterThread",

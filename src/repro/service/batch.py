@@ -41,6 +41,7 @@ import asyncio
 import json
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any
@@ -51,7 +52,14 @@ from repro.compressors.base import CompressedBuffer, CompressorMode
 from repro.compressors.registry import get_compressor
 from repro.errors import ReproError, ServiceError
 from repro.parallel.executor import process_map, resolve_workers
-from repro.parallel.shm import ShmDescriptor, SharedArray, attach_cached, shm_enabled
+from repro.parallel.shm import (
+    ShmDescriptor,
+    SharedArray,
+    attach_cached,
+    attached_view,
+    shm_enabled,
+)
+from repro.service import protocol
 from repro.telemetry import context as trace_context
 from repro.telemetry import enabled_telemetry, get_telemetry
 from repro.telemetry.context import TraceContext
@@ -65,8 +73,9 @@ KNOB_FOR_MODE = {
     "fixed_accuracy": "tolerance",
 }
 
-#: Arrays below this size are cheaper to pickle than to publish to shm.
-SHM_MIN_BYTES = 1 << 16
+#: Arrays below this size are cheaper to pickle than to publish to shm
+#: (canonically defined next to the wire fields it gates).
+SHM_MIN_BYTES = protocol.SHM_MIN_BYTES
 
 
 def jsonable(value: Any) -> Any:
@@ -103,6 +112,10 @@ class PendingRequest:
     ctx: TraceContext | None = None
     #: Server-assigned monotonically increasing id (span/log tagging).
     request_seq: int = 0
+    #: Descriptor of a client-published payload segment (``payload`` is
+    #: then empty): the zero-copy data plane.  The batcher hands the
+    #: descriptor straight to codec workers — it is *never* re-published.
+    shm: ShmDescriptor | None = None
 
     def group_key(self) -> tuple:
         """Requests with equal keys coalesce into one dispatch."""
@@ -124,6 +137,29 @@ def _materialize(arr: np.ndarray | ShmDescriptor) -> np.ndarray:
     if isinstance(arr, ShmDescriptor):
         return attach_cached(arr)
     return arr
+
+
+@contextmanager
+def _payload_view(arr: np.ndarray | ShmDescriptor):
+    """Yield the task's input array, attaching descriptors *ephemerally*.
+
+    Data-plane segments belong to the client (or to one batch dispatch)
+    and are unlinked the moment the request completes — memoizing the
+    attachment (:func:`attach_cached`) would pin dead segments' pages in
+    a long-lived worker, so the mapping only lives for the codec call.
+    Attach failures surface as :class:`ServiceError` (the segment owner
+    vanished mid-request), not as a worker crash.
+    """
+    if isinstance(arr, ShmDescriptor):
+        try:
+            with attached_view(arr) as view:
+                yield view
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot attach payload segment {arr.name!r}: {exc}"
+            ) from exc
+    else:
+        yield arr
 
 
 #: One worker task: (op-specific body, trace ctx, capture spans?, parent pid).
@@ -174,9 +210,8 @@ def _compress_task(
                     f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
                 )
             compressor = get_compressor(name, **options)
-            return compressor.compress(
-                _materialize(arr), mode=mode, **{knob: value}
-            )
+            with _payload_view(arr) as view:
+                return compressor.compress(view, mode=mode, **{knob: value})
         except ReproError as exc:
             return exc
 
@@ -193,6 +228,11 @@ def _decompress_task(
     def body(buf_fields):
         payload, shape, dtype, mode, parameter = buf_fields
         try:
+            if isinstance(payload, ShmDescriptor):
+                # Compressed streams are consumed as bytes; one copy out
+                # of the segment replaces the whole socket round trip.
+                with _payload_view(payload) as view:
+                    payload = view.tobytes()
             buf = CompressedBuffer(
                 payload=payload,
                 original_shape=tuple(shape),
@@ -428,8 +468,6 @@ class Batcher:
         capture: bool,
         parent_pid: int,
     ) -> list:
-        from repro.service import protocol
-
         h = group[0].header
         spec = (
             h.get("compressor"),
@@ -437,8 +475,14 @@ class Batcher:
             h.get("mode"),
             h.get("value"),
         )
+        # A request that already arrived through shared memory keeps its
+        # descriptor — the worker attaches the *client's* segment, no
+        # copy and no re-publish.  Only inline payloads are considered
+        # for batch-local publishing below.
         arrays = [
-            protocol.unpack_array(r.header, r.payload) for r in group
+            r.shm if r.shm is not None
+            else protocol.unpack_array(r.header, r.payload)
+            for r in group
         ]
         nworkers = resolve_workers(self.workers)
         published: list[SharedArray] = []
@@ -446,7 +490,10 @@ class Batcher:
         if nworkers > 1 and len(group) > 1 and shm_enabled():
             bodies = []
             for arr in arrays:
-                if arr.nbytes >= SHM_MIN_BYTES:
+                if (
+                    isinstance(arr, np.ndarray)
+                    and arr.nbytes >= SHM_MIN_BYTES
+                ):
                     handle = SharedArray.publish(np.ascontiguousarray(arr))
                     published.append(handle)
                     bodies.append(handle.descriptor())
@@ -476,7 +523,7 @@ class Batcher:
         tasks = [
             (
                 (
-                    r.payload,
+                    r.shm if r.shm is not None else r.payload,
                     tuple(r.header.get("shape") or ()),
                     r.header.get("dtype"),
                     r.header.get("mode"),

@@ -80,6 +80,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         shard_id=args.shard_id,
         backend=args.backend,
+        pipeline_depth=args.pipeline_depth,
     )
 
     async def _main() -> None:
@@ -120,6 +121,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         fail_after=args.fail_after,
         recover_after=args.recover_after,
         probe_interval_s=args.probe_interval_ms / 1e3,
+        pipeline_depth=args.pipeline_depth,
         trace_out=args.trace_out,
     )
 
@@ -193,6 +195,9 @@ def main(argv: list[str] | None = None) -> int:
                             "(default: no cache)")
     serve.add_argument("--cache-max-bytes", default=None, metavar="BYTES",
                        help="bound the result cache (K/M/G suffix allowed)")
+    serve.add_argument("--pipeline-depth", type=int, default=32, metavar="N",
+                       help="max concurrently served frames per connection "
+                            "(default 32)")
     serve.add_argument("--timeout-s", type=float, default=None,
                        help="default per-request deadline in seconds")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
@@ -228,6 +233,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="consecutive probe misses that drain a shard")
     route.add_argument("--recover-after", type=int, default=2,
                        help="consecutive probe hits that re-admit a shard")
+    route.add_argument("--pipeline-depth", type=int, default=32, metavar="N",
+                       help="max concurrently routed frames per client "
+                            "connection (default 32)")
     route.add_argument("--probe-interval-ms", type=float, default=250.0,
                        help="healthy-shard HEALTH probe cadence (default 250)")
     route.add_argument("--trace-out", default=None, metavar="PATH",

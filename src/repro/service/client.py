@@ -13,6 +13,19 @@ simulation loop needs handled inside —
   before :class:`~repro.errors.ServiceBusyError`;
 * **timeouts**: ``request_timeout_s`` bounds each socket wait;
   ``timeout_ms`` per call becomes the server-side queue deadline;
+* **zero-copy payload handoff**: against a same-host daemon that
+  negotiates the ``shm`` capability (one HELLO round trip on the first
+  bulk call), large request payloads travel as pooled shared-memory
+  segments and bulk replies come back through a client-owned scratch
+  segment — the TCP stream then carries only headers.  Fallback to
+  inline bytes is transparent: remote hosts, small arrays,
+  ``REPRO_NO_SHM=1``, pre-capability servers, and any per-request shm
+  error (the client retries the call inline and stops offering
+  segments).  Replies are byte-identical either way.  All segments are
+  owned by the client — published once, reused across calls
+  (:class:`repro.parallel.shm.SegmentPool`), unlinked on
+  :meth:`~ServiceClient.close`; a crashed client's are reclaimed by its
+  ``multiprocessing`` resource tracker;
 * **distributed tracing**: when telemetry is enabled in the client
   process (or a :mod:`repro.telemetry.context` trace is already
   active), every call runs inside a ``client.<op>`` span — busy
@@ -49,21 +62,37 @@ to which one it dialed):
 
 from __future__ import annotations
 
+import concurrent.futures
 import random
 import socket
+import threading
 import time
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.compressors.base import CompressedBuffer, CompressorMode
 from repro.errors import ProtocolError, ServiceBusyError, ServiceError
+from repro.parallel.shm import SegmentPool, shm_enabled
 from repro.service import protocol
 from repro.telemetry import context as trace_context
 from repro.telemetry import get_telemetry
 from repro.util.backoff import backoff_delay
 
 DEFAULT_PORT = 9461
+
+#: Extra reply-segment capacity offered on COMPRESS (codec headers can
+#: push an incompressible stream slightly past the input size; if even
+#: that is exceeded the server just replies inline).
+REPLY_SHM_SLACK = 1 << 12
+
+#: Error codes that mean "this peer cannot attach my segments" — the
+#: client retries inline and stops offering shm on this connection.
+_SHM_ERROR_CODES = frozenset({"shm_attach", "shm_unavailable"})
+
+
+def _is_loopback(host: str) -> bool:
+    return host == "localhost" or host.startswith("127.") or host == "::1"
 
 
 class ServiceClient:
@@ -80,6 +109,7 @@ class ServiceClient:
         retry_base_s: float = 0.02,
         retry_max_s: float = 1.0,
         seed: int | None = None,
+        shm: bool | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -88,9 +118,17 @@ class ServiceClient:
         self.busy_retries = busy_retries
         self.retry_base_s = retry_base_s
         self.retry_max_s = retry_max_s
+        #: ``None`` = automatic (loopback peers only); ``False`` forces
+        #: inline payloads; ``True`` offers shm even to non-loopback
+        #: hosts (the error fallback still protects a wrong guess).
+        self.shm = shm
         self._rng = random.Random(seed)
         self._sock: socket.socket | None = None
         self._next_id = 0
+        self._caps: frozenset[str] = frozenset()
+        self._negotiated = False
+        self._shm_broken = False
+        self._segments: SegmentPool | None = None
 
     # -- connection management --------------------------------------------
 
@@ -125,12 +163,22 @@ class ServiceClient:
         self._sock = sock
         return sock
 
-    def close(self) -> None:
+    def _reset(self) -> None:
+        """Drop the socket (the next call redials and renegotiates)."""
         if self._sock is not None:
             try:
                 self._sock.close()
             finally:
                 self._sock = None
+        self._negotiated = False
+        self._caps = frozenset()
+
+    def close(self) -> None:
+        """Close the socket and unlink any pooled data-plane segments."""
+        self._reset()
+        if self._segments is not None:
+            self._segments.close()
+            self._segments = None
 
     def __enter__(self) -> "ServiceClient":
         self._connect()
@@ -138,6 +186,65 @@ class ServiceClient:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    # -- shm negotiation ----------------------------------------------------
+
+    def _shm_wanted(self) -> bool:
+        if self._shm_broken or not shm_enabled():
+            return False
+        if self.shm is not None:
+            return self.shm
+        return _is_loopback(self.host)
+
+    def _negotiate(self) -> frozenset[str]:
+        """HELLO once per connection; pre-capability servers yield ∅."""
+        sock = self._connect()
+        if self._negotiated:
+            return self._caps
+        want = [protocol.CAP_PIPELINE]
+        if self._shm_wanted():
+            want.append(protocol.CAP_SHM)
+        try:
+            protocol.write_frame_sock(
+                sock, {"op": "hello", protocol.CAPS_FIELD: want}
+            )
+            reply, _ = protocol.read_frame_sock(sock)
+        except (OSError, ProtocolError):
+            self._reset()
+            raise
+        caps = (
+            reply.get(protocol.CAPS_FIELD)
+            if reply.get("status") == "ok" else None
+        )
+        self._caps = frozenset(caps if isinstance(caps, list) else ())
+        self._negotiated = True
+        return self._caps
+
+    def _segment_pool(self) -> SegmentPool:
+        if self._segments is None:
+            self._segments = SegmentPool()
+        return self._segments
+
+    def _use_shm(self, nbytes: int) -> bool:
+        """True when this payload should go through shared memory."""
+        return (
+            nbytes >= protocol.SHM_MIN_BYTES
+            and self._shm_wanted()
+            and protocol.CAP_SHM in self._negotiate()
+        )
+
+    def _shm_body(self, reply: dict[str, Any], body: bytes, reply_seg):
+        """The reply's bulk bytes — from the scratch segment if used."""
+        n = reply.get(protocol.SHM_NBYTES_FIELD)
+        if n is None:
+            return body
+        if (
+            reply_seg is None
+            or not isinstance(n, int)
+            or not 0 <= n <= reply_seg.nbytes
+        ):
+            raise ProtocolError(f"bad {protocol.SHM_NBYTES_FIELD}: {n!r}")
+        return reply_seg.view((n,), np.uint8).tobytes()
 
     # -- request plumbing ---------------------------------------------------
 
@@ -151,7 +258,7 @@ class ServiceClient:
             return protocol.read_frame_sock(sock)
         except (OSError, ProtocolError):
             # The stream is unusable — drop it so the next call redials.
-            self.close()
+            self._reset()
             raise
 
     def _request(
@@ -204,10 +311,12 @@ class ServiceClient:
                 ):
                     time.sleep(delay)
                 continue
-            raise ServiceError(
+            exc = ServiceError(
                 f"{header.get('op')} failed "
                 f"[{reply.get('code', 'error')}]: {reply.get('error')}"
             )
+            exc.code = reply.get("code", "error")  # machine-readable
+            raise exc
         raise ServiceBusyError(
             f"server still busy after {self.busy_retries} retries"
         )
@@ -241,7 +350,40 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             header["timeout_ms"] = float(timeout_ms)
-        reply, body = self._request(header, protocol.pack_array(data))
+        req_seg = reply_seg = None
+        pool = None
+        try:
+            if self._use_shm(data.nbytes):
+                arr = np.ascontiguousarray(data)
+                pool = self._segment_pool()
+                req_seg = pool.acquire(arr.nbytes)
+                req_seg.view(arr.shape, arr.dtype)[...] = arr
+                header[protocol.SHM_FIELD] = protocol.shm_fields(
+                    req_seg.view_descriptor(arr.shape, arr.dtype)
+                )
+                reply_seg = pool.acquire(arr.nbytes + REPLY_SHM_SLACK)
+                header[protocol.REPLY_SHM_FIELD] = protocol.reply_shm_fields(
+                    reply_seg.name, reply_seg.nbytes
+                )
+                payload = b""
+            else:
+                payload = protocol.pack_array(data)
+            try:
+                reply, body = self._request(header, payload)
+            except ServiceError as exc:
+                if req_seg is not None \
+                        and getattr(exc, "code", None) in _SHM_ERROR_CODES:
+                    self._shm_broken = True
+                    return self.compress(
+                        data, compressor, mode=mode, value=value,
+                        options=options, timeout_ms=timeout_ms,
+                    )
+                raise
+            body = self._shm_body(reply, body, reply_seg)
+        finally:
+            for seg in (req_seg, reply_seg):
+                if seg is not None:
+                    pool.release(seg)
         meta = dict(reply.get("meta") or {})
         meta["compressor"] = reply.get("compressor", compressor)
         if options:
@@ -281,8 +423,55 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             header["timeout_ms"] = float(timeout_ms)
-        reply, body = self._request(header, buf.payload)
-        return protocol.unpack_array(reply, body).copy()
+        out_shape = tuple(int(s) for s in buf.original_shape)
+        out_dtype = np.dtype(buf.original_dtype)
+        out_nbytes = int(np.prod(out_shape, dtype=np.int64)) * out_dtype.itemsize
+        stream = np.frombuffer(buf.payload, dtype=np.uint8)
+        req_seg = reply_seg = None
+        pool = None
+        try:
+            if self._use_shm(max(stream.nbytes, out_nbytes)):
+                pool = self._segment_pool()
+                if stream.nbytes >= protocol.SHM_MIN_BYTES:
+                    req_seg = pool.acquire(stream.nbytes)
+                    req_seg.view(stream.shape, np.uint8)[...] = stream
+                    header[protocol.SHM_FIELD] = protocol.shm_fields(
+                        req_seg.view_descriptor(stream.shape, np.uint8)
+                    )
+                    payload = b""
+                else:
+                    payload = buf.payload
+                if out_nbytes >= protocol.SHM_MIN_BYTES:
+                    reply_seg = pool.acquire(out_nbytes)
+                    header[protocol.REPLY_SHM_FIELD] = (
+                        protocol.reply_shm_fields(reply_seg.name,
+                                                  reply_seg.nbytes)
+                    )
+            else:
+                payload = buf.payload
+            try:
+                reply, body = self._request(header, payload)
+            except ServiceError as exc:
+                if (req_seg is not None or reply_seg is not None) \
+                        and getattr(exc, "code", None) in _SHM_ERROR_CODES:
+                    self._shm_broken = True
+                    return self.decompress(
+                        buf, compressor=compressor, options=options,
+                        timeout_ms=timeout_ms,
+                    )
+                raise
+            n = reply.get(protocol.SHM_NBYTES_FIELD)
+            if n is not None and reply_seg is not None:
+                if not isinstance(n, int) or n != out_nbytes:
+                    raise ProtocolError(
+                        f"bad {protocol.SHM_NBYTES_FIELD}: {n!r}"
+                    )
+                return reply_seg.view(out_shape, out_dtype).copy()
+            return protocol.unpack_array(reply, body).copy()
+        finally:
+            for seg in (req_seg, reply_seg):
+                if seg is not None:
+                    pool.release(seg)
 
     def sweep(
         self,
@@ -307,7 +496,33 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             header["timeout_ms"] = float(timeout_ms)
-        reply, _ = self._request(header, protocol.pack_array(data))
+        req_seg = None
+        pool = None
+        try:
+            if self._use_shm(data.nbytes):
+                arr = np.ascontiguousarray(data)
+                pool = self._segment_pool()
+                req_seg = pool.acquire(arr.nbytes)
+                req_seg.view(arr.shape, arr.dtype)[...] = arr
+                header[protocol.SHM_FIELD] = protocol.shm_fields(
+                    req_seg.view_descriptor(arr.shape, arr.dtype)
+                )
+                payload = b""
+            else:
+                payload = protocol.pack_array(data)
+            try:
+                reply, _ = self._request(header, payload)
+            except ServiceError as exc:
+                if req_seg is not None \
+                        and getattr(exc, "code", None) in _SHM_ERROR_CODES:
+                    self._shm_broken = True
+                    return self.sweep(
+                        data, sweeps, field=field, timeout_ms=timeout_ms
+                    )
+                raise
+        finally:
+            if req_seg is not None:
+                pool.release(req_seg)
         return list(reply.get("records") or [])
 
     def list_compressors(self) -> list[str]:
@@ -343,3 +558,491 @@ class ServiceClient:
         """
         reply, _ = self._request({"op": "cluster"})
         return reply
+
+
+# ---------------------------------------------------------------------------
+# Multiplexing client pool
+# ---------------------------------------------------------------------------
+
+
+class _Call:
+    """One logical request in flight through a :class:`PooledClient`."""
+
+    __slots__ = (
+        "future", "finish", "build", "header", "payload", "segs",
+        "attempt", "deadline", "id",
+    )
+
+    def __init__(self, future, finish, build, header, payload, segs):
+        self.future = future
+        self.finish = finish
+        self.build = build
+        self.header = header
+        self.payload = payload
+        self.segs = segs
+        self.attempt = 0
+        self.deadline = 0.0
+        self.id = 0
+
+
+class _Channel:
+    """One pipelined connection: a send lock, an id→call map, a reader."""
+
+    def __init__(self, owner: "PooledClient", sock: socket.socket,
+                 caps: frozenset[str]) -> None:
+        self.owner = owner
+        self.sock = sock
+        self.caps = caps
+        self.lock = threading.Lock()
+        self.pending: dict[int, _Call] = {}
+        self.next_id = 0
+        self.dead = False
+        self.reader = threading.Thread(
+            target=self._read_loop, name="repro-pooled-reader", daemon=True
+        )
+        self.reader.start()
+
+    def send(self, call: _Call) -> None:
+        """Register ``call`` under a fresh id and write its frame."""
+        with self.lock:
+            if self.dead:
+                raise ServiceError("channel closed")
+            self.next_id += 1
+            call.id = self.next_id
+            call.header = {**call.header, "id": call.id}
+            call.deadline = time.monotonic() + self.owner.request_timeout_s
+            self.pending[call.id] = call
+            try:
+                protocol.write_frame_sock(self.sock, call.header, call.payload)
+            except OSError as exc:
+                self.pending.pop(call.id, None)
+                raise ServiceError(f"send failed: {exc}") from exc
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                reply, body = protocol.read_frame_sock(self.sock)
+            except socket.timeout:
+                # Idle timeouts are benign (nothing was mid-frame); a
+                # timeout with requests outstanding means the server
+                # went silent past request_timeout_s — fail the channel.
+                with self.lock:
+                    idle = not self.pending and not self.dead
+                if idle:
+                    continue
+                self.fail(ServiceError("request timed out"))
+                return
+            except (OSError, ProtocolError) as exc:
+                with self.lock:
+                    dead = self.dead
+                if not dead:
+                    self.fail(ServiceError(f"connection lost: {exc}"))
+                return
+            self.owner._dispatch(self, reply, body)
+
+    def fail(self, exc: Exception) -> None:
+        """Kill the channel, failing every in-flight call with ``exc``."""
+        with self.lock:
+            if self.dead:
+                calls = []
+            else:
+                self.dead = True
+                calls = list(self.pending.values())
+                self.pending.clear()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+        for call in calls:
+            self.owner._finish_call(call, error=exc)
+
+
+class PooledClient:
+    """N requests in flight over M pipelined connections.
+
+    Where :class:`ServiceClient` is strictly one-request-at-a-time,
+    ``PooledClient`` multiplexes: every call gets a per-connection
+    ``id``, frames are written under a send lock, and a reader thread
+    per connection completes futures as replies arrive — in any order.
+    ``compress_async``/``decompress_async`` return
+    :class:`concurrent.futures.Future`; the blocking ``compress``/
+    ``decompress`` wrappers just ``.result()`` them, so one pool serves
+    both styles from any number of threads.
+
+    The zero-copy data plane is shared with :class:`ServiceClient`:
+    one HELLO per connection negotiates capabilities, large payloads
+    ride pooled shared-memory segments (one :class:`SegmentPool` for
+    the whole pool), and any shm error falls back to inline bytes for
+    the rest of the pool's life.  ``busy`` replies are retried off a
+    timer thread with the same jittered backoff as the blocking client,
+    so a full admission queue never stalls the reader.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        connections: int = 2,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 120.0,
+        busy_retries: int = 8,
+        retry_base_s: float = 0.02,
+        retry_max_s: float = 1.0,
+        seed: int | None = None,
+        shm: bool | None = None,
+    ) -> None:
+        if connections < 1:
+            raise ValueError("connections must be >= 1")
+        self.host = host
+        self.port = port
+        self.connections = connections
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.busy_retries = busy_retries
+        self.retry_base_s = retry_base_s
+        self.retry_max_s = retry_max_s
+        self.shm = shm
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._channels: list[_Channel | None] = [None] * connections
+        self._rr = 0
+        self._segments = SegmentPool()
+        self._shm_broken = False
+        self._closed = False
+
+    # -- connections --------------------------------------------------------
+
+    def _dial(self) -> socket.socket:
+        deadline = time.monotonic() + self.connect_timeout_s
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port),
+                    timeout=max(0.1, deadline - time.monotonic()),
+                )
+                break
+            except OSError as exc:
+                attempt += 1
+                delay = backoff_delay(
+                    attempt,
+                    base_s=self.retry_base_s,
+                    cap_s=self.retry_max_s,
+                    jitter=(0.5, 1.0),
+                    rng=self._rng,
+                )
+                if time.monotonic() + delay >= deadline:
+                    raise ServiceError(
+                        f"cannot connect to {self.host}:{self.port}: {exc}"
+                    ) from exc
+                time.sleep(delay)
+        sock.settimeout(self.request_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _shm_wanted(self) -> bool:
+        if self._shm_broken or not shm_enabled():
+            return False
+        if self.shm is not None:
+            return self.shm
+        return _is_loopback(self.host)
+
+    def _open_channel(self) -> _Channel:
+        """Dial, HELLO synchronously, then hand the socket to a reader."""
+        sock = self._dial()
+        want = [protocol.CAP_PIPELINE]
+        if self._shm_wanted():
+            want.append(protocol.CAP_SHM)
+        try:
+            protocol.write_frame_sock(
+                sock, {"op": "hello", protocol.CAPS_FIELD: want}
+            )
+            reply, _ = protocol.read_frame_sock(sock)
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise ServiceError(f"capability handshake failed: {exc}") from exc
+        caps = (
+            reply.get(protocol.CAPS_FIELD)
+            if reply.get("status") == "ok" else None
+        )
+        return _Channel(
+            self, sock, frozenset(caps if isinstance(caps, list) else ())
+        )
+
+    def _next_channel(self) -> _Channel:
+        with self._lock:
+            if self._closed:
+                raise ServiceError("client closed")
+            slot = self._rr % self.connections
+            self._rr += 1
+            chan = self._channels[slot]
+            if chan is not None and not chan.dead:
+                return chan
+            chan = self._open_channel()
+            self._channels[slot] = chan
+            return chan
+
+    def close(self) -> None:
+        """Fail in-flight calls, close every connection, unlink segments."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            channels = [c for c in self._channels if c is not None]
+            self._channels = [None] * self.connections
+        for chan in channels:
+            chan.fail(ServiceError("client closed"))
+        for chan in channels:
+            chan.reader.join(timeout=2.0)
+        self._segments.close()
+
+    def __enter__(self) -> "PooledClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- completion plumbing (reader / timer threads) -----------------------
+
+    def _release_segs(self, call: _Call) -> None:
+        for seg in call.segs:
+            self._segments.release(seg)
+        call.segs = ()
+
+    def _finish_call(
+        self, call: _Call, *, reply: dict[str, Any] | None = None,
+        body: bytes = b"", error: Exception | None = None,
+    ) -> None:
+        try:
+            if error is None:
+                result = call.finish(reply, body, call)
+        finally:
+            self._release_segs(call)
+        if error is not None:
+            call.future.set_exception(error)
+        else:
+            call.future.set_result(result)
+
+    def _resend(self, chan: _Channel, call: _Call) -> None:
+        try:
+            chan.send(call)
+        except ServiceError as exc:
+            self._finish_call(call, error=exc)
+
+    def _dispatch(self, chan: _Channel, reply: dict[str, Any],
+                  body: bytes) -> None:
+        rid = reply.get("id")
+        with chan.lock:
+            call = chan.pending.pop(rid, None)
+        if call is None:
+            return  # late or duplicate reply — drop it
+        status = reply.get("status")
+        if status == "ok":
+            try:
+                self._finish_call(call, reply=reply, body=body)
+            except Exception as exc:  # finish() raised — surface it
+                call.future.set_exception(exc)
+            return
+        if status == "busy":
+            call.attempt += 1
+            if call.attempt > self.busy_retries:
+                self._finish_call(call, error=ServiceBusyError(
+                    f"server still busy after {self.busy_retries} retries"
+                ))
+                return
+            delay = backoff_delay(
+                call.attempt - 1,
+                base_s=self.retry_base_s,
+                cap_s=self.retry_max_s,
+                hint_s=float(reply.get("retry_after_ms", 0)) / 1e3,
+                rng=self._rng,
+            )
+            timer = threading.Timer(delay, self._resend, args=(chan, call))
+            timer.daemon = True
+            timer.start()
+            return
+        code = reply.get("code", "error")
+        if code in _SHM_ERROR_CODES and call.segs:
+            # This peer cannot attach our segments — go inline for good.
+            self._shm_broken = True
+            self._release_segs(call)
+            try:
+                call.header, call.payload, call.segs = call.build(False)
+                chan.send(call)
+            except (ServiceError, ProtocolError) as exc:
+                self._finish_call(call, error=exc)
+            return
+        exc = ServiceError(
+            f"{call.header.get('op')} failed [{code}]: {reply.get('error')}"
+        )
+        exc.code = code
+        self._finish_call(call, error=exc)
+
+    # -- submission ---------------------------------------------------------
+
+    def _submit(
+        self,
+        nbytes: int,
+        build: Callable[[bool], tuple[dict[str, Any], bytes, tuple]],
+        finish: Callable[[dict[str, Any], bytes, _Call], Any],
+    ) -> "concurrent.futures.Future":
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        segs: tuple = ()
+        try:
+            chan = self._next_channel()
+            use_shm = (
+                nbytes >= protocol.SHM_MIN_BYTES
+                and self._shm_wanted()
+                and protocol.CAP_SHM in chan.caps
+            )
+            header, payload, segs = build(use_shm)
+            call = _Call(future, finish, build, header, payload, segs)
+            chan.send(call)
+        except Exception as exc:
+            for seg in segs:
+                self._segments.release(seg)
+            future.set_exception(exc)
+        return future
+
+    # -- operations ---------------------------------------------------------
+
+    def compress_async(
+        self,
+        data: np.ndarray,
+        compressor: str,
+        mode: str = "abs",
+        value: float = 1e-3,
+        options: dict[str, Any] | None = None,
+        timeout_ms: float | None = None,
+    ) -> "concurrent.futures.Future":
+        """Submit a COMPRESS; the future resolves to a CompressedBuffer."""
+        data = np.asarray(data)
+
+        def build(use_shm: bool):
+            header: dict[str, Any] = {
+                "op": "compress",
+                "compressor": compressor,
+                "mode": mode,
+                "value": float(value),
+                "options": options or {},
+                **protocol.array_fields(data),
+            }
+            if timeout_ms is not None:
+                header["timeout_ms"] = float(timeout_ms)
+            if not use_shm:
+                return header, protocol.pack_array(data), ()
+            arr = np.ascontiguousarray(data)
+            req = self._segments.acquire(arr.nbytes)
+            req.view(arr.shape, arr.dtype)[...] = arr
+            header[protocol.SHM_FIELD] = protocol.shm_fields(
+                req.view_descriptor(arr.shape, arr.dtype)
+            )
+            rep = self._segments.acquire(arr.nbytes + REPLY_SHM_SLACK)
+            header[protocol.REPLY_SHM_FIELD] = protocol.reply_shm_fields(
+                rep.name, rep.nbytes
+            )
+            return header, b"", (req, rep)
+
+        def finish(reply: dict[str, Any], body: bytes, call: _Call):
+            n = reply.get(protocol.SHM_NBYTES_FIELD)
+            if n is not None and len(call.segs) == 2:
+                rep = call.segs[1]
+                if not isinstance(n, int) or not 0 <= n <= rep.nbytes:
+                    raise ProtocolError(
+                        f"bad {protocol.SHM_NBYTES_FIELD}: {n!r}"
+                    )
+                body = rep.view((n,), np.uint8).tobytes()
+            meta = dict(reply.get("meta") or {})
+            meta["compressor"] = reply.get("compressor", compressor)
+            if options:
+                meta["options"] = dict(options)
+            return CompressedBuffer(
+                payload=body,
+                original_shape=tuple(reply["shape"]),
+                original_dtype=np.dtype(reply["dtype"]),
+                mode=CompressorMode(reply["mode"]),
+                parameter=float(reply["parameter"]),
+                meta=meta,
+            )
+
+        return self._submit(data.nbytes, build, finish)
+
+    def decompress_async(
+        self,
+        buf: CompressedBuffer,
+        compressor: str | None = None,
+        options: dict[str, Any] | None = None,
+        timeout_ms: float | None = None,
+    ) -> "concurrent.futures.Future":
+        """Submit a DECOMPRESS; the future resolves to an ndarray."""
+        name = compressor or buf.meta.get("compressor")
+        if not name:
+            raise ServiceError(
+                "decompress needs a compressor (none recorded in buf.meta)"
+            )
+        if options is None:
+            options = buf.meta.get("options") or {}
+        out_shape = tuple(int(s) for s in buf.original_shape)
+        out_dtype = np.dtype(buf.original_dtype)
+        out_nbytes = (
+            int(np.prod(out_shape, dtype=np.int64)) * out_dtype.itemsize
+        )
+        stream = np.frombuffer(buf.payload, dtype=np.uint8)
+
+        def build(use_shm: bool):
+            header: dict[str, Any] = {
+                "op": "decompress",
+                "compressor": name,
+                "options": options,
+                "mode": buf.mode.value,
+                "parameter": buf.parameter,
+                "dtype": out_dtype.str,
+                "shape": list(out_shape),
+            }
+            if timeout_ms is not None:
+                header["timeout_ms"] = float(timeout_ms)
+            if not use_shm:
+                return header, buf.payload, ()
+            segs = []
+            payload = buf.payload
+            if stream.nbytes >= protocol.SHM_MIN_BYTES:
+                req = self._segments.acquire(stream.nbytes)
+                req.view(stream.shape, np.uint8)[...] = stream
+                header[protocol.SHM_FIELD] = protocol.shm_fields(
+                    req.view_descriptor(stream.shape, np.uint8)
+                )
+                segs.append(req)
+                payload = b""
+            if out_nbytes >= protocol.SHM_MIN_BYTES:
+                rep = self._segments.acquire(out_nbytes)
+                header[protocol.REPLY_SHM_FIELD] = protocol.reply_shm_fields(
+                    rep.name, rep.nbytes
+                )
+                segs.append(rep)
+            return header, payload, tuple(segs)
+
+        def finish(reply: dict[str, Any], body: bytes, call: _Call):
+            n = reply.get(protocol.SHM_NBYTES_FIELD)
+            if n is not None:
+                offered = call.header.get(protocol.REPLY_SHM_FIELD) or {}
+                rep = next(
+                    (s for s in call.segs if s.name == offered.get("name")),
+                    None,
+                )
+                if rep is None or not isinstance(n, int) or n != out_nbytes:
+                    raise ProtocolError(
+                        f"bad {protocol.SHM_NBYTES_FIELD}: {n!r}"
+                    )
+                return rep.view(out_shape, out_dtype).copy()
+            return protocol.unpack_array(reply, body).copy()
+
+        return self._submit(max(stream.nbytes, out_nbytes), build, finish)
+
+    def compress(self, *args: Any, **kwargs: Any) -> CompressedBuffer:
+        """Blocking wrapper over :meth:`compress_async`."""
+        return self.compress_async(*args, **kwargs).result()
+
+    def decompress(self, *args: Any, **kwargs: Any) -> np.ndarray:
+        """Blocking wrapper over :meth:`decompress_async`."""
+        return self.decompress_async(*args, **kwargs).result()

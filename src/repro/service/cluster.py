@@ -21,8 +21,10 @@ four things a single process cannot have:
 * **hedging / failover** — a forward that errors fails over to the
   next shard in the key's ring preference order; a forward that is
   merely *slow* is hedged after ``hedge_after_s`` (a duplicate goes to
-  the next preference, first reply wins, the loser is cancelled with
-  its socket so a late duplicate reply can never be delivered);
+  the next preference, first reply wins, the loser's request id is
+  abandoned: its late reply is drained off the shard's pipelined
+  channel with the connection kept — a legacy shard's socket is closed
+  instead — so a late duplicate reply can never be delivered);
 * **fleet observability** — STATS merges every shard's snapshot into
   one picture, METRICS re-labels every shard's Prometheus exposition
   with ``shard="..."`` (the router itself reports as
@@ -75,6 +77,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ProtocolError, ServiceError
+from repro.parallel.shm import shm_enabled
 from repro.service import protocol
 from repro.service.membership import MembershipTable
 from repro.service.ring import HashRing
@@ -124,21 +127,196 @@ def routing_key(header: dict[str, Any], payload: bytes) -> bytes | None:
         ident = [op, header.get("field"), header.get("sweeps")]
     else:
         return None
+    # Zero-copy requests carry their bulk data as a shared-memory
+    # descriptor and an empty frame payload — fold the descriptor into
+    # the identity so placement stays deterministic for them too.
+    shm = header.get(protocol.SHM_FIELD)
+    if shm is not None:
+        ident.append(shm)
     h = hashlib.blake2b(digest_size=16)
     h.update(json.dumps(ident, sort_keys=True, default=str).encode())
     h.update(payload)
     return h.digest()
 
 
-class ShardHandle:
-    """One shard endpoint: identity, optional subprocess, connection pool.
+class ShardChannel:
+    """One pipelined connection to a shard, multiplexed by request id.
 
-    The pool holds idle ``(reader, writer)`` pairs; MSG1 is strictly
-    request→reply per connection, so a connection serves one in-flight
-    request at a time and is returned to the pool only after its reply
-    was fully read.  Any error (or a hedge cancellation mid-read)
-    *discards* the connection instead — a socket with an unread or
-    half-read reply must never be reused.
+    The router assigns its *own* per-channel ids (the client's ``id``
+    is restored on the way back), writes frames under a send lock, and
+    a reader task completes per-request futures as replies arrive — in
+    any order.  Cancelling a waiter (hedge loser, timeout) just forgets
+    its id: when the shard's reply eventually lands, the reader drops
+    it by id and the connection stays open — no socket churn, and a
+    late duplicate reply can never reach a client.
+    """
+
+    def __init__(self, shard_id: str, host: str, port: int,
+                 max_payload_bytes: int) -> None:
+        self.shard_id = shard_id
+        self.host = host
+        self.port = port
+        self.max_payload_bytes = max_payload_bytes
+        self.caps: frozenset[str] = frozenset()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._send_lock = asyncio.Lock()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: asyncio.Task | None = None
+        self._closed = False
+        #: Late replies dropped by id with the connection kept open.
+        self.drains = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def open(self, connect_timeout_s: float) -> bool:
+        """Dial and HELLO; ``True`` iff the shard speaks pipelining."""
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port),
+            timeout=connect_timeout_s,
+        )
+        await protocol.write_frame(
+            self._writer,
+            {"op": "hello", protocol.CAPS_FIELD: [protocol.CAP_PIPELINE]},
+        )
+        frame = await protocol.read_frame(self._reader, self.max_payload_bytes)
+        if frame is None:
+            raise ProtocolError(f"shard {self.shard_id} closed during HELLO")
+        reply, _ = frame
+        caps = (
+            reply.get(protocol.CAPS_FIELD)
+            if reply.get("status") == "ok" else None
+        )
+        self.caps = frozenset(caps if isinstance(caps, list) else ())
+        if protocol.CAP_PIPELINE not in self.caps:
+            self.close()
+            return False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return True
+
+    async def request(
+        self, header: dict[str, Any], payload: bytes, timeout_s: float
+    ) -> tuple[dict[str, Any], bytes]:
+        """One multiplexed round trip; safe to cancel at any point."""
+        if self._closed:
+            raise ProtocolError(f"channel to {self.shard_id} is closed")
+        loop = asyncio.get_running_loop()
+        client_id = header.get("id")
+        future: asyncio.Future = loop.create_future()
+        async with self._send_lock:
+            if self._closed:
+                raise ProtocolError(f"channel to {self.shard_id} is closed")
+            self._next_id += 1
+            rid = self._next_id
+            self._pending[rid] = future
+            try:
+                await protocol.write_frame(
+                    self._writer, {**header, "id": rid}, payload
+                )
+            except OSError:
+                self._pending.pop(rid, None)
+                self._fail(ProtocolError(
+                    f"channel to {self.shard_id} broke mid-send"
+                ))
+                raise
+        try:
+            reply, body = await asyncio.wait_for(future, timeout=timeout_s)
+        except (asyncio.CancelledError, asyncio.TimeoutError):
+            # Abandon the id; the reader will drain the late reply and
+            # keep the connection.  Tell the shard not to bother if the
+            # request is still queued over there.
+            if self._pending.pop(rid, None) is not None:
+                self._cancel_soon(rid)
+            raise
+        reply = dict(reply)
+        if client_id is not None:
+            reply["id"] = client_id
+        else:
+            reply.pop("id", None)
+        return reply, body
+
+    def _cancel_soon(self, target: int) -> None:
+        """Best-effort CANCEL for an abandoned id (fire and forget)."""
+        if self._closed:
+            return
+
+        async def _send() -> None:
+            with contextlib.suppress(OSError, asyncio.CancelledError):
+                async with self._send_lock:
+                    if self._closed:
+                        return
+                    self._next_id += 1
+                    rid = self._next_id
+                    future = asyncio.get_running_loop().create_future()
+                    future.add_done_callback(
+                        lambda f: f.cancelled() or f.exception()
+                    )
+                    self._pending[rid] = future
+                    await protocol.write_frame(
+                        self._writer,
+                        {"op": "cancel", "cancel_id": target, "id": rid},
+                    )
+
+        asyncio.get_running_loop().create_task(_send())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(
+                    self._reader, self.max_payload_bytes
+                )
+                if frame is None:
+                    self._fail(ProtocolError(
+                        f"shard {self.shard_id} closed the channel"
+                    ))
+                    return
+                reply, body = frame
+                future = self._pending.pop(reply.get("id"), None)
+                if future is None:
+                    # A hedge loser's (or timed-out) reply — drained.
+                    self.drains += 1
+                    get_telemetry().count("router.hedge_drains")
+                    continue
+                if not future.done():
+                    future.set_result((reply, body))
+        except (OSError, ProtocolError) as exc:
+            self._fail(exc)
+        except asyncio.CancelledError:
+            raise
+
+    def _fail(self, exc: Exception) -> None:
+        self._closed = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        if self._writer is not None:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+
+    def close(self) -> None:
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        self._fail(ProtocolError(f"channel to {self.shard_id} closed"))
+
+
+class ShardHandle:
+    """One shard endpoint: identity, optional subprocess, data path.
+
+    A shard that answers HELLO with the ``pipeline`` capability gets
+    one :class:`ShardChannel` — every forward (and probe) multiplexes
+    over it, and hedge losers are drained by id with the connection
+    kept.  A pre-capability shard falls back to the legacy pool of
+    one-request-per-connection ``(reader, writer)`` pairs, where any
+    error or hedge cancellation *discards* the socket — a connection
+    with an unread or half-read reply must never be reused.
     """
 
     def __init__(self, shard_id: str, host: str, port: int, proc=None) -> None:
@@ -146,7 +324,36 @@ class ShardHandle:
         self.host = host
         self.port = port
         self.proc = proc  # DaemonProcess for spawned shards, else None
+        self.channel: ShardChannel | None = None
+        self.legacy = False  # shard failed HELLO → one-shot connections
+        self._channel_lock = asyncio.Lock()
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def get_channel(
+        self, connect_timeout_s: float, max_payload_bytes: int
+    ) -> ShardChannel | None:
+        """The live pipelined channel, or ``None`` for a legacy shard."""
+        if self.legacy:
+            return None
+        if self.channel is not None and not self.channel.closed:
+            return self.channel
+        async with self._channel_lock:
+            if self.legacy:
+                return None
+            if self.channel is not None and not self.channel.closed:
+                return self.channel
+            channel = ShardChannel(
+                self.shard_id, self.host, self.port, max_payload_bytes
+            )
+            if await channel.open(connect_timeout_s):
+                self.channel = channel
+                return channel
+            self.legacy = True
+            logger.info(
+                "shard %s does not pipeline — using legacy connections",
+                self.shard_id,
+            )
+            return None
 
     async def acquire(
         self, connect_timeout_s: float
@@ -174,12 +381,20 @@ class ShardHandle:
     def close_idle(self) -> None:
         while self._idle:
             self.discard(self._idle.pop())
+        if self.channel is not None:
+            self.channel.close()
+            self.channel = None
 
     def to_dict(self) -> dict[str, Any]:
         out = {"shard": self.shard_id, "host": self.host, "port": self.port}
         if self.proc is not None:
             out["pid"] = self.proc.pid
             out["spawned"] = True
+        if self.legacy:
+            out["legacy"] = True
+        elif self.channel is not None:
+            out["pipelined"] = not self.channel.closed
+            out["drains"] = self.channel.drains
         return out
 
 
@@ -255,6 +470,7 @@ class ClusterRouter:
         forward_timeout_s: float = 300.0,
         connect_timeout_s: float = 5.0,
         max_payload_bytes: int = protocol.MAX_PAYLOAD_BYTES,
+        pipeline_depth: int = 32,
         trace_out: str | None = None,
     ) -> None:
         if not shards and spawn <= 0:
@@ -270,6 +486,7 @@ class ClusterRouter:
         self.forward_timeout_s = forward_timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.max_payload_bytes = max_payload_bytes
+        self.pipeline_depth = max(1, int(pipeline_depth))
         self.trace_out = trace_out
         self.ring = HashRing(
             replicas=replicas if replicas is not None else 128
@@ -493,6 +710,10 @@ class ClusterRouter:
     ) -> None:
         peer = writer.get_extra_info("peername")
         tm = get_telemetry()
+        loop = asyncio.get_running_loop()
+        send_lock = asyncio.Lock()
+        gate = asyncio.Semaphore(self.pipeline_depth)
+        tasks: set[asyncio.Task] = set()
         try:
             while True:
                 try:
@@ -502,26 +723,56 @@ class ClusterRouter:
                 except ProtocolError as exc:
                     tm.count("router.protocol_errors")
                     with contextlib.suppress(Exception):
-                        await protocol.write_frame(
-                            writer,
-                            {"status": "error", "code": "protocol",
-                             "error": str(exc)},
-                        )
+                        async with send_lock:
+                            await protocol.write_frame(
+                                writer,
+                                {"status": "error", "code": "protocol",
+                                 "error": str(exc)},
+                            )
                     return
                 if frame is None:
                     return
                 header, payload = frame
-                await self._serve_request(writer, header, payload)
+                # Pipelined dispatch: each frame is served on its own
+                # task (bounded by pipeline_depth), replies serialized
+                # under send_lock — a slow forward never blocks the
+                # next frame on this connection.
+                await gate.acquire()
+                task = loop.create_task(
+                    self._serve_frame(writer, send_lock, gate, header, payload)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
             logger.debug("peer %s reset", peer)
         finally:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
 
+    async def _serve_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+        gate: asyncio.Semaphore,
+        header: dict[str, Any],
+        payload: bytes,
+    ) -> None:
+        try:
+            await self._serve_request(writer, send_lock, header, payload)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the connection task handles peer teardown
+        finally:
+            gate.release()
+
     async def _serve_request(
         self,
         writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
         header: dict[str, Any],
         payload: bytes,
     ) -> None:
@@ -540,7 +791,8 @@ class ClusterRouter:
             if rid is not None:
                 h.setdefault("id", rid)
             tm.count("router.bytes_out", len(body))
-            await protocol.write_frame(writer, h, body)
+            async with send_lock:
+                await protocol.write_frame(writer, h, body)
             latency = time.perf_counter() - t0
             self._latencies.append(latency)
             tm.observe(
@@ -556,6 +808,8 @@ class ClusterRouter:
                             {"status": "busy", "code": "draining",
                              "retry_after_ms": 50}
                         )
+                    elif op == "hello":
+                        await reply(self._hello(header))
                     elif op == "health":
                         await reply(self._health())
                     elif op == "cluster":
@@ -569,8 +823,21 @@ class ClusterRouter:
                             text.encode("utf-8"),
                         )
                     else:
+                        fwd = header
+                        if protocol.REPLY_SHM_FIELD in fwd:
+                            # Reply segments are single-writer; hedged
+                            # or failed-over attempts could land on two
+                            # shards, so the router always asks shards
+                            # to reply inline.  Request-side segments
+                            # pass through — concurrent readers are
+                            # harmless.
+                            fwd = {
+                                k: v for k, v in fwd.items()
+                                if k != protocol.REPLY_SHM_FIELD
+                            }
+                            tm.count("router.reply_shm_stripped")
                         h, body, shard_id = await self._route(
-                            op, header, payload
+                            op, fwd, payload
                         )
                         h = dict(h)
                         h.setdefault(protocol.SHARD_FIELD, shard_id)
@@ -621,10 +888,13 @@ class ClusterRouter:
         """Dispatch one request with failover and (optional) hedging.
 
         Returns ``(reply_header, body, shard_id)`` of the first shard
-        whose reply arrived.  Losing hedge attempts are cancelled, which
-        closes their sockets — the duplicate-suppression guarantee: a
-        reply can only be delivered off a connection the router is still
-        awaiting, and it awaits at most one winner.
+        whose reply arrived.  Losing hedge attempts are cancelled; on a
+        pipelining shard that just abandons the request id — the late
+        reply is drained by the channel's reader (connection kept, a
+        best-effort CANCEL chases the queued work) — while a legacy
+        shard's socket is closed.  Either way the duplicate-suppression
+        guarantee holds: a reply is only delivered to a waiter the
+        router still has, and it keeps at most one winner.
         """
         tm = get_telemetry()
         candidates = deque(self._preferences(header, payload))
@@ -715,16 +985,29 @@ class ClusterRouter:
         payload: bytes,
         timeout_s: float | None = None,
     ) -> tuple[dict[str, Any], bytes]:
-        """One frame to one shard, one reply back (pooled connection)."""
+        """One logical request to one shard, one reply back.
+
+        Pipelining shards multiplex over their :class:`ShardChannel`
+        (cancellation drains the late reply by id and keeps the
+        connection); legacy shards use one pooled connection per
+        request, discarded on any error or cancellation.
+        """
         handle = self.shard_handles[shard_id]
+        budget = (
+            timeout_s if timeout_s is not None else self.forward_timeout_s
+        )
+        channel = await handle.get_channel(
+            self.connect_timeout_s, self.max_payload_bytes
+        )
+        if channel is not None:
+            return await channel.request(header, payload, budget)
         conn = await handle.acquire(self.connect_timeout_s)
         try:
             reader, writer = conn
             await protocol.write_frame(writer, header, payload)
             frame = await asyncio.wait_for(
                 protocol.read_frame(reader, self.max_payload_bytes),
-                timeout=timeout_s if timeout_s is not None
-                else self.forward_timeout_s,
+                timeout=budget,
             )
             if frame is None:
                 raise ProtocolError(f"shard {shard_id} closed mid-request")
@@ -735,6 +1018,34 @@ class ClusterRouter:
         return frame
 
     # -- control plane (router-served ops) ---------------------------------
+
+    def _router_caps(self) -> frozenset[str]:
+        """What this router can honor for its clients.
+
+        ``pipeline`` always (dispatch is concurrent per connection).
+        ``shm`` only when every shard is a same-host loopback peer —
+        then a client's request segment is attachable by whichever
+        shard the ring picks, and the router can pass descriptors
+        through untouched.
+        """
+        caps = {protocol.CAP_PIPELINE}
+        if shm_enabled() and self.shard_handles and all(
+            h.host == "localhost" or h.host.startswith("127.")
+            or h.host == "::1"
+            for h in self.shard_handles.values()
+        ):
+            caps.add(protocol.CAP_SHM)
+        return frozenset(caps)
+
+    def _hello(self, header: dict[str, Any]) -> dict[str, Any]:
+        want = header.get(protocol.CAPS_FIELD)
+        want = set(want) if isinstance(want, list) else set()
+        granted = sorted(want & self._router_caps())
+        return {
+            "status": "ok",
+            "role": "router",
+            protocol.CAPS_FIELD: granted,
+        }
 
     def _health(self) -> dict[str, Any]:
         serving = self.membership.serving()

@@ -39,6 +39,28 @@ the request.  A standalone daemon sends it when started with
 ``--shard-id``; the cluster router (:mod:`repro.service.cluster`)
 stamps it on every routed reply.  Like ``trace``, it is pure metadata —
 clients that do not know it ignore it.
+
+**Capabilities and the zero-copy data plane.**  A client may open a
+connection with a ``hello`` request carrying :data:`CAPS_FIELD` (a list
+of capability names); the reply echoes the subset the server supports.
+Two capabilities exist today:
+
+* :data:`CAP_PIPELINE` — the server dispatches frames concurrently, so
+  one connection may carry many in-flight requests distinguished by
+  their ``id``; replies can arrive out of order.
+* :data:`CAP_SHM` — same-host shared-memory payload handoff.  A large
+  request payload travels as a published segment: the header carries
+  :data:`SHM_FIELD` (name/shape/dtype of a
+  :class:`repro.parallel.shm.ShmDescriptor`) and the frame payload is
+  empty.  The client may also offer :data:`REPLY_SHM_FIELD`
+  (``{"name": ..., "capacity": n}``) — a client-owned scratch segment
+  the server writes the bulk reply into, answering with
+  :data:`SHM_NBYTES_FIELD` instead of inline payload bytes.  Every
+  segment is owned (published, reused, and unlinked) by the *client*;
+  the server only ever attaches and detaches, so a dying peer cannot
+  leak the other side's memory.  Pre-capability servers ignore the
+  unknown ``hello`` op (replying ``bad_op``), which a client treats as
+  "no capabilities" and falls back to inline payloads, one in flight.
 """
 
 from __future__ import annotations
@@ -63,11 +85,37 @@ TRACE_FIELD = "trace"
 #: (set by ``serve --shard-id`` and by the cluster router on routed ops).
 SHARD_FIELD = "shard"
 
+#: HELLO request/reply field listing capability names.
+CAPS_FIELD = "caps"
+
+#: Capability: concurrent per-connection dispatch with out-of-order replies.
+CAP_PIPELINE = "pipeline"
+
+#: Capability: same-host shared-memory payload handoff.
+CAP_SHM = "shm"
+
+#: Request-header field carrying the payload's shm descriptor
+#: (``{"name": ..., "shape": [...], "dtype": ...}``; frame payload empty).
+SHM_FIELD = "shm"
+
+#: Request-header field offering a client-owned reply scratch segment
+#: (``{"name": ..., "capacity": n}``).
+REPLY_SHM_FIELD = "reply_shm"
+
+#: Reply-header field: byte count the server wrote into the offered
+#: reply segment (payload travels there instead of inline).
+SHM_NBYTES_FIELD = "shm_nbytes"
+
 #: Fixed-size frame prefix: magic + u32 header length + u64 payload length.
 PREFIX = struct.Struct(">4sIQ")
 
 #: Headers are small structured metadata; anything bigger is hostile.
 MAX_HEADER_BYTES = 1 << 20
+
+#: Payloads below this stay inline even when :data:`CAP_SHM` was
+#: negotiated — segment bookkeeping costs more than a small send.  The
+#: batcher uses the same threshold for worker-bound publishing.
+SHM_MIN_BYTES = 1 << 16
 
 #: Default payload cap (1 GiB); the server makes this configurable.
 MAX_PAYLOAD_BYTES = 1 << 30
@@ -161,9 +209,22 @@ async def read_frame(
     return header, raw[header_len:]
 
 
+#: Payloads at or above this size are written as a separate buffer
+#: instead of being concatenated into one frame bytes object — at data
+#: plane sizes the concat is a measurable extra copy per frame.
+_WRITE_SPLIT_BYTES = 1 << 16
+
+
 async def write_frame(writer, header: dict[str, Any], payload: bytes = b"") -> None:
     """Write one frame to an ``asyncio.StreamWriter`` and drain."""
-    writer.write(encode_frame(header, payload))
+    if len(payload) >= _WRITE_SPLIT_BYTES:
+        raw = encode_header(header)
+        if len(raw) > MAX_HEADER_BYTES:
+            raise ProtocolError(f"header too large: {len(raw)} bytes")
+        writer.write(PREFIX.pack(MAGIC, len(raw), len(payload)) + raw)
+        writer.write(payload)
+    else:
+        writer.write(encode_frame(header, payload))
     await writer.drain()
 
 
@@ -199,7 +260,14 @@ def write_frame_sock(
     sock: socket.socket, header: dict[str, Any], payload: bytes = b""
 ) -> None:
     """Write one frame to a blocking socket."""
-    sock.sendall(encode_frame(header, payload))
+    if len(payload) >= _WRITE_SPLIT_BYTES:
+        raw = encode_header(header)
+        if len(raw) > MAX_HEADER_BYTES:
+            raise ProtocolError(f"header too large: {len(raw)} bytes")
+        sock.sendall(PREFIX.pack(MAGIC, len(raw), len(payload)) + raw)
+        sock.sendall(payload)
+    else:
+        sock.sendall(encode_frame(header, payload))
 
 
 # -- ndarray payload helpers -------------------------------------------------
@@ -236,3 +304,71 @@ def unpack_array(header: dict[str, Any], payload: bytes) -> np.ndarray:
             f"dtype/shape require {expected}"
         )
     return np.frombuffer(payload, dtype=dtype).reshape(shape)
+
+
+# -- shared-memory handoff header fields -------------------------------------
+
+
+def shm_fields(desc) -> dict[str, Any]:
+    """The :data:`SHM_FIELD` value describing one published segment."""
+    return {
+        "name": desc.name,
+        "shape": list(desc.shape),
+        "dtype": str(desc.dtype),
+    }
+
+
+def parse_shm(value: Any):
+    """Validate a :data:`SHM_FIELD` value into a ``ShmDescriptor``.
+
+    Raises :class:`ProtocolError` on anything malformed — a truncated or
+    hostile descriptor must surface as a per-request protocol error, not
+    as an arbitrary exception inside the daemon.
+    """
+    from repro.parallel.shm import ShmDescriptor
+
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            f"shm field must be an object, got {type(value).__name__}"
+        )
+    name = value.get("name")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("shm field needs a non-empty segment name")
+    shape_raw = value.get("shape")
+    if not isinstance(shape_raw, (list, tuple)):
+        raise ProtocolError("shm field needs a shape list")
+    try:
+        shape = tuple(int(s) for s in shape_raw)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad shm shape: {exc}") from exc
+    if any(s < 0 for s in shape):
+        raise ProtocolError(f"bad shm shape: {shape}")
+    try:
+        dtype = np.dtype(value.get("dtype"))
+    except TypeError as exc:
+        raise ProtocolError(f"bad shm dtype: {exc}") from exc
+    desc = ShmDescriptor(name=name, shape=shape, dtype=dtype.str)
+    if desc.nbytes <= 0:
+        raise ProtocolError("shm descriptor describes an empty array")
+    return desc
+
+
+def reply_shm_fields(name: str, capacity: int) -> dict[str, Any]:
+    """The :data:`REPLY_SHM_FIELD` value offering a reply scratch segment."""
+    return {"name": name, "capacity": int(capacity)}
+
+
+def parse_reply_shm(value: Any) -> tuple[str, int]:
+    """Validate a :data:`REPLY_SHM_FIELD` value into ``(name, capacity)``."""
+    if not isinstance(value, dict):
+        raise ProtocolError(
+            f"reply_shm field must be an object, got {type(value).__name__}"
+        )
+    name = value.get("name")
+    if not isinstance(name, str) or not name:
+        raise ProtocolError("reply_shm field needs a non-empty segment name")
+    capacity = value.get("capacity")
+    if not isinstance(capacity, int) or isinstance(capacity, bool) \
+            or capacity <= 0:
+        raise ProtocolError(f"bad reply_shm capacity: {capacity!r}")
+    return name, capacity

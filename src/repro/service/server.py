@@ -19,11 +19,30 @@ COMPRESS   one ndarray in, one compressed stream out (batched by config)
 DECOMPRESS one compressed stream in, one ndarray out (batched by codec)
 SWEEP      server-side CBench cell fan-out over one field; rows out; repeat
            sweeps are served warm from the result cache
+HELLO      capability negotiation (``pipeline``, ``shm``); never queued
+CANCEL     best-effort cancel of a queued request by its ``id``
 LIST       registered compressor names
 HEALTH     liveness + drain state + queue depth (never queued)
 STATS      telemetry counters, batch sizes, bytes in/out, p50/p99 latency
 METRICS    the same registry in Prometheus text exposition format
 ========== ===================================================================
+
+**Pipelining.**  Frames on one connection are dispatched concurrently
+(bounded by ``pipeline_depth``); replies are written under a
+per-connection lock and may arrive out of request order, correlated by
+the echoed ``id``.  A legacy blocking client keeps one request in
+flight and so still sees strict ordering.
+
+**Shared-memory handoff.**  A request whose header carries the ``shm``
+field ships its payload as a client-published segment (the frame
+payload is empty); the daemon attaches it read-only and the batcher
+hands the descriptor straight to codec workers — zero serialization
+copies client → daemon → worker.  A request offering ``reply_shm``
+gets its bulk reply written into that client-owned scratch segment
+(header field ``shm_nbytes``) instead of inline bytes.  The daemon
+*never* owns a data-plane segment: it attaches, copies, and detaches,
+so client death cannot leak daemon memory and daemon death cannot leak
+client segments (the client's ``resource_tracker`` covers those).
 
 Control-plane ops (HEALTH/STATS/LIST/METRICS) bypass the admission
 queue: a saturated daemon must still answer its monitoring.
@@ -60,9 +79,10 @@ import numpy as np
 from repro.cache import ResultCache
 from repro.compressors.base import CompressedBuffer
 from repro.compressors.registry import available_compressors
-from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.errors import DataError, ProtocolError, ReproError, ServiceError
+from repro.parallel.shm import SharedArray, shm_enabled
 from repro.service import protocol
-from repro.service.batch import Batcher, PendingRequest, jsonable
+from repro.service.batch import SHM_MIN_BYTES, Batcher, PendingRequest, jsonable
 from repro.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.telemetry import context as trace_context
 
@@ -88,6 +108,30 @@ def _percentile(values: list[float], q: float) -> float:
     ordered = sorted(values)
     rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
     return ordered[rank]
+
+
+class _ConnectionState:
+    """Per-connection pipelining state: reply serialization + CANCEL index.
+
+    With concurrent frame dispatch, replies from many tasks interleave
+    on one stream — ``send_lock`` keeps each frame atomic.  ``inflight``
+    maps request ``id`` → queued future so a CANCEL frame can revoke a
+    sibling request that is still waiting in the admission queue.
+    """
+
+    __slots__ = ("send_lock", "inflight")
+
+    def __init__(self) -> None:
+        self.send_lock = asyncio.Lock()
+        self.inflight: dict[Any, asyncio.Future] = {}
+
+    def cancel(self, target: Any) -> dict[str, Any]:
+        """Best-effort cancel of the in-flight request with id ``target``."""
+        future = self.inflight.get(target)
+        cancelled = bool(future is not None and future.cancel())
+        if cancelled:
+            get_telemetry().count("service.cancelled")
+        return {"status": "ok", "op": "cancel", "cancelled": cancelled}
 
 
 class CompressionService:
@@ -118,9 +162,13 @@ class CompressionService:
         trace_out: str | None = None,
         shard_id: str | None = None,
         backend: str | None = None,
+        pipeline_depth: int = 32,
     ) -> None:
         self.host = host
         self.port = port
+        #: Concurrent frames dispatched per connection; 1 restores the
+        #: pre-pipelining strictly sequential behaviour.
+        self.pipeline_depth = max(1, pipeline_depth)
         #: Kernel tier (``scalar``/``numpy``/``native``/``auto``) this
         #: daemon serves with; installed process-wide at :meth:`start`
         #: and restored at shutdown (embedding processes keep theirs).
@@ -257,6 +305,10 @@ class CompressionService:
     ) -> None:
         peer = writer.get_extra_info("peername")
         tm = get_telemetry()
+        conn = _ConnectionState()
+        gate = asyncio.Semaphore(self.pipeline_depth)
+        loop = asyncio.get_running_loop()
+        tasks: set[asyncio.Task] = set()
         try:
             while True:
                 try:
@@ -268,25 +320,56 @@ class CompressionService:
                     # works, then hang up — resync is impossible.
                     tm.count("service.protocol_errors")
                     with contextlib.suppress(Exception):
-                        await protocol.write_frame(
-                            writer,
-                            {"status": "error", "code": "protocol",
-                             "error": str(exc)},
-                        )
+                        async with conn.send_lock:
+                            await protocol.write_frame(
+                                writer,
+                                {"status": "error", "code": "protocol",
+                                 "error": str(exc)},
+                            )
                     return
                 if frame is None:  # clean EOF between frames
                     return
                 header, payload = frame
-                await self._serve_request(writer, header, payload)
+                # Pipelined dispatch: don't await the request — spawn it
+                # and read the next frame.  The semaphore bounds how far
+                # one connection can run ahead of its replies.
+                await gate.acquire()
+                task = loop.create_task(
+                    self._serve_frame(conn, writer, header, payload, gate)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError):
             logger.debug("peer %s reset", peer)
         finally:
+            if tasks:
+                # The reader is done (EOF/reset/drain-cancel); in-flight
+                # frames can no longer deliver replies anywhere useful.
+                for task in list(tasks):
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
             with contextlib.suppress(Exception):
                 writer.close()
                 await writer.wait_closed()
 
+    async def _serve_frame(
+        self,
+        conn: "_ConnectionState",
+        writer: asyncio.StreamWriter,
+        header: dict[str, Any],
+        payload: bytes,
+        gate: asyncio.Semaphore,
+    ) -> None:
+        try:
+            await self._serve_request(conn, writer, header, payload)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # the connection task handles transport teardown
+        finally:
+            gate.release()
+
     async def _serve_request(
         self,
+        conn: "_ConnectionState",
         writer: asyncio.StreamWriter,
         header: dict[str, Any],
         payload: bytes,
@@ -311,7 +394,8 @@ class CompressionService:
                 h.setdefault(protocol.SHARD_FIELD, self.shard_id)
             tm.count("service.bytes_out", len(body))
             with tm.span("service.reply", op=op, bytes=len(body)):
-                await protocol.write_frame(writer, h, body)
+                async with conn.send_lock:
+                    await protocol.write_frame(writer, h, body)
             latency = time.perf_counter() - t0
             with self._lat_lock:
                 self._latencies.append(latency)
@@ -339,6 +423,10 @@ class CompressionService:
                 ):
                     if op == "health":
                         await reply(self._health())
+                    elif op == "hello":
+                        await reply(self._hello(header))
+                    elif op == "cancel":
+                        await reply(conn.cancel(header.get("cancel_id")))
                     elif op == "stats":
                         await reply(self._stats())
                     elif op == "metrics":
@@ -353,7 +441,9 @@ class CompressionService:
                              "compressors": available_compressors()}
                         )
                     elif op in ("compress", "decompress", "sweep"):
-                        await self._serve_queued(op, header, payload, reply)
+                        await self._serve_queued(
+                            conn, op, header, payload, reply
+                        )
                     else:
                         await reply(
                             {"status": "error", "code": "bad_op",
@@ -385,16 +475,64 @@ class CompressionService:
                 "service.requests_inflight", float(self._inflight)
             )
 
+    def _hello(self, header: dict[str, Any]) -> dict[str, Any]:
+        """Capability negotiation: the intersection of offered and ours."""
+        ours = [protocol.CAP_PIPELINE]
+        if shm_enabled():
+            ours.append(protocol.CAP_SHM)
+        want = header.get(protocol.CAPS_FIELD)
+        if isinstance(want, list):
+            ours = [c for c in ours if c in want]
+        return {"status": "ok", "role": "daemon", protocol.CAPS_FIELD: ours}
+
     async def _serve_queued(
-        self, op: str, header: dict[str, Any], payload: bytes, reply
+        self,
+        conn: "_ConnectionState",
+        op: str,
+        header: dict[str, Any],
+        payload: bytes,
+        reply,
     ) -> None:
         """Admit a data-plane request and await its batched result."""
+        tm = get_telemetry()
         if self.draining:
             await reply(
                 {"status": "busy", "code": "draining",
                  "retry_after_ms": DEFAULT_RETRY_AFTER_MS}
             )
             return
+        shm_desc = None
+        if protocol.SHM_FIELD in header:
+            shm_desc = protocol.parse_shm(header[protocol.SHM_FIELD])
+            if shm_desc.nbytes > self.max_payload_bytes:
+                raise ProtocolError(
+                    f"shm payload of {shm_desc.nbytes} bytes exceeds cap "
+                    f"{self.max_payload_bytes}"
+                )
+            if not shm_enabled():
+                await reply(
+                    {"status": "error", "code": "shm_unavailable",
+                     "error": "REPRO_NO_SHM is set on the server"}
+                )
+                return
+            # Fail fast (and in this process, with a clean error code)
+            # when the segment is gone or short; the worker re-attaches.
+            try:
+                SharedArray.attach(shm_desc).close()
+            except (DataError, OSError) as exc:
+                tm.count("service.shm_attach_errors")
+                await reply(
+                    {"status": "error", "code": "shm_attach",
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+                return
+            tm.count("service.shm_requests")
+            tm.count("service.bytes_in", shm_desc.nbytes)
+        reply_shm = None
+        if protocol.REPLY_SHM_FIELD in header and shm_enabled():
+            reply_shm = protocol.parse_reply_shm(
+                header[protocol.REPLY_SHM_FIELD]
+            )
         timeout_ms = header.get("timeout_ms")
         if timeout_ms is None and self.default_timeout_s is not None:
             timeout_ms = self.default_timeout_s * 1e3
@@ -413,6 +551,7 @@ class CompressionService:
             # that span's identity — queue/dispatch spans parent there.
             ctx=trace_context.current(),
             request_seq=self._request_seq,
+            shm=shm_desc,
         )
         if not self.batcher.admit(request):
             await reply(
@@ -420,6 +559,9 @@ class CompressionService:
                  "retry_after_ms": DEFAULT_RETRY_AFTER_MS}
             )
             return
+        rid = header.get("id")
+        if rid is not None:
+            conn.inflight[rid] = request.future
         try:
             result = await request.future
         except TimeoutError as exc:
@@ -427,9 +569,23 @@ class CompressionService:
                 {"status": "error", "code": "deadline", "error": str(exc)}
             )
             return
+        except asyncio.CancelledError:
+            if request.future.cancelled():
+                # A CANCEL frame won the race: acknowledge, stay alive.
+                await reply(
+                    {"status": "error", "code": "cancelled",
+                     "error": "request cancelled by peer"}
+                )
+                return
+            request.future.cancel()  # connection teardown: drop the work
+            raise
+        finally:
+            if rid is not None and conn.inflight.get(rid) is request.future:
+                del conn.inflight[rid]
         if op == "compress":
             buf: CompressedBuffer = result
-            await reply(
+            await self._bulk_reply(
+                reply,
                 {
                     "status": "ok",
                     "compressor": header.get("compressor"),
@@ -441,16 +597,57 @@ class CompressionService:
                     "bitrate": buf.bitrate,
                     "meta": jsonable(buf.meta),
                 },
-                buf.payload,
+                np.frombuffer(buf.payload, dtype=np.uint8),
+                reply_shm,
+                raw=buf.payload,
             )
         elif op == "decompress":
             arr: np.ndarray = result
-            await reply(
+            await self._bulk_reply(
+                reply,
                 {"status": "ok", **protocol.array_fields(arr)},
-                protocol.pack_array(arr),
+                np.ascontiguousarray(arr),
+                reply_shm,
             )
         else:  # sweep
             await reply({"status": "ok", "records": result})
+
+    async def _bulk_reply(
+        self,
+        reply,
+        h: dict[str, Any],
+        body: np.ndarray,
+        reply_shm: tuple[str, int] | None,
+        raw: bytes | None = None,
+    ) -> None:
+        """Send a bulk reply — through the offered scratch segment if the
+        result fits, inline otherwise (the client handles both)."""
+        tm = get_telemetry()
+        if (
+            reply_shm is not None
+            and SHM_MIN_BYTES <= body.nbytes <= reply_shm[1]
+        ):
+            name, _ = reply_shm
+            try:
+                from repro.parallel.shm import ShmDescriptor
+
+                handle = SharedArray.attach(ShmDescriptor(
+                    name=name, shape=(body.nbytes,), dtype="|u1"
+                ))
+            except (DataError, OSError):
+                tm.count("service.reply_shm_errors")
+            else:
+                try:
+                    view = handle.view(body.shape, body.dtype)
+                    view.flags.writeable = True
+                    view[...] = body
+                finally:
+                    handle.close()
+                tm.count("service.shm_replies")
+                h[protocol.SHM_NBYTES_FIELD] = body.nbytes
+                await reply(h)
+                return
+        await reply(h, raw if raw is not None else body.tobytes())
 
     # -- control-plane bodies ---------------------------------------------
 
@@ -591,12 +788,25 @@ class CompressionService:
     # -- SWEEP body (runs on the executor thread via the batcher) ----------
 
     def _run_sweep(self, request: PendingRequest) -> list[dict[str, Any]]:
+        from repro.parallel.shm import attached_view
+
+        if request.shm is not None:
+            # The field arrived as a client segment: sweep a zero-copy
+            # view of it (the attachment lives for the sweep's duration).
+            with attached_view(request.shm) as arr:
+                return self._sweep_records(request, arr)
+        return self._sweep_records(
+            request, protocol.unpack_array(request.header, request.payload)
+        )
+
+    def _sweep_records(
+        self, request: PendingRequest, arr: np.ndarray
+    ) -> list[dict[str, Any]]:
         from repro.foresight.cbench import CBench
         from repro.foresight.config import CompressorSweep
 
         header = request.header
         field_name = str(header.get("field", "field"))
-        arr = protocol.unpack_array(header, request.payload)
         entries = header.get("sweeps")
         if not isinstance(entries, list) or not entries:
             raise ServiceError("SWEEP needs a non-empty 'sweeps' list")

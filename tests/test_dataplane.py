@@ -1,0 +1,543 @@
+"""The zero-copy data plane: pipelined framing, shm handoff, and hygiene.
+
+Three families of guarantees:
+
+* **Protocol robustness** — request ids survive interleaving and
+  duplication, and malformed or lying shm descriptors produce error
+  replies (or a clean connection close), never a dead daemon.
+* **Bit-exactness** — a reply served through a shared-memory segment is
+  byte-identical to the same request served inline, for both the
+  blocking and the pooled client.
+* **Hygiene** — no shared-memory segments survive a client crash, a
+  drained daemon, or a fork()ed worker pool (the owner-pid regression).
+"""
+
+import multiprocessing
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.compressors.base import CompressedBuffer, Compressor, CompressorMode
+from repro.compressors.registry import register_compressor
+from repro.errors import ConfigError, ServiceError
+from repro.service import (
+    ClusterThread,
+    PooledClient,
+    ServiceClient,
+    ServiceThread,
+    protocol,
+    routing_key,
+)
+from repro.parallel.shm import SegmentPool, SharedArray, ShmDescriptor, shm_enabled
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no POSIX shared memory here"
+)
+
+#: For tests that assert the shm path actually *ran* — under
+#: REPRO_NO_SHM the transparent inline fallback is the correct
+#: behavior, and the remaining tests in this file prove it.
+requires_shm = pytest.mark.skipif(
+    not shm_enabled(), reason="REPRO_NO_SHM disables the shm data plane"
+)
+
+
+def _psm_segments() -> set[str]:
+    """Names of live shared-memory segments (best effort)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except OSError:  # pragma: no cover - platform without /dev/shm
+        return set()
+
+
+def _wait_until(predicate, timeout_s=15.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached in time")
+
+
+def _counter(stats: dict, name: str) -> float:
+    inst = stats.get("metrics", {}).get(name)
+    return float(inst["value"]) if inst else 0.0
+
+
+def _field(kib: int = 256, seed: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    n = (kib << 10) // 4
+    return (rng.standard_normal(n) * 40).astype(np.float32)
+
+
+class SlowpokeCompressor(Compressor):
+    """Store-like codec that sleeps first (in-process batches only)."""
+
+    name = "slowpoke-test"
+    supported_modes = (CompressorMode.ABS,)
+
+    def __init__(self, delay: float = 0.5) -> None:
+        self.delay = delay
+
+    def compress(self, data, error_bound=None, mode=None, **_):
+        time.sleep(self.delay)
+        data = np.asarray(data)
+        return CompressedBuffer(
+            payload=data.tobytes(),
+            original_shape=data.shape,
+            original_dtype=data.dtype,
+            mode=CompressorMode.ABS,
+            parameter=float(error_bound or 0.0),
+        )
+
+    def decompress(self, buf):
+        return np.frombuffer(buf.payload, dtype=buf.original_dtype).reshape(
+            buf.original_shape
+        )
+
+
+try:
+    register_compressor("slowpoke-test", SlowpokeCompressor)
+except ConfigError:  # re-imported module; already registered
+    pass
+
+
+def _connect(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def _compress_header(arr: np.ndarray, **extra) -> dict:
+    return {
+        "op": "compress",
+        "compressor": "store",
+        "mode": "abs",
+        "value": 0.0,
+        "options": {},
+        **protocol.array_fields(arr),
+        **extra,
+    }
+
+
+# -- protocol robustness ------------------------------------------------------
+
+
+class TestRequestIds:
+    def test_hello_echoes_id_and_filters_caps(self):
+        with ServiceThread() as st:
+            with _connect(st.port) as sock:
+                protocol.write_frame_sock(sock, {
+                    "op": "hello", "id": 41,
+                    protocol.CAPS_FIELD: [
+                        protocol.CAP_PIPELINE, protocol.CAP_SHM,
+                        "bogus-cap-from-the-future",
+                    ],
+                })
+                reply, _ = protocol.read_frame_sock(sock)
+            assert reply["status"] == "ok"
+            assert reply["id"] == 41
+            granted = set(reply[protocol.CAPS_FIELD])
+            assert protocol.CAP_PIPELINE in granted
+            assert "bogus-cap-from-the-future" not in granted
+
+    def test_interleaved_requests_are_matched_by_id(self):
+        fields = {i: _field(kib=4, seed=i) for i in (3, 1, 2)}
+        with ServiceThread() as st:
+            with _connect(st.port) as sock:
+                for i, arr in fields.items():
+                    protocol.write_frame_sock(
+                        sock,
+                        _compress_header(arr, id=i),
+                        protocol.pack_array(arr),
+                    )
+                replies = {}
+                for _ in fields:
+                    reply, body = protocol.read_frame_sock(sock)
+                    replies[reply["id"]] = (reply, body)
+            assert set(replies) == set(fields)
+            for i, arr in fields.items():
+                reply, body = replies[i]
+                assert reply["status"] == "ok"
+                assert body == arr.tobytes()  # store: payload is the input
+
+    def test_duplicate_ids_get_two_replies(self):
+        # Ids are the *client's* correlation tokens; the daemon answers
+        # every frame and echoes whatever id it carried.
+        arr = _field(kib=4)
+        with ServiceThread() as st:
+            with _connect(st.port) as sock:
+                for _ in range(2):
+                    protocol.write_frame_sock(
+                        sock, _compress_header(arr, id=7),
+                        protocol.pack_array(arr),
+                    )
+                for _ in range(2):
+                    reply, body = protocol.read_frame_sock(sock)
+                    assert reply["id"] == 7
+                    assert reply["status"] == "ok"
+                    assert body == arr.tobytes()
+
+    def test_cancel_of_unknown_id_is_harmless(self):
+        with ServiceThread() as st:
+            with _connect(st.port) as sock:
+                protocol.write_frame_sock(
+                    sock, {"op": "cancel", "cancel_id": 10**9, "id": 1}
+                )
+                reply, _ = protocol.read_frame_sock(sock)
+                assert reply["status"] == "ok"
+                assert reply["cancelled"] is False
+                # Same connection keeps serving.
+                protocol.write_frame_sock(sock, {"op": "health", "id": 2})
+                reply, _ = protocol.read_frame_sock(sock)
+                assert reply["status"] == "ok" and reply["id"] == 2
+
+
+class TestShmDescriptorFuzz:
+    BAD_DESCRIPTORS = [
+        "not-a-mapping",
+        {},
+        {"name": "psm_does_not_exist"},
+        {"name": "psm_does_not_exist", "shape": [16], "dtype": "<f4"},
+        {"name": 7, "shape": [16], "dtype": "<f4"},
+        {"name": "x", "shape": "wat", "dtype": "<f4"},
+        {"name": "x", "shape": [-4], "dtype": "<f4"},
+        {"name": "x", "shape": [16], "dtype": "no-such-dtype"},
+    ]
+
+    def test_garbage_shm_descriptors_never_kill_the_daemon(self):
+        arr = _field(kib=4)
+        with ServiceThread() as st:
+            for bad in self.BAD_DESCRIPTORS:
+                with _connect(st.port) as sock:
+                    protocol.write_frame_sock(
+                        sock,
+                        _compress_header(arr, **{protocol.SHM_FIELD: bad}),
+                    )
+                    try:
+                        reply, _ = protocol.read_frame_sock(sock)
+                    except (ServiceError, OSError):
+                        continue  # clean close is acceptable for junk
+                    assert reply["status"] == "error", bad
+                # A fresh connection must always work afterwards.
+                with ServiceClient(port=st.port, shm=False) as client:
+                    assert client.health()["status"] == "ok"
+
+    @requires_shm
+    def test_truncated_segment_is_a_clean_attach_error(self):
+        # The descriptor promises more bytes than the segment holds —
+        # e.g. a peer that resized or unlinked mid-flight.
+        arr = _field(kib=64)
+        seg = SharedArray.create(1 << 12)  # 4 KiB, far short of 256 KiB
+        try:
+            lie = protocol.shm_fields(
+                ShmDescriptor(name=seg.name, shape=arr.shape,
+                              dtype=arr.dtype.str)
+            )
+            with ServiceThread() as st:
+                with _connect(st.port) as sock:
+                    protocol.write_frame_sock(
+                        sock,
+                        _compress_header(arr, **{protocol.SHM_FIELD: lie}),
+                    )
+                    reply, _ = protocol.read_frame_sock(sock)
+                assert reply["status"] == "error"
+                assert reply["code"] == "shm_attach"
+                with ServiceClient(port=st.port, shm=False) as client:
+                    assert client.health()["status"] == "ok"
+        finally:
+            seg.unlink()
+
+    def test_lying_reply_shm_falls_back_to_inline(self):
+        # The offered scratch segment claims more capacity than it has;
+        # the daemon must notice and answer inline instead.
+        arr = _field(kib=256)
+        scratch = SharedArray.create(1 << 12)
+        try:
+            offer = protocol.reply_shm_fields(scratch.name, arr.nbytes * 2)
+            with ServiceThread() as st:
+                with _connect(st.port) as sock:
+                    protocol.write_frame_sock(
+                        sock,
+                        _compress_header(
+                            arr, **{protocol.REPLY_SHM_FIELD: offer}
+                        ),
+                        protocol.pack_array(arr),
+                    )
+                    reply, body = protocol.read_frame_sock(sock)
+                assert reply["status"] == "ok"
+                assert protocol.SHM_NBYTES_FIELD not in reply
+                assert body == arr.tobytes()
+        finally:
+            scratch.unlink()
+
+    def test_unknown_reply_shm_name_falls_back_to_inline(self):
+        arr = _field(kib=256)
+        offer = protocol.reply_shm_fields("psm_never_was", arr.nbytes * 2)
+        with ServiceThread() as st:
+            with _connect(st.port) as sock:
+                protocol.write_frame_sock(
+                    sock,
+                    _compress_header(arr, **{protocol.REPLY_SHM_FIELD: offer}),
+                    protocol.pack_array(arr),
+                )
+                reply, body = protocol.read_frame_sock(sock)
+            assert reply["status"] == "ok"
+            assert body == arr.tobytes()
+
+
+# -- bit-exactness ------------------------------------------------------------
+
+
+class TestShmInlineEquivalence:
+    @requires_shm
+    @pytest.mark.parametrize("codec,value", [("store", 0.0), ("sz", 1e-3)])
+    def test_blocking_client_shm_reply_is_byte_identical(self, codec, value):
+        arr = _field(kib=256)
+        with ServiceThread() as st:
+            with ServiceClient(port=st.port, shm=False) as inline_client, \
+                    ServiceClient(port=st.port, shm=True) as shm_client:
+                ref = inline_client.compress(arr, codec, mode="abs",
+                                             value=value)
+                via = shm_client.compress(arr, codec, mode="abs", value=value)
+                assert via.payload == ref.payload
+                out_ref = inline_client.decompress(ref)
+                out_via = shm_client.decompress(via)
+                assert out_via.tobytes() == out_ref.tobytes()
+                # Prove the shm path actually ran, not a silent fallback.
+                stats = shm_client.stats()
+                assert _counter(stats, "service.shm_requests") >= 2
+                assert _counter(stats, "service.shm_replies") >= 1
+
+    def test_pooled_client_matches_blocking_inline(self):
+        arr = _field(kib=256)
+        with ServiceThread() as st:
+            with ServiceClient(port=st.port, shm=False) as ref_client:
+                ref = ref_client.compress(arr, "store", mode="abs", value=0.0)
+            with PooledClient(port=st.port, connections=2) as pool:
+                futures = [
+                    pool.compress_async(arr, "store", mode="abs", value=0.0)
+                    for _ in range(6)
+                ]
+                for fut in futures:
+                    assert fut.result(timeout=60).payload == ref.payload
+                out = pool.decompress(ref)
+                assert out.tobytes() == arr.tobytes()
+
+    @requires_shm
+    def test_attach_failure_mid_flight_falls_back_inline(self, monkeypatch):
+        # The server granted shm at HELLO but the attach breaks later
+        # (e.g. namespace isolation): the client must retry inline once,
+        # mark the path broken, and keep returning correct results.
+        import repro.service.server as server_mod
+
+        arr = _field(kib=256)
+        with ServiceThread() as st:
+            with ServiceClient(port=st.port, shm=True) as client:
+                ref = client.compress(arr, "store", mode="abs", value=0.0)
+                assert not client._shm_broken
+
+                def broken_attach(desc):
+                    from repro.errors import DataError
+                    raise DataError("segment namespace not shared")
+
+                monkeypatch.setattr(
+                    server_mod.SharedArray, "attach",
+                    staticmethod(broken_attach),
+                )
+                buf = client.compress(arr, "store", mode="abs", value=0.0)
+                assert buf.payload == ref.payload
+                assert client._shm_broken
+                monkeypatch.undo()
+                # Broken stays broken for this client — no flapping.
+                buf = client.compress(arr, "store", mode="abs", value=0.0)
+                assert buf.payload == ref.payload
+                assert client._shm_broken
+
+    @requires_shm
+    def test_forced_inline_server_still_serves_shm_clients(self, tmp_path):
+        # REPRO_NO_SHM on the daemon: HELLO never grants the shm cap, so
+        # a willing client ships inline without ever seeing an error.
+        env = dict(os.environ, PYTHONPATH=str(SRC), REPRO_NO_SHM="1")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--port", "0", "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving on ")
+            port = int(line.rsplit(":", 1)[1])
+            arr = _field(kib=256)
+            with ServiceClient(port=port, shm=True) as client:
+                buf = client.compress(arr, "store", mode="abs", value=0.0)
+                assert buf.payload == arr.tobytes()
+                assert client._negotiated
+                assert protocol.CAP_SHM not in client._caps
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
+
+# -- hygiene ------------------------------------------------------------------
+
+
+class TestSegmentHygiene:
+    def test_clean_close_leaves_no_segments(self):
+        before = _psm_segments()
+        arr = _field(kib=256)
+        with ServiceThread() as st:
+            with ServiceClient(port=st.port, shm=True) as client:
+                client.compress(arr, "store", mode="abs", value=0.0)
+            with PooledClient(port=st.port, connections=2) as pool:
+                pool.compress(arr, "store", mode="abs", value=0.0)
+        _wait_until(lambda: _psm_segments() <= before, timeout_s=10)
+
+    def test_killed_client_process_leaks_nothing(self):
+        before = _psm_segments()
+        with ServiceThread() as st:
+            # The child publishes request + reply segments, fires the
+            # request, and dies without reading the reply or cleaning up.
+            code = (
+                "import numpy as np, sys, os\n"
+                "from repro.service import ServiceClient\n"
+                "from repro.service import protocol\n"
+                "port = int(sys.argv[1])\n"
+                "arr = np.arange(1 << 16, dtype=np.float32)\n"
+                "client = ServiceClient(port=port, shm=True)\n"
+                "client.compress(arr, 'store', mode='abs', value=0.0)\n"
+                "print('ready', flush=True)\n"
+                "os.kill(os.getpid(), 9)\n"
+            )
+            proc = subprocess.Popen(
+                [sys.executable, "-c", code, str(st.port)],
+                stdout=subprocess.PIPE, text=True,
+                env=dict(os.environ, PYTHONPATH=str(SRC)),
+            )
+            assert proc.stdout.readline().strip() == "ready"
+            proc.wait(timeout=30)
+            assert proc.returncode == -signal.SIGKILL
+            # The dead client's resource tracker unlinks its segments.
+            _wait_until(lambda: _psm_segments() <= before, timeout_s=20)
+            # And the daemon shrugs it off.
+            with ServiceClient(port=st.port, shm=False) as client:
+                assert client.health()["status"] == "ok"
+
+    def test_sigterm_drain_leaves_no_segments(self):
+        before = _psm_segments()
+        env = dict(os.environ, PYTHONPATH=str(SRC))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--port", "0", "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("serving on ")
+            port = int(line.rsplit(":", 1)[1])
+            arr = _field(kib=256)
+            with ServiceClient(port=port, shm=True) as client:
+                buf = client.compress(arr, "store", mode="abs", value=0.0)
+                assert buf.payload == arr.tobytes()
+                proc.send_signal(signal.SIGTERM)
+                assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait(timeout=30)
+        _wait_until(lambda: _psm_segments() <= before, timeout_s=10)
+
+    def test_forked_worker_exit_does_not_unlink_parent_segments(self):
+        # Regression: a fork()ed child inherits owner handles, and its
+        # exit-time GC used to unlink segments the parent still serves.
+        seg = SharedArray.create(1 << 16)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            child = ctx.Process(target=_touch_nothing)
+            child.start()
+            child.join(timeout=30)
+            assert child.exitcode == 0
+            # The segment must still be attachable by name.
+            desc = ShmDescriptor(name=seg.name, shape=(1 << 16,), dtype="|u1")
+            SharedArray.attach(desc).close()
+        finally:
+            seg.unlink()
+        assert seg.name not in _psm_segments()
+
+    def test_pool_reuse_survives_a_forked_batch(self):
+        # End to end: batches running in forked worker pools must not
+        # break the client's pooled segments between requests.
+        before = _psm_segments()
+        arr = _field(kib=256)
+        with ServiceThread(workers=2, batch_window_s=0.05) as st:
+            with ServiceClient(port=st.port, shm=True) as client:
+                for _ in range(4):
+                    buf = client.compress(arr, "store", mode="abs", value=0.0)
+                    assert buf.payload == arr.tobytes()
+                assert not client._shm_broken
+                stats = client.stats()
+                assert _counter(stats, "service.shm_attach_errors") == 0
+        _wait_until(lambda: _psm_segments() <= before, timeout_s=10)
+
+
+def _touch_nothing() -> None:
+    """Fork target: exit immediately, running interpreter teardown."""
+
+
+# -- hedged late replies ------------------------------------------------------
+
+
+class TestHedgeDrain:
+    def test_late_reply_is_drained_and_the_channel_survives(self):
+        # Both shards run a slow codec, so the hedge loser *does* reply
+        # eventually — after its future was abandoned.  The pipelined
+        # channel must swallow that orphan by id and keep the
+        # connection; the legacy behavior was to tear it down.
+        arr = _pick_field_for_any_primary()
+        with ServiceThread(workers=1, batch_window_s=0.0) as sa, \
+                ServiceThread(workers=1, batch_window_s=0.0) as sb:
+            shards = [f"127.0.0.1:{sa.port}", f"127.0.0.1:{sb.port}"]
+            with ClusterThread(shards=shards, hedge_after_s=0.1,
+                               fail_after=10_000) as cluster, \
+                    ServiceClient(port=cluster.port) as client:
+                buf = client.compress(
+                    arr, "slowpoke-test", mode="abs", value=1.0,
+                    options={"delay": 0.5},
+                )
+                assert buf.payload == arr.tobytes()
+                stats = client.stats()
+                assert _counter(stats, "router.hedges") >= 1
+
+                def drained() -> bool:
+                    return _counter(client.stats(),
+                                    "router.hedge_drains") >= 1
+
+                _wait_until(drained, timeout_s=20)
+                # The loser's channel is still live: another request
+                # through the router round-trips without a redial.
+                buf = client.compress(
+                    arr, "slowpoke-test", mode="abs", value=1.0,
+                    options={"delay": 0.0},
+                )
+                assert buf.payload == arr.tobytes()
+                topo = client._request({"op": "cluster"}, b"")[0]
+                assert all(
+                    s.get("pipelined") for s in topo["shards"]
+                ), topo["shards"]
+
+
+def _pick_field_for_any_primary() -> np.ndarray:
+    rng = np.random.default_rng(11)
+    return (rng.standard_normal((1 << 14,)) * 40).astype(np.float32)
