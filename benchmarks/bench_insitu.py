@@ -1,0 +1,228 @@
+"""Temporal-vs-independent compression on a live in-situ stream.
+
+Two measurements, one acceptance gate:
+
+* **Ratio gain** (the gate): a correlated Nyx-like snapshot series
+  (:func:`repro.cosmo.timeseries.make_nyx_series`) is compressed twice
+  at the same absolute bound — independently per snapshot (the
+  pre-time-axis workflow) and through the
+  :class:`~repro.compressors.temporal.TemporalCompressor` delta stage.
+  Consecutive outputs differ only by growth-factor evolution, so the
+  residuals the temporal stage hands the inner codec are far more
+  compressible than the fields themselves.  Acceptance floor:
+  **temporal >= 1.3x the independent compression ratio**, enforced in
+  both full and ``--quick`` runs.
+
+* **Sustained bursty daemon traffic**: a stateful SESSION stream
+  against a resident :class:`~repro.service.server.ServiceThread`,
+  driven the way a simulation drives it — a *steady* phase (one step
+  per cadence tick) followed by a *burst* phase (several steps
+  back-to-back, the "every N-th timestep dumps all fields" pattern).
+  Per-step client-observed latency is reported per phase, and every
+  reply's bytes are checked identical to the library path — the daemon
+  must never trade fidelity for cadence.
+
+Each run appends one entry to the ``BENCH_insitu.json`` trajectory
+(commit, date, ratios, per-phase latency) so the gain is tracked over
+the repo's history.  CI smoke: ``python benchmarks/bench_insitu.py
+--quick`` (smaller grid/series, both paths, same ratio floor), run with
+and without ``REPRO_NO_SHM`` — see ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compressors import TemporalCompressor, get_compressor
+from repro.cosmo.timeseries import make_nyx_series
+
+#: Acceptance floor: temporal ratio over independent ratio at one bound.
+RATIO_GAIN_FLOOR = 1.3
+
+#: Full-run shape (chosen so the floor holds with margin; see
+#: docs/INSITU.md for the keyframe-cadence trade-off).
+FULL = dict(grid=24, steps=16, keyframe_every=16, error_bound=1e-2)
+
+#: CI smoke shape — smaller, same floor.
+QUICK = dict(grid=20, steps=16, keyframe_every=16, error_bound=1e-2)
+
+#: Daemon-phase shape: steady cadence then a burst.
+STEADY_SLEEP_S = 0.01
+BURST_EVERY = 4
+
+FIELD = "baryon_density"
+SEED = 3
+
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_insitu.json"
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    rank = max(
+        0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1)))
+    )
+    return ordered[rank]
+
+
+def _series(grid: int, steps: int) -> list[np.ndarray]:
+    series = make_nyx_series(grid_size=grid, n_snapshots=steps, seed=SEED)
+    return [s.fields[FIELD] for s in series.snapshots]
+
+
+def _ratio_gain(
+    snaps: list[np.ndarray], keyframe_every: int, error_bound: float
+) -> dict:
+    """Temporal vs independent bytes over one correlated series."""
+    codec = TemporalCompressor(inner="sz", keyframe_every=keyframe_every)
+    indep = get_compressor("sz")
+    temporal = independent = raw = 0
+    for snap in snaps:
+        temporal += len(
+            codec.compress(snap, mode="abs", error_bound=error_bound).payload
+        )
+        independent += len(
+            indep.compress(snap, mode="abs", error_bound=error_bound).payload
+        )
+        raw += snap.nbytes
+    return {
+        "temporal_ratio": raw / temporal,
+        "independent_ratio": raw / independent,
+        "ratio_gain": independent / temporal,
+    }
+
+
+def _daemon_traffic(
+    snaps: list[np.ndarray], keyframe_every: int, error_bound: float
+) -> dict:
+    """Steady-cadence + burst SESSION traffic against a live daemon."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceThread
+
+    reference = TemporalCompressor(inner="sz", keyframe_every=keyframe_every)
+    steady_ms: list[float] = []
+    burst_ms: list[float] = []
+    with ServiceThread() as service:
+        with ServiceClient(port=service.port) as client:
+            with client.session_open(
+                "sz", mode="abs", value=error_bound,
+                keyframe_every=keyframe_every,
+            ) as session:
+                for i, snap in enumerate(snaps):
+                    burst = (i % BURST_EVERY) == BURST_EVERY - 1
+                    if not burst:
+                        time.sleep(STEADY_SLEEP_S)
+                    t0 = time.perf_counter()
+                    _, stream = session.step(snap)
+                    (burst_ms if burst else steady_ms).append(
+                        (time.perf_counter() - t0) * 1e3
+                    )
+                    expected = reference.compress(
+                        snap, mode="abs", error_bound=error_bound
+                    ).payload
+                    assert stream == expected, (
+                        f"daemon session bytes diverged from the library "
+                        f"path at step {i}"
+                    )
+    out = {"steps": len(snaps), "byte_identical": True}
+    for phase, values in (("steady", steady_ms), ("burst", burst_ms)):
+        if values:
+            out[f"{phase}_p50_ms"] = _percentile(values, 50)
+            out[f"{phase}_p95_ms"] = _percentile(values, 95)
+            out[f"{phase}_steps"] = len(values)
+    return out
+
+
+def _append_trajectory(entry: dict) -> None:
+    import datetime
+
+    history = []
+    if TRAJECTORY.exists():
+        try:
+            history = json.loads(TRAJECTORY.read_text())
+        except (ValueError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=TRAJECTORY.parent,
+            capture_output=True, text=True, timeout=10,
+        )
+        commit = out.stdout.strip() or None if out.returncode == 0 else None
+    except OSError:
+        commit = None
+    history.append({
+        "commit": commit,
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        **entry,
+    })
+    TRAJECTORY.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+try:  # pytest collection (conftest lives beside this file)
+    from conftest import write_result
+except ImportError:  # standalone --quick
+    def write_result(experiment_id: str, text: str) -> None:
+        results = Path(__file__).parent / "results"
+        results.mkdir(exist_ok=True)
+        (results / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def _run(quick: bool) -> None:
+    shape = QUICK if quick else FULL
+    snaps = _series(shape["grid"], shape["steps"])
+    ratios = _ratio_gain(
+        snaps, shape["keyframe_every"], shape["error_bound"]
+    )
+    daemon = _daemon_traffic(
+        snaps, shape["keyframe_every"], shape["error_bound"]
+    )
+    lines = [
+        f"in-situ temporal compression "
+        f"({shape['grid']}^3 x {shape['steps']} steps, "
+        f"abs={shape['error_bound']:g}, K={shape['keyframe_every']})",
+        f"  temporal ratio    {ratios['temporal_ratio']:8.2f}x",
+        f"  independent ratio {ratios['independent_ratio']:8.2f}x",
+        f"  gain              {ratios['ratio_gain']:8.2f}x "
+        f"(floor {RATIO_GAIN_FLOOR:.1f}x)",
+        "daemon SESSION stream (steady cadence + bursts): "
+        f"{daemon['steps']} steps, byte-identical to library",
+    ]
+    for phase in ("steady", "burst"):
+        if f"{phase}_p50_ms" in daemon:
+            lines.append(
+                f"  {phase:<6} p50 {daemon[f'{phase}_p50_ms']:7.2f} ms   "
+                f"p95 {daemon[f'{phase}_p95_ms']:7.2f} ms   "
+                f"(n={daemon[f'{phase}_steps']})"
+            )
+    text = "\n".join(lines)
+    print(text)
+    write_result("bench_insitu", text)
+    _append_trajectory({"quick": quick, **shape, **ratios, "daemon": daemon})
+    assert ratios["ratio_gain"] >= RATIO_GAIN_FLOOR, (
+        f"temporal gain {ratios['ratio_gain']:.2f}x is below the "
+        f"{RATIO_GAIN_FLOOR:.1f}x floor"
+    )
+
+
+def main(argv: list[str]) -> None:
+    usage = "usage: bench_insitu.py [--quick]"
+    if argv == ["--quick"]:
+        _run(quick=True)
+    elif not argv:
+        _run(quick=False)
+    else:
+        raise SystemExit(usage)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

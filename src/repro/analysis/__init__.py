@@ -6,6 +6,7 @@ from repro.analysis.autotune import (
     search_max_acceptable_bound,
 )
 from repro.analysis.decimation_study import decimation_vs_compression
+from repro.analysis.drift import drift_curve, halo_mass_proxy, snapshot_drift
 from repro.analysis.halo_matching import HaloMatchResult, match_halo_catalogs
 from repro.analysis.halo_ratio import HaloRatioPoint, halo_ratio_sweep
 from repro.analysis.rd_model import (
@@ -32,6 +33,9 @@ __all__ = [
     "search_error_bound_for_ratio",
     "search_max_acceptable_bound",
     "decimation_vs_compression",
+    "drift_curve",
+    "halo_mass_proxy",
+    "snapshot_drift",
     "HaloMatchResult",
     "match_halo_catalogs",
     "DB_PER_BIT_THEORY",

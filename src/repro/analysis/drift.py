@@ -1,0 +1,108 @@
+"""Error-accumulation curves for snapshot sequences (in-situ workloads).
+
+Independent per-snapshot compression has a flat error profile by
+construction; a *temporal* codec (delta-coded against the previous
+decompressed snapshot, :mod:`repro.compressors.temporal`) could in
+principle let error creep upward step over step.  These helpers measure
+exactly that: per-timestep pointwise error, P(k) ratio deviation, and a
+halo-mass proxy ratio, so a drifting configuration shows up as a rising
+curve instead of a silent quality loss at step 50.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cosmo.power_spectrum import power_spectrum, power_spectrum_ratio
+from repro.errors import DataError
+from repro.metrics.error import max_abs_error
+
+__all__ = ["snapshot_drift", "drift_curve", "halo_mass_proxy"]
+
+
+def halo_mass_proxy(
+    field: np.ndarray, threshold: float | None = None
+) -> tuple[float, float]:
+    """Total mass in overdense cells, a cheap stand-in for FoF halo mass.
+
+    Returns ``(mass, threshold)`` where ``threshold`` defaults to
+    ``mean + 2 * std`` of ``field``.  Callers comparing original vs
+    reconstruction must compute the threshold on the *original* and pass
+    it in for the reconstruction, so both sides gate on the same level.
+    """
+    a = np.asarray(field, dtype=np.float64)
+    if threshold is None:
+        threshold = float(a.mean() + 2.0 * a.std())
+    mask = a > threshold
+    return float(a[mask].sum()), float(threshold)
+
+
+def snapshot_drift(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    box_size: float,
+    nbins: int = 16,
+) -> dict[str, float]:
+    """Drift metrics of one reconstructed snapshot against its original.
+
+    Returns ``max_abs_error`` (pointwise), ``pk_max_dev`` (the largest
+    ``|P(k) ratio - 1|`` over all bins — 0.01 is the paper's
+    acceptability edge) and ``halo_mass_ratio`` (reconstructed / original
+    proxy mass at the original's threshold; 1.0 means no drift, and also
+    when the original has no overdense cells at all).
+    """
+    original = np.asarray(original)
+    reconstructed = np.asarray(reconstructed)
+    if original.shape != reconstructed.shape:
+        raise DataError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    ref_spec = power_spectrum(
+        np.asarray(original, dtype=np.float64), box_size, nbins=nbins
+    )
+    rec_spec = power_spectrum(
+        np.asarray(reconstructed, dtype=np.float64), box_size, nbins=nbins
+    )
+    ratio = power_spectrum_ratio(ref_spec, rec_spec)
+    finite = ratio[np.isfinite(ratio)]
+    pk_max_dev = float(np.max(np.abs(finite - 1.0))) if finite.size else 0.0
+    orig_mass, threshold = halo_mass_proxy(original)
+    rec_mass, _ = halo_mass_proxy(reconstructed, threshold=threshold)
+    halo_ratio = rec_mass / orig_mass if orig_mass > 0.0 else 1.0
+    return {
+        "max_abs_error": max_abs_error(original, reconstructed),
+        "pk_max_dev": pk_max_dev,
+        "halo_mass_ratio": float(halo_ratio),
+    }
+
+
+def drift_curve(
+    originals: Sequence[np.ndarray],
+    reconstructions: Sequence[np.ndarray],
+    box_size: float,
+    nbins: int = 16,
+) -> dict[str, list[float]]:
+    """Per-timestep drift metrics over a whole series.
+
+    Returns column vectors (``step``, ``max_abs_error``, ``pk_max_dev``,
+    ``halo_mass_ratio``) ready for plotting error-vs-timestep curves.
+    """
+    if len(originals) != len(reconstructions):
+        raise DataError(
+            f"series length mismatch: {len(originals)} originals vs "
+            f"{len(reconstructions)} reconstructions"
+        )
+    cols: dict[str, list[float]] = {
+        "step": [],
+        "max_abs_error": [],
+        "pk_max_dev": [],
+        "halo_mass_ratio": [],
+    }
+    for i, (orig, rec) in enumerate(zip(originals, reconstructions)):
+        point = snapshot_drift(orig, rec, box_size, nbins=nbins)
+        cols["step"].append(float(i))
+        for key, value in point.items():
+            cols[key].append(value)
+    return cols

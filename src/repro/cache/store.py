@@ -75,8 +75,17 @@ def make_key(
     knob: str,
     value: float,
     digest: str,
+    reference: str | None = None,
 ) -> str:
-    """Cache key for one (compressor, configuration, data) cell."""
+    """Cache key for one (compressor, configuration, data) cell.
+
+    ``reference`` is the codec-state identity for *stateful* codecs (the
+    temporal stage's step index + reference-snapshot digest): the bytes
+    a session emits for a given input depend on what the session has
+    already seen, so two sessions at the same (compressor, bound, data)
+    must never collide on a cached entry.  Stateless codecs leave it
+    ``None``, which keeps every pre-existing key unchanged.
+    """
     doc = {
         "schema": SCHEMA_VERSION,
         "compressor": compressor,
@@ -86,6 +95,8 @@ def make_key(
         "value": value,
         "data": digest,
     }
+    if reference is not None:
+        doc["reference"] = reference
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
 

@@ -24,6 +24,7 @@ from repro.compressors.adapters import Reshaped3D
 from repro.compressors.decimation import DecimatedSeries, decimate
 from repro.compressors.streaming import ChunkedCompressor
 from repro.compressors.sz import GPUSZ, SZCompressor
+from repro.compressors.temporal import TemporalCompressor, reference_digest
 from repro.compressors.zfp import CuZFP, ZFPCompressor
 
 __all__ = [
@@ -41,4 +42,6 @@ __all__ = [
     "DecimatedSeries",
     "decimate",
     "ChunkedCompressor",
+    "TemporalCompressor",
+    "reference_digest",
 ]

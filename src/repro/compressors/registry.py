@@ -36,6 +36,7 @@ def _register_builtins() -> None:
     # Imported lazily to avoid import cycles at package init.
     from repro.compressors.store import StoreCompressor
     from repro.compressors.sz import GPUSZ, SZCompressor
+    from repro.compressors.temporal import TemporalCompressor
     from repro.compressors.zfp import CuZFP, ZFPCompressor
 
     register_compressor("sz", SZCompressor)
@@ -43,6 +44,7 @@ def _register_builtins() -> None:
     register_compressor("zfp", ZFPCompressor)
     register_compressor("cuzfp", CuZFP)
     register_compressor("store", StoreCompressor)
+    register_compressor("temporal", TemporalCompressor)
 
 
 _register_builtins()

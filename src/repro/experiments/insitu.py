@@ -1,0 +1,306 @@
+"""In-situ simulation loop: compress a live snapshot stream step by step.
+
+This is the paper's deployment scenario (PAPER.md §I, §V) as a runnable
+driver: a toy time-stepping loop evolves the correlated Nyx-like
+generator (:func:`repro.cosmo.timeseries.make_nyx_series`) across scale
+factors and pushes every snapshot, as it is "emitted", through one of
+
+* the **library** path — a local
+  :class:`~repro.compressors.temporal.TemporalCompressor`, or
+* the **service** path — a running daemon's stateful
+  ``SESSION_OPEN``/``SESSION_STEP``/``SESSION_CLOSE`` ops
+  (``--target service``), whose emitted bytes are asserted identical to
+  the library's.
+
+Each step is also run through two baselines on the *same* series:
+independent per-snapshot compression with the same inner codec at the
+same bound (what the repo did before the time axis existed), and the
+paper's **decimation** baseline (keep every K-th snapshot, interpolate
+the rest — PAPER.md §I).  Per-step drift metrics
+(:func:`repro.analysis.drift.snapshot_drift`) for all three go into a
+JSONL step log, one record per timestep, plus a summary line; telemetry
+spans (``insitu.step``) wrap every step for trace/`top` visibility.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.experiments.insitu --steps 16
+    PYTHONPATH=src python -m repro.experiments.insitu \
+        --target service --port 9461 --log /tmp/insitu.jsonl
+
+This is a workload driver, not a paper figure, so it is *not* part of
+the ``repro.experiments`` figure registry (``__main__.py``); see
+docs/INSITU.md for the operational story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+import numpy as np
+
+from repro.analysis.drift import snapshot_drift
+from repro.compressors import TemporalCompressor, decimate, get_compressor
+from repro.cosmo.timeseries import make_nyx_series
+from repro.errors import DataError
+from repro.service.batch import KNOB_FOR_MODE
+from repro.telemetry import get_telemetry
+
+__all__ = ["run_insitu", "main"]
+
+
+def _knob(mode: str) -> str:
+    knob = KNOB_FOR_MODE.get(mode)
+    if knob is None:
+        raise DataError(
+            f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
+        )
+    return knob
+
+
+def run_insitu(
+    grid_size: int = 32,
+    n_steps: int = 16,
+    field: str = "baryon_density",
+    compressor: str = "sz",
+    mode: str = "abs",
+    value: float = 1e-2,
+    keyframe_every: int = 8,
+    options: dict[str, Any] | None = None,
+    target: str = "library",
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    keep_every: int = 2,
+    interpolation: str = "linear",
+    box_size: float = 50.0,
+    seed: int = 11,
+    nbins: int = 8,
+    log: TextIO | str | Path | None = None,
+) -> dict[str, Any]:
+    """Run the in-situ loop; returns the summary dict (see module doc).
+
+    ``target`` is ``"library"`` (in-process codec) or ``"service"`` (a
+    running daemon at ``host:port`` — its session bytes are asserted
+    identical to the library path's before any metric is computed).
+    ``log`` appends one JSON line per step plus a final summary line.
+    """
+    if target not in ("library", "service"):
+        raise DataError("target must be 'library' or 'service'")
+    knob = _knob(mode)
+    options = dict(options or {})
+    tm = get_telemetry()
+
+    series = make_nyx_series(
+        grid_size=grid_size, n_snapshots=n_steps,
+        box_size=box_size, seed=seed,
+    )
+    snaps = [s.fields[field] for s in series.snapshots]
+
+    # The decimation baseline reconstructs the *whole* series up front
+    # (it is an offline storage policy, not a streaming codec).
+    decimated = decimate(
+        series, keep_every=keep_every, interpolation=interpolation
+    )
+    dec_recon = [d.fields[field] for d in decimated.reconstruct()]
+
+    indep = get_compressor(compressor, **options)
+    codec = TemporalCompressor(
+        inner=compressor, keyframe_every=keyframe_every,
+        inner_options=options,
+    )
+    decoder = TemporalCompressor(
+        inner=compressor, keyframe_every=keyframe_every,
+        inner_options=options,
+    )
+
+    session = client = None
+    if target == "service":
+        from repro.service.client import DEFAULT_PORT, ServiceClient
+
+        client = ServiceClient(host=host, port=port or DEFAULT_PORT)
+        session = client.session_open(
+            compressor, mode=mode, value=value, options=options,
+            keyframe_every=keyframe_every,
+        )
+
+    close = None
+    if log is not None and not hasattr(log, "write"):
+        log = open(log, "a", encoding="utf-8")
+        close = log
+
+    steps: list[dict[str, Any]] = []
+    temporal_bytes = independent_bytes = raw_bytes = 0
+    try:
+        for i, snap in enumerate(snaps):
+            with tm.span(
+                "insitu.step", step=i, field=field, target=target
+            ):
+                t0 = time.perf_counter()
+                if session is not None:
+                    reply, stream = session.step(snap)
+                    local = codec.compress(snap, mode=mode, **{knob: value})
+                    if local.payload != stream:
+                        raise DataError(
+                            f"service session bytes diverged from the "
+                            f"library path at step {i}"
+                        )
+                else:
+                    buf = codec.compress(snap, mode=mode, **{knob: value})
+                    stream = buf.payload
+                recon = decoder.decompress(stream)
+                ibuf = indep.compress(snap, mode=mode, **{knob: value})
+                irecon = indep.decompress(ibuf)
+                elapsed = time.perf_counter() - t0
+
+            temporal_bytes += len(stream)
+            independent_bytes += len(ibuf.payload)
+            raw_bytes += snap.nbytes
+            head, keyframe, _ = TemporalCompressor.parse_frame(stream)
+            record = {
+                "step": i,
+                "time": float(series.times[i]),
+                "field": field,
+                "target": target,
+                "keyframe": keyframe,
+                "elapsed_s": elapsed,
+                "temporal": {
+                    "bytes": len(stream),
+                    "ratio": snap.nbytes / len(stream),
+                    **snapshot_drift(snap, recon, box_size, nbins=nbins),
+                },
+                "independent": {
+                    "bytes": len(ibuf.payload),
+                    "ratio": snap.nbytes / len(ibuf.payload),
+                    **snapshot_drift(snap, irecon, box_size, nbins=nbins),
+                },
+                "decimation": {
+                    "kept": bool(i in decimated.kept_indices),
+                    "storage_ratio": decimated.storage_ratio,
+                    **snapshot_drift(
+                        snap, dec_recon[i], box_size, nbins=nbins
+                    ),
+                },
+            }
+            steps.append(record)
+            if log is not None:
+                log.write(json.dumps(record, sort_keys=True) + "\n")
+        summary = _summarize(
+            steps, grid_size=grid_size, n_steps=n_steps, field=field,
+            compressor=compressor, mode=mode, value=value,
+            keyframe_every=keyframe_every, keep_every=keep_every,
+            target=target, raw_bytes=raw_bytes,
+            temporal_bytes=temporal_bytes,
+            independent_bytes=independent_bytes,
+            decimation_storage_ratio=decimated.storage_ratio,
+        )
+        if log is not None:
+            log.write(json.dumps(
+                {k: v for k, v in summary.items() if k != "steps"},
+                sort_keys=True,
+            ) + "\n")
+        return summary
+    finally:
+        if session is not None:
+            session.close()
+        if client is not None:
+            client.close()
+        if close is not None:
+            close.close()
+
+
+def _summarize(
+    steps: list[dict[str, Any]],
+    *,
+    grid_size: int,
+    n_steps: int,
+    field: str,
+    compressor: str,
+    mode: str,
+    value: float,
+    keyframe_every: int,
+    keep_every: int,
+    target: str,
+    raw_bytes: int,
+    temporal_bytes: int,
+    independent_bytes: int,
+    decimation_storage_ratio: float,
+) -> dict[str, Any]:
+    return {
+        "summary": True,
+        "grid_size": grid_size,
+        "n_steps": n_steps,
+        "field": field,
+        "compressor": compressor,
+        "mode": mode,
+        "value": value,
+        "keyframe_every": keyframe_every,
+        "keep_every": keep_every,
+        "target": target,
+        "temporal_ratio": raw_bytes / temporal_bytes,
+        "independent_ratio": raw_bytes / independent_bytes,
+        "ratio_gain": independent_bytes / temporal_bytes,
+        "decimation_storage_ratio": decimation_storage_ratio,
+        "max_abs_error": max(
+            s["temporal"]["max_abs_error"] for s in steps
+        ),
+        "max_pk_dev": max(s["temporal"]["pk_max_dev"] for s in steps),
+        "decimation_max_abs_error": max(
+            s["decimation"]["max_abs_error"] for s in steps
+        ),
+        "steps": steps,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.insitu",
+        description="In-situ time-stepping loop with temporal compression "
+                    "(library or service path) plus independent-codec and "
+                    "decimation baselines.",
+    )
+    parser.add_argument("--grid", type=int, default=32, help="grid side")
+    parser.add_argument("--steps", type=int, default=16,
+                        help="number of timesteps")
+    parser.add_argument("--field", default="baryon_density")
+    parser.add_argument("--compressor", default="sz")
+    parser.add_argument("--mode", default="abs")
+    parser.add_argument("--value", type=float, default=1e-2,
+                        help="error bound / knob value")
+    parser.add_argument("--keyframe-every", type=int, default=8)
+    parser.add_argument("--keep-every", type=int, default=2,
+                        help="decimation baseline cadence")
+    parser.add_argument("--target", choices=("library", "service"),
+                        default="library")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--log", default=None,
+                        help="append JSONL step records here")
+    args = parser.parse_args(argv)
+
+    summary = run_insitu(
+        grid_size=args.grid,
+        n_steps=args.steps,
+        field=args.field,
+        compressor=args.compressor,
+        mode=args.mode,
+        value=args.value,
+        keyframe_every=args.keyframe_every,
+        keep_every=args.keep_every,
+        target=args.target,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        log=args.log,
+    )
+    brief = {k: v for k, v in summary.items() if k != "steps"}
+    print(json.dumps(brief, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

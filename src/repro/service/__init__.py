@@ -28,7 +28,12 @@ See ``docs/SERVICE.md`` for the protocol specification and deployment
 tuning, and ``docs/CLUSTER.md`` for the cluster operator's handbook.
 """
 
-from repro.service.client import DEFAULT_PORT, PooledClient, ServiceClient
+from repro.service.client import (
+    DEFAULT_PORT,
+    PooledClient,
+    ServiceClient,
+    ServiceSession,
+)
 from repro.service.cluster import (
     DEFAULT_ROUTER_PORT,
     ClusterRouter,
@@ -36,12 +41,16 @@ from repro.service.cluster import (
     routing_key,
 )
 from repro.service.server import CompressionService, ServiceThread
+from repro.service.sessions import Session, SessionTable
 
 __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_ROUTER_PORT",
     "PooledClient",
     "ServiceClient",
+    "ServiceSession",
+    "Session",
+    "SessionTable",
     "ClusterRouter",
     "ClusterThread",
     "CompressionService",

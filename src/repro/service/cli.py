@@ -81,6 +81,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard_id=args.shard_id,
         backend=args.backend,
         pipeline_depth=args.pipeline_depth,
+        max_sessions=args.max_sessions,
+        session_idle_s=args.session_idle_s,
     )
 
     async def _main() -> None:
@@ -200,6 +202,13 @@ def main(argv: list[str] | None = None) -> int:
                             "(default 32)")
     serve.add_argument("--timeout-s", type=float, default=None,
                        help="default per-request deadline in seconds")
+    serve.add_argument("--max-sessions", type=int, default=64, metavar="N",
+                       help="bound on concurrently open temporal-compression "
+                            "sessions (default 64)")
+    serve.add_argument("--session-idle-s", type=float, default=300.0,
+                       metavar="S",
+                       help="evict a session untouched for this long "
+                            "(default 300)")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="dump every span (stitched distributed traces "
                             "included) as JSONL here when the daemon drains")

@@ -525,6 +525,111 @@ class ServiceClient:
                 pool.release(req_seg)
         return list(reply.get("records") or [])
 
+    # -- stateful sessions (docs/INSITU.md) ---------------------------------
+
+    def session_open(
+        self,
+        compressor: str = "sz",
+        mode: str = "abs",
+        value: float = 1e-3,
+        options: dict[str, Any] | None = None,
+        keyframe_every: int = 8,
+        session_id: str | None = None,
+    ) -> "ServiceSession":
+        """Open a stateful temporal-compression stream on the daemon.
+
+        The session id is generated *client-side* by default: the
+        cluster router hashes it for shard placement, so the id must be
+        fixed before the SESSION_OPEN frame is routed (a server-chosen
+        id could land the open on one shard and the steps on another).
+        Returns a :class:`ServiceSession`; use it as a context manager
+        so the daemon-side state is torn down deterministically.
+        """
+        if session_id is None:
+            import uuid
+
+            session_id = uuid.uuid4().hex
+        header: dict[str, Any] = {
+            "op": "session_open",
+            protocol.SESSION_FIELD: session_id,
+            "compressor": compressor,
+            "mode": mode,
+            "value": float(value),
+            "options": options or {},
+            "keyframe_every": int(keyframe_every),
+        }
+        reply, _ = self._request(header)
+        return ServiceSession(self, reply)
+
+    def session_step(
+        self,
+        session_id: str,
+        data: np.ndarray,
+        expect_ref: str | None = ...,
+        timeout_ms: float | None = None,
+    ) -> tuple[dict[str, Any], bytes]:
+        """One snapshot through an open session; returns (reply, TMP1 bytes).
+
+        ``expect_ref`` is the reference digest the client believes the
+        daemon holds (``None`` before the first step); the daemon
+        refuses with ``session_desync`` on mismatch.  Pass the default
+        sentinel to skip the check entirely.  Most callers want the
+        :class:`ServiceSession` wrapper, which tracks the digest chain
+        automatically.
+        """
+        data = np.asarray(data)
+        header: dict[str, Any] = {
+            "op": "session_step",
+            protocol.SESSION_FIELD: session_id,
+            **protocol.array_fields(data),
+        }
+        if expect_ref is not ...:
+            header["expect_ref"] = expect_ref
+        if timeout_ms is not None:
+            header["timeout_ms"] = float(timeout_ms)
+        req_seg = reply_seg = None
+        pool = None
+        try:
+            if self._use_shm(data.nbytes):
+                arr = np.ascontiguousarray(data)
+                pool = self._segment_pool()
+                req_seg = pool.acquire(arr.nbytes)
+                req_seg.view(arr.shape, arr.dtype)[...] = arr
+                header[protocol.SHM_FIELD] = protocol.shm_fields(
+                    req_seg.view_descriptor(arr.shape, arr.dtype)
+                )
+                reply_seg = pool.acquire(arr.nbytes + REPLY_SHM_SLACK)
+                header[protocol.REPLY_SHM_FIELD] = protocol.reply_shm_fields(
+                    reply_seg.name, reply_seg.nbytes
+                )
+                payload = b""
+            else:
+                payload = protocol.pack_array(data)
+            try:
+                reply, body = self._request(header, payload)
+            except ServiceError as exc:
+                if req_seg is not None \
+                        and getattr(exc, "code", None) in _SHM_ERROR_CODES:
+                    self._shm_broken = True
+                    return self.session_step(
+                        session_id, data, expect_ref=expect_ref,
+                        timeout_ms=timeout_ms,
+                    )
+                raise
+            body = self._shm_body(reply, body, reply_seg)
+        finally:
+            for seg in (req_seg, reply_seg):
+                if seg is not None:
+                    pool.release(seg)
+        return reply, body
+
+    def session_close(self, session_id: str) -> dict[str, Any]:
+        """Tear down a session; returns its step/byte accounting."""
+        reply, _ = self._request(
+            {"op": "session_close", protocol.SESSION_FIELD: session_id}
+        )
+        return reply
+
     def list_compressors(self) -> list[str]:
         reply, _ = self._request({"op": "list"})
         return list(reply.get("compressors") or [])
@@ -558,6 +663,69 @@ class ServiceClient:
         """
         reply, _ = self._request({"op": "cluster"})
         return reply
+
+
+class ServiceSession:
+    """Client half of one open temporal stream (see docs/INSITU.md).
+
+    Tracks the reference-digest chain the daemon echoes on every step
+    and sends it back as ``expect_ref`` on the next one, so a lost or
+    reordered step surfaces as a clean ``session_desync`` error instead
+    of silently undecodable deltas.  :meth:`step` returns the reply
+    header and the raw TMP1 stream; feed the streams in order to a
+    :class:`~repro.compressors.temporal.TemporalCompressor` (same inner
+    codec and options) to reconstruct — bytes are identical to the
+    library path.
+
+        with client.session_open("sz", value=1e-3) as session:
+            for snapshot in simulation:
+                reply, stream = session.step(snapshot)
+    """
+
+    def __init__(self, client: ServiceClient, opened: dict[str, Any]) -> None:
+        self._client = client
+        self.session_id = str(opened[protocol.SESSION_FIELD])
+        self.compressor = opened.get("compressor")
+        self.mode = opened.get("mode")
+        self.value = opened.get("value")
+        self.keyframe_every = opened.get("keyframe_every")
+        #: Digest of the reference snapshot the daemon holds (None
+        #: before the first step); updated from every step reply.
+        self.ref: str | None = None
+        self.steps = 0
+        self.closed = False
+
+    def step(
+        self, data: np.ndarray, timeout_ms: float | None = None
+    ) -> tuple[dict[str, Any], bytes]:
+        """Push one snapshot; returns ``(reply header, TMP1 bytes)``."""
+        if self.closed:
+            raise ServiceError(f"session {self.session_id!r} is closed")
+        reply, body = self._client.session_step(
+            self.session_id, data, expect_ref=self.ref,
+            timeout_ms=timeout_ms,
+        )
+        self.ref = reply.get("ref")
+        self.steps += 1
+        return reply, body
+
+    def close(self) -> dict[str, Any]:
+        """Close the daemon-side session (idempotent client-side)."""
+        if self.closed:
+            return {"status": "ok", protocol.SESSION_FIELD: self.session_id}
+        self.closed = True
+        return self._client.session_close(self.session_id)
+
+    def __enter__(self) -> "ServiceSession":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        # Best-effort teardown: the daemon's idle eviction is the
+        # backstop if the close cannot be delivered (dead shard, drain).
+        try:
+            self.close()
+        except (ServiceError, OSError):
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -115,6 +115,18 @@ def routing_key(header: dict[str, Any], payload: bytes) -> bytes | None:
     ids, deadlines, and trace headers never perturb placement.
     """
     op = str(header.get("op", "")).lower()
+    if op.startswith("session"):
+        # Session ops hash the session id and *nothing else* — not the
+        # payload, not the reference digest — so every step of one
+        # session lands on the shard whose session table holds its
+        # reference snapshot (shard-sticky placement, docs/INSITU.md).
+        sid = header.get(protocol.SESSION_FIELD)
+        if sid is None:
+            return None
+        h = hashlib.blake2b(digest_size=16)
+        h.update(b"session:")
+        h.update(str(sid).encode())
+        return h.digest()
     if op == "compress":
         ident = [op, header.get("compressor"), header.get("options") or {},
                  header.get("mode"), header.get("value"),
@@ -847,7 +859,9 @@ class ClusterRouter:
         except ServiceError as exc:
             tm.count("router.errors")
             await reply(
-                {"status": "error", "code": "routing", "error": str(exc)}
+                {"status": "error",
+                 "code": getattr(exc, "code", "routing"),
+                 "error": str(exc)}
             )
         except Exception as exc:  # noqa: BLE001 — a bug must not kill the router
             logger.exception("internal error routing %s", op)
@@ -898,6 +912,14 @@ class ClusterRouter:
         """
         tm = get_telemetry()
         candidates = deque(self._preferences(header, payload))
+        # Session ops are *sticky*: the primary shard holds the session's
+        # reference snapshot, so hedging or failing over to another shard
+        # could only yield a no_session error — or worse, bytes from a
+        # different stream.  One candidate, no hedge; if the primary is
+        # down the client gets a clean session_lost to reopen from.
+        sticky = op.startswith("session")
+        if sticky:
+            candidates = deque(list(candidates)[:1])
         total = len(candidates)
         pending: dict[asyncio.Task, tuple[str, bool]] = {}
         errors: list[str] = []
@@ -953,6 +975,16 @@ class ClusterRouter:
                     tm.count("router.failovers")
                     launch(hedge=False)
                     continue
+                if sticky:
+                    exc = ServiceError(
+                        f"session shard unavailable for {op}: "
+                        + "; ".join(errors)
+                        + " — the daemon-side session state is gone; "
+                        "reopen the session and re-send from its last "
+                        "keyframe"
+                    )
+                    exc.code = "session_lost"
+                    raise exc
                 raise ServiceError(
                     f"all {total} shard(s) failed for {op}: "
                     + "; ".join(errors)

@@ -85,6 +85,13 @@ TRACE_FIELD = "trace"
 #: (set by ``serve --shard-id`` and by the cluster router on routed ops).
 SHARD_FIELD = "shard"
 
+#: Request/reply-header field carrying the session id for the stateful
+#: ``SESSION_OPEN``/``SESSION_STEP``/``SESSION_CLOSE`` op family
+#: (docs/INSITU.md).  The cluster router hashes this field — and nothing
+#: else — when routing session ops, so every step of one session lands
+#: on the shard that holds its reference snapshot.
+SESSION_FIELD = "session"
+
 #: HELLO request/reply field listing capability names.
 CAPS_FIELD = "caps"
 

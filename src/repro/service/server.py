@@ -12,20 +12,26 @@ directly.
 Operations
 ----------
 
-========== ===================================================================
-op         semantics
-========== ===================================================================
-COMPRESS   one ndarray in, one compressed stream out (batched by config)
-DECOMPRESS one compressed stream in, one ndarray out (batched by codec)
-SWEEP      server-side CBench cell fan-out over one field; rows out; repeat
-           sweeps are served warm from the result cache
-HELLO      capability negotiation (``pipeline``, ``shm``); never queued
-CANCEL     best-effort cancel of a queued request by its ``id``
-LIST       registered compressor names
-HEALTH     liveness + drain state + queue depth (never queued)
-STATS      telemetry counters, batch sizes, bytes in/out, p50/p99 latency
-METRICS    the same registry in Prometheus text exposition format
-========== ===================================================================
+============= ================================================================
+op            semantics
+============= ================================================================
+COMPRESS      one ndarray in, one compressed stream out (batched by config)
+DECOMPRESS    one compressed stream in, one ndarray out (batched by codec)
+SWEEP         server-side CBench cell fan-out over one field; rows out; repeat
+              sweeps are served warm from the result cache
+SESSION_OPEN  open a stateful temporal-compression stream (docs/INSITU.md);
+              the daemon keeps the reference snapshot in its session table
+SESSION_STEP  one snapshot in, one delta/keyframe TMP1 stream out; replies
+              echo the post-step reference digest so desync fails fast
+SESSION_CLOSE tear down a session; returns its step/byte accounting
+HELLO         capability negotiation (``pipeline``, ``shm``); never queued
+CANCEL        best-effort cancel of a queued request by its ``id``
+LIST          registered compressor names
+HEALTH        liveness + drain state + queue depth (never queued)
+STATS         telemetry counters, batch sizes, bytes in/out, p50/p99 latency,
+              open sessions
+METRICS       the same registry in Prometheus text exposition format
+============= ================================================================
 
 **Pipelining.**  Frames on one connection are dispatched concurrently
 (bounded by ``pipeline_depth``); replies are written under a
@@ -77,12 +83,21 @@ from typing import Any
 import numpy as np
 
 from repro.cache import ResultCache
-from repro.compressors.base import CompressedBuffer
+from repro.cache.store import data_digest, make_key
+from repro.compressors.base import CompressedBuffer, CompressorMode
 from repro.compressors.registry import available_compressors
+from repro.compressors.temporal import TemporalCompressor
 from repro.errors import DataError, ProtocolError, ReproError, ServiceError
 from repro.parallel.shm import SharedArray, shm_enabled
 from repro.service import protocol
-from repro.service.batch import SHM_MIN_BYTES, Batcher, PendingRequest, jsonable
+from repro.service.batch import (
+    KNOB_FOR_MODE,
+    SHM_MIN_BYTES,
+    Batcher,
+    PendingRequest,
+    jsonable,
+)
+from repro.service.sessions import Session, SessionTable, new_session_id
 from repro.telemetry import Telemetry, get_telemetry, set_telemetry
 from repro.telemetry import context as trace_context
 
@@ -163,6 +178,8 @@ class CompressionService:
         shard_id: str | None = None,
         backend: str | None = None,
         pipeline_depth: int = 32,
+        max_sessions: int = 64,
+        session_idle_s: float = 300.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -192,6 +209,10 @@ class CompressionService:
             workers=workers,
         )
         self.batcher.sweep_runner = self._run_sweep
+        #: Stateful temporal-compression streams (docs/INSITU.md).
+        self.sessions = SessionTable(
+            max_sessions=max_sessions, idle_s=session_idle_s
+        )
         self._server: asyncio.AbstractServer | None = None
         self._draining = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
@@ -444,6 +465,10 @@ class CompressionService:
                         await self._serve_queued(
                             conn, op, header, payload, reply
                         )
+                    elif op in (
+                        "session_open", "session_step", "session_close"
+                    ):
+                        await self._serve_session(op, header, payload, reply)
                     else:
                         await reply(
                             {"status": "error", "code": "bad_op",
@@ -612,6 +637,263 @@ class CompressionService:
         else:  # sweep
             await reply({"status": "ok", "records": result})
 
+    # -- SESSION bodies (stateful temporal streams, docs/INSITU.md) --------
+
+    async def _serve_session(
+        self,
+        op: str,
+        header: dict[str, Any],
+        payload: bytes,
+        reply,
+    ) -> None:
+        """Serve SESSION_OPEN / SESSION_STEP / SESSION_CLOSE.
+
+        Session steps bypass the batcher: delta coding is
+        order-dependent, so steps of one session serialize on the
+        session's lock (different sessions still proceed concurrently on
+        the executor).  The codec's encoder reference lives here,
+        daemon-side; the reply echoes the post-step reference digest so
+        a desynced client fails fast instead of decoding garbage.
+        """
+        tm = get_telemetry()
+        if self.draining:
+            await reply(
+                {"status": "busy", "code": "draining",
+                 "retry_after_ms": DEFAULT_RETRY_AFTER_MS}
+            )
+            return
+        if op == "session_open":
+            await reply(self._session_open(header))
+            return
+        sid = header.get(protocol.SESSION_FIELD)
+        if not sid:
+            raise ProtocolError(f"{op.upper()} needs a 'session' field")
+        sid = str(sid)
+        if op == "session_close":
+            session = self.sessions.close(sid)
+            if session is None:
+                await reply(
+                    {"status": "error", "code": "no_session",
+                     "error": f"no open session {sid!r}"}
+                )
+                return
+            tm.count("service.session_closes")
+            await reply(
+                {"status": "ok", protocol.SESSION_FIELD: sid,
+                 "steps": session.steps,
+                 "bytes_in": session.bytes_in,
+                 "bytes_out": session.bytes_out}
+            )
+            return
+        await self._session_step(sid, header, payload, reply)
+
+    def _session_open(self, header: dict[str, Any]) -> dict[str, Any]:
+        compressor = str(header.get("compressor", "sz"))
+        options = header.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be a JSON object")
+        mode = str(header.get("mode", "abs"))
+        knob = KNOB_FOR_MODE.get(mode)
+        if knob is None:
+            raise ProtocolError(
+                f"unknown mode {mode!r}; known: {sorted(KNOB_FOR_MODE)}"
+            )
+        if header.get("value") is None:
+            raise ProtocolError("SESSION_OPEN needs a 'value' (knob value)")
+        value = float(header["value"])
+        keyframe_every = int(header.get("keyframe_every", 8))
+        codec = TemporalCompressor(
+            inner=compressor,
+            keyframe_every=keyframe_every,
+            inner_options=options,
+        )
+        codec.check_mode(CompressorMode(mode))
+        sid = str(header.get(protocol.SESSION_FIELD) or new_session_id())
+        self.sessions.open(Session(
+            session_id=sid,
+            codec=codec,
+            compressor=compressor,
+            options=dict(options),
+            mode=mode,
+            value=value,
+            keyframe_every=keyframe_every,
+        ))
+        get_telemetry().count("service.session_opens")
+        return {
+            "status": "ok",
+            protocol.SESSION_FIELD: sid,
+            "compressor": compressor,
+            "mode": mode,
+            "value": value,
+            "keyframe_every": keyframe_every,
+        }
+
+    async def _session_step(
+        self,
+        sid: str,
+        header: dict[str, Any],
+        payload: bytes,
+        reply,
+    ) -> None:
+        tm = get_telemetry()
+        session = self.sessions.get(sid)
+        if session is None:
+            await reply(
+                {"status": "error", "code": "no_session",
+                 "error": f"no open session {sid!r} "
+                          "(never opened, closed, evicted, or opened on "
+                          "a different shard)"}
+            )
+            return
+        shm_desc = None
+        if protocol.SHM_FIELD in header:
+            shm_desc = protocol.parse_shm(header[protocol.SHM_FIELD])
+            if shm_desc.nbytes > self.max_payload_bytes:
+                raise ProtocolError(
+                    f"shm payload of {shm_desc.nbytes} bytes exceeds cap "
+                    f"{self.max_payload_bytes}"
+                )
+            if not shm_enabled():
+                await reply(
+                    {"status": "error", "code": "shm_unavailable",
+                     "error": "REPRO_NO_SHM is set on the server"}
+                )
+                return
+            try:
+                SharedArray.attach(shm_desc).close()
+            except (DataError, OSError) as exc:
+                tm.count("service.shm_attach_errors")
+                await reply(
+                    {"status": "error", "code": "shm_attach",
+                     "error": f"{type(exc).__name__}: {exc}"}
+                )
+                return
+            tm.count("service.shm_requests")
+            tm.count("service.bytes_in", shm_desc.nbytes)
+        reply_shm = None
+        if protocol.REPLY_SHM_FIELD in header and shm_enabled():
+            reply_shm = protocol.parse_reply_shm(
+                header[protocol.REPLY_SHM_FIELD]
+            )
+        codec = session.codec
+        async with session.lock:
+            # Fail fast on desync: the client tracks the reference digest
+            # it expects the daemon to hold; a mismatch means a lost or
+            # reordered step and the delta stream would decode garbage.
+            if "expect_ref" in header:
+                want = header["expect_ref"]
+                have = codec.encode_reference_digest
+                if want != have:
+                    tm.count("service.session_desyncs")
+                    await reply(
+                        {"status": "error", "code": "session_desync",
+                         "error": f"session {sid!r} holds reference "
+                                  f"{have or 'nothing'}, client expected "
+                                  f"{want or 'nothing'}"}
+                    )
+                    return
+            loop = asyncio.get_running_loop()
+            buf, cache_state, nbytes_in = await loop.run_in_executor(
+                None, self._session_compress, session, header,
+                payload, shm_desc,
+            )
+        session.steps += 1
+        session.bytes_in += nbytes_in
+        session.bytes_out += len(buf.payload)
+        tm.count("service.session_steps")
+        tm.count("service.session_bytes_in", nbytes_in)
+        tm.count("service.session_bytes_out", len(buf.payload))
+        await self._bulk_reply(
+            reply,
+            {
+                "status": "ok",
+                protocol.SESSION_FIELD: sid,
+                "step": buf.meta["step"],
+                "keyframe": buf.meta["keyframe"],
+                "ref": buf.meta["ref_after"],
+                "cache": cache_state,
+                "mode": buf.mode.value,
+                "parameter": buf.parameter,
+                "dtype": np.dtype(buf.original_dtype).str,
+                "shape": list(buf.original_shape),
+                "compression_ratio": buf.compression_ratio,
+                "bitrate": buf.bitrate,
+                "meta": jsonable(buf.meta),
+            },
+            np.frombuffer(buf.payload, dtype=np.uint8),
+            reply_shm,
+            raw=buf.payload,
+        )
+
+    def _session_compress(
+        self,
+        session: Session,
+        header: dict[str, Any],
+        payload: bytes,
+        shm_desc,
+    ) -> tuple[CompressedBuffer, str, int]:
+        """One session step on the executor thread (session lock held)."""
+        from repro.parallel.shm import attached_view
+
+        if shm_desc is not None:
+            with attached_view(shm_desc) as arr:
+                return self._session_encode(session, arr)
+        return self._session_encode(
+            session, protocol.unpack_array(header, payload)
+        )
+
+    def _session_encode(
+        self, session: Session, arr: np.ndarray
+    ) -> tuple[CompressedBuffer, str, int]:
+        codec = session.codec
+        knob = KNOB_FOR_MODE[session.mode]
+        nbytes_in = int(arr.nbytes)
+        if self.cache is None:
+            buf = codec.compress(
+                arr, mode=session.mode, **{knob: session.value}
+            )
+            return buf, "off", nbytes_in
+        # Stateful cache identity: the emitted bytes depend on the
+        # codec's position in the stream (step index, reference snapshot,
+        # keyframe cadence), so all three fold into the key — two
+        # sessions at the same (codec, bound, data) stay distinct.
+        key = make_key(
+            f"temporal:{session.compressor}",
+            session.options,
+            session.mode,
+            knob,
+            session.value,
+            data_digest(arr),
+            reference=(
+                f"{codec.step}:{codec.encode_reference_digest or '-'}"
+                f":{session.keyframe_every}"
+            ),
+        )
+        entry = self.cache.get(key)
+        if entry is not None:
+            buf = CompressedBuffer(
+                payload=entry["payload"],
+                original_shape=tuple(entry["shape"]),
+                original_dtype=np.dtype(entry["dtype"]),
+                mode=CompressorMode(entry["mode"]),
+                parameter=entry["parameter"],
+                meta=dict(entry["meta"]),
+            )
+            # The cached bytes are exactly what compress() would emit;
+            # the encoder reference must still advance through them.
+            codec.advance_with(buf)
+            return buf, "hit", nbytes_in
+        buf = codec.compress(arr, mode=session.mode, **{knob: session.value})
+        self.cache.put(key, {
+            "payload": buf.payload,
+            "shape": list(buf.original_shape),
+            "dtype": np.dtype(buf.original_dtype).str,
+            "mode": buf.mode.value,
+            "parameter": buf.parameter,
+            "meta": dict(buf.meta),
+        })
+        return buf, "miss", nbytes_in
+
     async def _bulk_reply(
         self,
         reply,
@@ -697,6 +979,8 @@ class CompressionService:
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats.to_dict()
+        self.sessions.evict_idle()
+        out["sessions"] = self.sessions.to_dict()
         return out
 
     def _metrics(self) -> tuple[str, str]:

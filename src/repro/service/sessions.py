@@ -1,0 +1,153 @@
+"""Daemon-side session table for stateful (temporal) compression.
+
+A *session* is the server half of an in-situ stream: one
+:class:`~repro.compressors.temporal.TemporalCompressor` whose encoder
+reference lives daemon-side, fed one snapshot per ``SESSION_STEP``.
+The table is bounded (``max_sessions``) and idle-evicting (``idle_s``)
+so abandoned simulations cannot pin reference snapshots forever —
+an evicted session surfaces to its client as a clean ``no_session``
+error on the next step, never as silently wrong bytes.
+
+Sessions are single-writer streams: steps within one session are
+serialized on the session's lock (delta coding is order-dependent),
+while steps of *different* sessions proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.compressors.temporal import TemporalCompressor
+from repro.errors import ServiceError
+from repro.telemetry import get_telemetry
+
+__all__ = ["Session", "SessionTable"]
+
+#: Default cap on concurrently open sessions per daemon.
+DEFAULT_MAX_SESSIONS = 64
+
+#: Default idle eviction horizon (seconds since last step).
+DEFAULT_IDLE_S = 300.0
+
+
+def new_session_id() -> str:
+    return uuid.uuid4().hex
+
+
+@dataclass
+class Session:
+    """One open temporal-compression stream and its accounting."""
+
+    session_id: str
+    codec: TemporalCompressor
+    compressor: str
+    options: dict[str, Any]
+    mode: str
+    value: float
+    keyframe_every: int
+    created: float = field(default_factory=time.monotonic)
+    last_used: float = field(default_factory=time.monotonic)
+    steps: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.session_id,
+            "compressor": self.compressor,
+            "mode": self.mode,
+            "value": self.value,
+            "keyframe_every": self.keyframe_every,
+            "steps": self.steps,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "age_s": time.monotonic() - self.created,
+            "idle_s": time.monotonic() - self.last_used,
+            "ref": self.codec.encode_reference_digest,
+        }
+
+
+class SessionTable:
+    """Bounded, idle-evicting map of open sessions (see module doc)."""
+
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        idle_s: float = DEFAULT_IDLE_S,
+    ) -> None:
+        self.max_sessions = int(max_sessions)
+        self.idle_s = float(idle_s)
+        self._sessions: dict[str, Session] = {}
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def _publish(self) -> None:
+        get_telemetry().set_gauge(
+            "service.sessions_open", float(len(self._sessions))
+        )
+
+    def open(self, session: Session) -> None:
+        """Admit a new session (evicting idle ones first if at capacity)."""
+        if session.session_id in self._sessions:
+            raise ServiceError(
+                f"session {session.session_id!r} is already open"
+            )
+        if len(self._sessions) >= self.max_sessions:
+            self.evict_idle()
+        if len(self._sessions) >= self.max_sessions:
+            raise ServiceError(
+                f"session table is full ({self.max_sessions} open); "
+                "close a session or raise --max-sessions"
+            )
+        self._sessions[session.session_id] = session
+        self._publish()
+
+    def get(self, session_id: str) -> Session | None:
+        """The open session, or ``None`` (unknown, closed, or evicted)."""
+        self.evict_idle()
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.touch()
+        return session
+
+    def close(self, session_id: str) -> Session | None:
+        """Remove and return the session (``None`` if not open)."""
+        session = self._sessions.pop(session_id, None)
+        self._publish()
+        return session
+
+    def evict_idle(self) -> int:
+        """Drop sessions idle past the horizon; returns how many."""
+        now = time.monotonic()
+        stale = [
+            sid
+            for sid, s in self._sessions.items()
+            if now - s.last_used > self.idle_s
+        ]
+        for sid in stale:
+            del self._sessions[sid]
+        if stale:
+            self.evictions += len(stale)
+            get_telemetry().count("service.session_evictions", len(stale))
+            self._publish()
+        return len(stale)
+
+    def to_dict(self) -> dict[str, Any]:
+        """STATS body: open-session summaries plus lifetime eviction count."""
+        return {
+            "open": len(self._sessions),
+            "max": self.max_sessions,
+            "idle_s": self.idle_s,
+            "evictions": self.evictions,
+            "sessions": [s.to_dict() for s in self._sessions.values()],
+        }

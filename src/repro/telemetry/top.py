@@ -146,6 +146,22 @@ def render_frame(
             f"cache hits {int(hits):>6d} / {int(total):>6d}  ({rate:5.1f}%)"
         )
 
+    sessions = stats.get("sessions")
+    if isinstance(sessions, dict) and (
+        sessions.get("open") or sessions.get("evictions")
+        or _counter(metrics, "service.session_steps")
+    ):
+        lines.append(
+            f"sessions {int(sessions.get('open', 0)):>4d}"
+            f" /{int(sessions.get('max', 0)):>4d} open"
+            f"   steps {int(_counter(metrics, 'service.session_steps')):>7d}"
+            f"   evicted {int(sessions.get('evictions', 0)):>5d}"
+            + "   in " + _fmt_bytes(
+                _counter(metrics, "service.session_bytes_in"))
+            + "   out " + _fmt_bytes(
+                _counter(metrics, "service.session_bytes_out"))
+        )
+
     stages = _stage_rows(metrics)
     if stages:
         lines.append("")

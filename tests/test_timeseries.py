@@ -1,0 +1,122 @@
+"""Properties of the correlated snapshot-series generator.
+
+These are the properties the temporal-compression subsystem leans on:
+every snapshot is one realization evolved by a growth factor, so
+consecutive outputs are correlated (delta residuals are small), the
+correlation decays with step gap, and velocities are exact dD/dt
+scalings of one seed field.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.timeseries import SnapshotSeries, make_nyx_series
+from repro.errors import DataError
+
+GROWTH_RATE = 0.25
+
+
+def _series(seed, n=8, grid=16):
+    return make_nyx_series(
+        grid_size=grid, n_snapshots=n, seed=seed,
+        growth_rate=GROWTH_RATE,
+    )
+
+
+def _growth(series):
+    t = series.times
+    return np.exp(GROWTH_RATE * (t - t[-1]))
+
+
+class TestSharedRealization:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_log_density_is_one_realization_rescaled(self, seed):
+        """log(rho) is affine in the single delta_0 realization, so any
+        two snapshots' log-density fields correlate at exactly 1."""
+        series = _series(seed)
+        logs = [
+            np.log(s.fields["baryon_density"].astype(np.float64)).ravel()
+            for s in series.snapshots
+        ]
+        for other in logs[1:]:
+            r = np.corrcoef(logs[0], other)[0, 1]
+            assert r == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_different_seeds_are_different_realizations(self, seed):
+        a = _series(seed).snapshots[-1].fields["baryon_density"]
+        b = _series(seed + 1).snapshots[-1].fields["baryon_density"]
+        r = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert abs(r) < 0.5
+
+
+class TestCorrelationDecay:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    @pytest.mark.parametrize(
+        "field", ["baryon_density", "dark_matter_density"]
+    )
+    def test_density_correlation_decays_monotonically_with_gap(
+        self, seed, field
+    ):
+        series = _series(seed)
+        last = series.snapshots[-1].fields[field].ravel().astype(np.float64)
+        cors = []
+        for gap in range(1, series.n_snapshots):
+            other = (
+                series.snapshots[-1 - gap].fields[field]
+                .ravel().astype(np.float64)
+            )
+            cors.append(float(np.corrcoef(last, other)[0, 1]))
+        assert all(0.0 < c < 1.0 for c in cors)
+        assert all(a > b for a, b in zip(cors, cors[1:])), cors
+
+
+class TestVelocityScaling:
+    @pytest.mark.parametrize("seed", [3, 11])
+    @pytest.mark.parametrize("axis", ["x", "y", "z"])
+    def test_velocities_scale_with_growth_factor_derivative(
+        self, seed, axis
+    ):
+        """v(t) = seed_field * sigma_v * dD/dt with dD/dt ∝ D(t), so
+        snapshots' velocity fields are exact scalar multiples:
+        v_i * D_j == v_j * D_i elementwise."""
+        series = _series(seed)
+        growth = _growth(series)
+        name = f"velocity_{axis}"
+        v = [
+            s.fields[name].astype(np.float64) for s in series.snapshots
+        ]
+        for j in range(1, len(v)):
+            np.testing.assert_allclose(
+                v[0] * growth[j], v[j] * growth[0], rtol=1e-5
+            )
+
+    def test_velocity_magnitude_grows_with_time(self):
+        series = _series(7)
+        name = "velocity_x"
+        stds = [float(s.fields[name].std()) for s in series.snapshots]
+        assert all(a < b for a, b in zip(stds, stds[1:]))
+
+
+class TestSeriesShape:
+    def test_times_strictly_increasing_and_fields_complete(self):
+        series = _series(3, n=5)
+        assert series.n_snapshots == 5
+        assert np.all(np.diff(series.times) > 0)
+        for snap in series.snapshots:
+            assert set(snap.fields) == {
+                "baryon_density", "dark_matter_density", "temperature",
+                "velocity_x", "velocity_y", "velocity_z",
+            }
+            for arr in snap.fields.values():
+                assert arr.dtype == np.float32
+                assert np.all(np.isfinite(arr))
+
+    def test_rejects_degenerate_series(self):
+        with pytest.raises(DataError):
+            make_nyx_series(grid_size=8, n_snapshots=1)
+        with pytest.raises(DataError):
+            SnapshotSeries(
+                times=np.array([0.0, 0.0]),
+                snapshots=_series(3, n=2).snapshots,
+            )
